@@ -1,0 +1,318 @@
+package nestless
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section (§5), one benchmark per artefact, plus ablations of
+// the design choices called out in DESIGN.md §6. Absolute numbers come
+// from the calibrated simulator (see internal/netsim/costs.go); the
+// paper-vs-measured comparison lives in EXPERIMENTS.md.
+//
+// Reported custom metrics use ns/op semantics only incidentally; the
+// interesting outputs are the ReportMetric series (Mbps, µs, $/h, …).
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/cloudsim"
+	"nestless/internal/figures"
+	"nestless/internal/hostlo"
+	"nestless/internal/netperf"
+	"nestless/internal/scenario"
+	"nestless/internal/trace"
+)
+
+var benchOpts = figures.Opts{Seed: 42, Quick: true}
+
+// --- Figures 2 and 4: BrFusion micro-benchmarks -------------------------
+
+func BenchmarkFig2NestedVsSingle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig2(benchOpts)
+		if len(tab.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig4BrFusionMicro(b *testing.B) {
+	for _, mode := range []scenario.Mode{scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont} {
+		b.Run(string(mode), func(b *testing.B) {
+			var mbps, rtt float64
+			for i := 0; i < b.N; i++ {
+				sc, err := scenario.NewServerClient(42, mode, 5001, 7001)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+					Client: sc.Client, Server: sc.ServerNS,
+					DialAddr: sc.DialAddr, Port: 5001, MsgSize: 1280,
+					Warmup: 10 * time.Millisecond, Duration: 40 * time.Millisecond,
+				})
+				rr := netperf.RunUDPRR(sc.Eng, netperf.RRConfig{
+					Client: sc.Client, Server: sc.ServerNS,
+					DialAddr: sc.DialAddr, Port: 7001, MsgSize: 1280,
+					Duration: 30 * time.Millisecond,
+				})
+				mbps, rtt = tp.ThroughputMbps, float64(rr.MeanRTT.Microseconds())
+			}
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(rtt, "rtt-µs")
+		})
+	}
+}
+
+// --- Figure 5–7: macro-benchmarks and CPU breakdowns ---------------------
+
+func BenchmarkFig5BrFusionMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig5(benchOpts)
+		if len(tab.Rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig6KafkaCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := figures.Fig6(benchOpts); len(tab.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig7NginxCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := figures.Fig7(benchOpts); len(tab.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- Figure 8: container boot time ---------------------------------------
+
+func BenchmarkFig8BootTime(b *testing.B) {
+	for _, mode := range []scenario.Mode{scenario.ModeNAT, scenario.ModeBrFusion} {
+		b.Run(string(mode), func(b *testing.B) {
+			var median float64
+			for i := 0; i < b.N; i++ {
+				s := figures.BootSamples(figures.Opts{Seed: 42}, mode, 25)
+				median = s.Median() * 1e3
+			}
+			b.ReportMetric(median, "boot-ms-p50")
+		})
+	}
+}
+
+// --- Figure 9 / Table 2: cost simulation ---------------------------------
+
+func BenchmarkFig9CostSavings(b *testing.B) {
+	users := trace.Generate(trace.DefaultConfig(42))
+	catalog := cloudsim.Catalog()
+	b.ResetTimer()
+	var savers, maxRel float64
+	for i := 0; i < b.N; i++ {
+		res := cloudsim.Simulate(users, catalog)
+		savers = res.SaversFraction() * 100
+		maxRel = res.MaxRelSavings() * 100
+	}
+	b.ReportMetric(savers, "savers-%")
+	b.ReportMetric(maxRel, "max-savings-%")
+}
+
+// --- Figure 10–15: Hostlo micro and macro ---------------------------------
+
+func BenchmarkFig10HostloMicro(b *testing.B) {
+	for _, mode := range []scenario.CCMode{scenario.CCSameNode, scenario.CCHostlo, scenario.CCNAT, scenario.CCOverlay} {
+		b.Run(string(mode), func(b *testing.B) {
+			var mbps, rtt float64
+			for i := 0; i < b.N; i++ {
+				pp, err := scenario.NewPodPair(42, mode, 5001, 7001)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp := netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
+					Client: pp.ANS, Server: pp.BNS,
+					DialAddr: pp.DialAddr, Port: 5001, MsgSize: 1024,
+					Warmup: 10 * time.Millisecond, Duration: 40 * time.Millisecond,
+				})
+				rr := netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
+					Client: pp.ANS, Server: pp.BNS,
+					DialAddr: pp.DialAddr, Port: 7001, MsgSize: 1024,
+					Duration: 30 * time.Millisecond,
+				})
+				mbps, rtt = tp.ThroughputMbps, float64(rr.MeanRTT.Microseconds())
+			}
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(rtt, "rtt-µs")
+		})
+	}
+}
+
+func BenchmarkFig11MemcachedHostlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := figures.Fig11(benchOpts); len(tab.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig13NginxHostlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := figures.Fig13(benchOpts); len(tab.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig14MemcachedCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := figures.Fig14(benchOpts); len(tab.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig15NginxCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := figures.Fig15(benchOpts); len(tab.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---------------------------------------------
+
+// BenchmarkAblationHostloFanout compares the paper's reflect-to-all
+// semantics with MAC-filtered unicast delivery.
+func BenchmarkAblationHostloFanout(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		filter bool
+	}{{"reflect-all", false}, {"filter-mac", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				pp, err := scenario.NewPodPair(42, scenario.CCHostlo, 5001)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.filter {
+					pp.HostloDev.SetMode(hostlo.FilterMAC)
+				}
+				tp := netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
+					Client: pp.ANS, Server: pp.BNS,
+					DialAddr: pp.DialAddr, Port: 5001, MsgSize: 1024,
+					Warmup: 10 * time.Millisecond, Duration: 40 * time.Millisecond,
+				})
+				mbps = tp.ThroughputMbps
+			}
+			b.ReportMetric(mbps, "Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationOverlayBatch sweeps the overlay's TX batching depth.
+func BenchmarkAblationOverlayBatch(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "batch-1", 4: "batch-4", 16: "batch-16"}[batch], func(b *testing.B) {
+			var mbps, rtt float64
+			for i := 0; i < b.N; i++ {
+				pp, err := scenario.NewPodPair(42, scenario.CCOverlay, 5001, 7001)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pp.Overlay.Batch = batch
+				tp := netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
+					Client: pp.ANS, Server: pp.BNS,
+					DialAddr: pp.DialAddr, Port: 5001, MsgSize: 1024,
+					Warmup: 10 * time.Millisecond, Duration: 40 * time.Millisecond,
+				})
+				rr := netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
+					Client: pp.ANS, Server: pp.BNS,
+					DialAddr: pp.DialAddr, Port: 7001, MsgSize: 1024,
+					Duration: 30 * time.Millisecond,
+				})
+				mbps, rtt = tp.ThroughputMbps, float64(rr.MeanRTT.Microseconds())
+			}
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(rtt, "rtt-µs")
+		})
+	}
+}
+
+// BenchmarkAblationStreamWindow sweeps the transport's in-flight window.
+func BenchmarkAblationStreamWindow(b *testing.B) {
+	for _, kb := range []int{64, 256, 1024} {
+		b.Run(map[int]string{64: "win-64k", 256: "win-256k", 1024: "win-1m"}[kb], func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				sc, err := scenario.NewServerClient(42, scenario.ModeBrFusion, 5001)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc.Net.Costs.StreamWindow = kb * 1024
+				tp := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+					Client: sc.Client, Server: sc.ServerNS,
+					DialAddr: sc.DialAddr, Port: 5001, MsgSize: 1280,
+					Warmup: 10 * time.Millisecond, Duration: 40 * time.Millisecond,
+				})
+				mbps = tp.ThroughputMbps
+			}
+			b.ReportMetric(mbps, "Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationSchedulerPolicy compares packing policies' effect on
+// the Hostlo savings result.
+func BenchmarkAblationSchedulerPolicy(b *testing.B) {
+	users := trace.Generate(trace.DefaultConfig(42))
+	catalog := cloudsim.Catalog()
+	for _, pol := range []struct {
+		name string
+		p    cloudsim.Policy
+	}{{"most-requested", cloudsim.MostRequested}, {"least-requested", cloudsim.LeastRequested}} {
+		b.Run(pol.name, func(b *testing.B) {
+			var savers float64
+			for i := 0; i < b.N; i++ {
+				n, total := 0, 0
+				for _, u := range users {
+					r, err := cloudsim.SimulateUserPolicy(u, catalog, pol.p)
+					if err != nil {
+						continue
+					}
+					total++
+					if r.SavingsAbs() > 1e-9 {
+						n++
+					}
+				}
+				savers = float64(n) / float64(total) * 100
+			}
+			b.ReportMetric(savers, "savers-%")
+		})
+	}
+}
+
+// BenchmarkAblationAckFrequency sweeps the transport's cumulative ACK
+// frequency (per-segment vs batched ACKs).
+func BenchmarkAblationAckFrequency(b *testing.B) {
+	for _, every := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "ack-1", 2: "ack-2", 4: "ack-4"}[every], func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				sc, err := scenario.NewServerClient(42, scenario.ModeNAT, 5001)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc.Net.Costs.AckEvery = every
+				tp := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+					Client: sc.Client, Server: sc.ServerNS,
+					DialAddr: sc.DialAddr, Port: 5001, MsgSize: 1280,
+					Warmup: 10 * time.Millisecond, Duration: 40 * time.Millisecond,
+				})
+				mbps = tp.ThroughputMbps
+			}
+			b.ReportMetric(mbps, "Mbps")
+		})
+	}
+}

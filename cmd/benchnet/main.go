@@ -1,0 +1,52 @@
+// Command benchnet regenerates the paper's micro-benchmark figures:
+//
+//	benchnet -fig 2    # nested vs single-level virtualization (§2)
+//	benchnet -fig 4    # BrFusion vs NAT vs NoCont sweep (§5.2.1)
+//	benchnet -fig 10   # Hostlo vs NAT vs Overlay vs SameNode (§5.3.2)
+//
+// Use -csv for machine-readable output and -quick for a fast pass with
+// fewer message sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nestless/internal/figures"
+	"nestless/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 4, "figure to regenerate: 2, 4 or 10")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	quick := flag.Bool("quick", false, "short measurement windows, fewer sizes")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := figures.Opts{Seed: *seed, Quick: *quick}
+	var tables []*report.Table
+	switch *fig {
+	case 2:
+		tables = []*report.Table{figures.Fig2(opts)}
+	case 4:
+		tput, lat := figures.Fig4(opts)
+		tables = []*report.Table{tput, lat}
+	case 10:
+		tput, lat := figures.Fig10(opts)
+		tables = []*report.Table{tput, lat}
+	default:
+		fmt.Fprintf(os.Stderr, "benchnet: unknown figure %d (want 2, 4 or 10)\n", *fig)
+		os.Exit(2)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+	}
+}

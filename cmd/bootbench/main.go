@@ -1,0 +1,31 @@
+// Command bootbench regenerates the container start-up comparison
+// (Fig. 8, §5.2.4): the distribution of the time between ordering the
+// container engine to create a container and the container speaking TCP,
+// under vanilla Docker NAT networking versus BrFusion's hot-plugged NIC.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nestless/internal/figures"
+)
+
+func main() {
+	runs := flag.Int("runs", 100, "boots per solution (the paper uses 100)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed}, *runs)
+	if *csv {
+		stats.WriteCSV(os.Stdout)
+		fmt.Println()
+		cdf.WriteCSV(os.Stdout)
+		return
+	}
+	stats.WriteText(os.Stdout)
+	fmt.Println()
+	cdf.WriteText(os.Stdout)
+}

@@ -1,0 +1,76 @@
+// Command costsim regenerates the Hostlo cost-saving simulation
+// (Fig. 9, §5.3.1): per-user VM fleet costs under Kubernetes whole-pod
+// placement versus Hostlo container-level placement, over a synthetic
+// Google-cluster-trace population priced with the AWS EC2 m5 catalog.
+//
+//	costsim                # Fig. 9 histogram + headline statistics
+//	costsim -table 2       # the VM catalog (Table 2)
+//	costsim -users 1000    # a larger population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nestless/internal/cloudsim"
+	"nestless/internal/figures"
+	"nestless/internal/report"
+	"nestless/internal/trace"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print a table instead: 2")
+	users := flag.Int("users", 492, "population size (the paper simulates 492 users)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	top := flag.Int("top", 0, "also list the top-N savers")
+	flag.Parse()
+
+	emit := func(t *report.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+		} else {
+			t.WriteText(os.Stdout)
+		}
+	}
+
+	if *table == 2 {
+		emit(figures.Table2())
+		return
+	}
+
+	cfg := trace.DefaultConfig(*seed)
+	cfg.Users = *users
+	pop := trace.Generate(cfg)
+	res := cloudsim.Simulate(pop, cloudsim.Catalog())
+
+	hist, stats := figures.Fig9(figures.Opts{Seed: *seed, Quick: *users != 492})
+	if *users == 492 {
+		emit(hist)
+		fmt.Println()
+		emit(stats)
+	} else {
+		// Custom population: report directly.
+		t := report.New(fmt.Sprintf("Hostlo savings over %d users", len(res.Users)),
+			"metric", "value")
+		maxAbs, maxRel := res.MaxAbsSavings()
+		t.AddRow("users with savings", report.Percent(res.SaversFraction()))
+		t.AddRow("savers above 5%", report.Percent(res.BigSaversFractionOfSavers()))
+		t.AddRow("max relative savings", report.Percent(res.MaxRelSavings()))
+		t.AddRow("max absolute savings $/h", maxAbs)
+		t.AddRow("  (at relative savings)", report.Percent(maxRel))
+		emit(t)
+	}
+
+	if *top > 0 {
+		fmt.Println()
+		tt := report.New(fmt.Sprintf("Top %d savers", *top),
+			"user", "kube_cost", "hostlo_cost", "savings_rel", "kube_vms", "hostlo_vms")
+		for _, u := range res.TopSavers(*top) {
+			tt.AddRow(u.UserID, u.KubeCostPerH, u.HostloCostPerH,
+				report.Percent(u.SavingsRel()), u.KubeVMs, u.HostloVMs)
+		}
+		emit(tt)
+	}
+}

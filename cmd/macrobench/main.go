@@ -1,0 +1,58 @@
+// Command macrobench regenerates the paper's macro-benchmark figures:
+//
+//	macrobench -fig 5      # Memcached / NGINX / Kafka (§5.2.2)
+//	macrobench -fig 6      # Kafka CPU breakdown (§5.2.3)
+//	macrobench -fig 7      # NGINX CPU breakdown (§5.2.3)
+//	macrobench -fig 11     # Memcached over intra-pod transports (§5.3.3)
+//	macrobench -fig 13     # NGINX over intra-pod transports (§5.3.3)
+//	macrobench -fig 14     # Memcached CPU usage (§5.3.4)
+//	macrobench -fig 15     # NGINX CPU usage (§5.3.4)
+//	macrobench -table 1    # macro-benchmark parameters (§5.1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nestless/internal/figures"
+	"nestless/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 5, "figure to regenerate: 5, 6, 7, 11, 13, 14 or 15")
+	table := flag.Int("table", 0, "print a table instead: 1")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	quick := flag.Bool("quick", false, "short measurement windows")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := figures.Opts{Seed: *seed, Quick: *quick}
+	var t *report.Table
+	switch {
+	case *table == 1:
+		t = figures.Table1()
+	case *fig == 5:
+		t = figures.Fig5(opts)
+	case *fig == 6:
+		t = figures.Fig6(opts)
+	case *fig == 7:
+		t = figures.Fig7(opts)
+	case *fig == 11 || *fig == 12:
+		t = figures.Fig11(opts)
+	case *fig == 13:
+		t = figures.Fig13(opts)
+	case *fig == 14:
+		t = figures.Fig14(opts)
+	case *fig == 15:
+		t = figures.Fig15(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "macrobench: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+	if *csv {
+		t.WriteCSV(os.Stdout)
+	} else {
+		t.WriteText(os.Stdout)
+	}
+}

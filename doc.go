@@ -1,0 +1,16 @@
+// Package nestless is a from-scratch Go reproduction of "Nested
+// Virtualization Without the Nest" (Bacou, Todeschi, Tchana, Hagimont —
+// ICPP 2019): BrFusion, a de-duplicated nested networking stack where
+// pods receive dedicated hot-plugged NICs on the host bridge, and
+// Hostlo, a host-backed multiplexed loopback device enabling cross-VM
+// pod deployments — together with the full substrate they need (a
+// packet-level Linux-networking simulator, a QEMU/KVM-like VMM with a
+// QMP management channel, virtio/vhost, a Docker-like container engine,
+// a Kubernetes-like orchestrator with CNI plugins, a VXLAN overlay
+// baseline, and the Google-trace cost simulation).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The benchmarks in bench_test.go regenerate every
+// table and figure of the paper's evaluation.
+package nestless

@@ -1,0 +1,51 @@
+// FaaS churn: Function-as-a-Service platforms (the paper's §1 points at
+// AWS Lambda) start containers-in-VMs at high rates, so container boot
+// time is product-critical. This example boots a burst of short-lived
+// function containers under vanilla Docker NAT networking and under
+// BrFusion's hot-plugged NICs, and compares the start-up distributions
+// (the paper's Fig. 8 methodology).
+//
+//	go run ./examples/faas
+package main
+
+import (
+	"fmt"
+
+	"nestless/internal/figures"
+	"nestless/internal/scenario"
+)
+
+func main() {
+	const functions = 60
+	fmt.Printf("booting %d function containers per solution...\n\n", functions)
+
+	opts := figures.Opts{Seed: 99}
+	nat := figures.BootSamples(opts, scenario.ModeNAT, functions)
+	brf := figures.BootSamples(opts, scenario.ModeBrFusion, functions)
+
+	ms := func(v float64) float64 { return v * 1e3 }
+	fmt.Printf("%-10s %8s %8s %8s %8s %8s\n", "solution", "min", "p50", "p75", "p99", "max")
+	for _, row := range []struct {
+		name string
+		s    interface {
+			Min() float64
+			Median() float64
+			Percentile(float64) float64
+			Max() float64
+		}
+	}{{"nat", nat}, {"brfusion", brf}} {
+		fmt.Printf("%-10s %7.0fms %7.0fms %7.0fms %7.0fms %7.0fms\n", row.name,
+			ms(row.s.Min()), ms(row.s.Median()), ms(row.s.Percentile(75)),
+			ms(row.s.Percentile(99)), ms(row.s.Max()))
+	}
+
+	better := 0
+	nv, bv := nat.Samples(), brf.Samples()
+	for i := range nv {
+		if bv[i] <= nv[i] {
+			better++
+		}
+	}
+	fmt.Printf("\nBrFusion boots faster at %d%% of quantiles (paper: ~75%%) —\n", better*100/len(nv))
+	fmt.Println("hot-plugging one NIC via QMP beats veth + bridge + iptables churn.")
+}

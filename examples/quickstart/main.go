@@ -1,0 +1,70 @@
+// Quickstart: boot a simulated host with one VM, deploy a pod with
+// BrFusion networking (a dedicated NIC hot-plugged by the VMM straight
+// into the pod's namespace), and exchange traffic with it from an
+// external client — the paper's §3 datapath, end to end, in a few lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nestless/internal/kube"
+	"nestless/internal/netperf"
+	"nestless/internal/netsim"
+	"nestless/internal/scenario"
+	"nestless/internal/sim"
+)
+
+func main() {
+	// A ready-made §5.2 topology: host + bridge + external client, one
+	// 5-vCPU VM running a container engine with the BrFusion CNI plugin.
+	sc, err := scenario.NewServerClient(1, scenario.ModeBrFusion, 8080)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed pod with BrFusion networking")
+	fmt.Printf("  pod address:  %v  (first-class on the host bridge %v)\n",
+		sc.DialAddr, scenario.HostBridgeNet)
+	fmt.Printf("  VM:           %s (%d vCPUs, %d MB)\n", sc.VM.Name, sc.VM.VCPUs, sc.VM.MemoryMB)
+
+	// The pod is reachable directly — no in-VM bridge, no in-VM NAT.
+	var got int
+	if _, err := sc.ServerNS.BindUDP(8080, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		log.Fatal(err)
+	}
+	s, _ := sc.Client.BindUDP(0, nil)
+	s.SendTo(sc.DialAddr, 8080, 512, "hello")
+	sc.Eng.Run()
+	fmt.Printf("  datagram:     client -> pod delivered %d bytes\n", got)
+
+	// The in-VM netfilter saw none of it.
+	fmt.Printf("  in-VM NAT rewrites: %d (BrFusion bypasses the nested layer)\n",
+		sc.VM.NS.Filter.Translations)
+
+	// Quick throughput check against the same pod.
+	tp := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 5001, MsgSize: 1280,
+	})
+	fmt.Printf("  TCP_STREAM:   %.0f Mbps at 1280 B messages\n", tp.ThroughputMbps)
+
+	// Everything above ran on the deterministic virtual clock.
+	fmt.Printf("  virtual time: %v, %d events\n", sim.Time(sc.Eng.Now()), sc.Eng.Steps)
+
+	// The same cluster can deploy more pods the Kubernetes way.
+	sc.Cluster.Deploy(kube.PodSpec{
+		Name:    "sidecar-demo",
+		Network: "brfusion",
+		Containers: []kube.ContainerSpec{
+			{Name: "app", Image: "app", CPU: 1, MemMB: 256},
+		},
+	}, func(pod *kube.Pod, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  second pod:   %s at %v\n", pod.Spec.Name, pod.Parts[0].PodIP)
+	})
+	sc.Eng.Run()
+}

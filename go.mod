@@ -1,0 +1,3 @@
+module nestless
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package kafka models the paper's Kafka macro-benchmark: a broker that
+// appends producer batches to a log, and a kafka-producer-perf-test-style
+// client (Table 1: 120 000 msg/s of 100 B messages in 8192 B batches)
+// reporting per-message latency from creation to acknowledgement
+// (Figs. 5 and 6).
+package kafka
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+// batch is the application message of one produce request.
+type batch struct {
+	firstCreated sim.Time
+	count        int
+	bytes        int
+	createdAts   []sim.Time
+}
+
+// ack is the broker's reply.
+type ack struct {
+	offset int64
+}
+
+// Broker service costs: append to the active segment (usr: copy +
+// index update, amortised fsync).
+var appendCost = netsim.StageCost{PerPacket: 12 * time.Microsecond, PerByteNs: 0.8}
+
+const ackSize = 64
+const produceOverhead = 60 // request framing
+
+// Broker is a single-partition log server.
+type Broker struct {
+	ns  *netsim.NetNS
+	log []int // appended batch sizes (the simulated segment)
+
+	// Offset is the high-water mark in bytes.
+	Offset int64
+	// Batches counts appended batches.
+	Batches uint64
+}
+
+// NewBroker starts a broker on ns:port.
+func NewBroker(ns *netsim.NetNS, port uint16) (*Broker, error) {
+	b := &Broker{ns: ns}
+	_, err := ns.ListenStream(port, func(c *netsim.StreamConn) {
+		c.OnMessage = func(_ int, app interface{}, _ sim.Time) {
+			bt, ok := app.(batch)
+			if !ok {
+				return
+			}
+			b.append(c, bt)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kafka: %w", err)
+	}
+	return b, nil
+}
+
+// append commits one batch and acknowledges.
+func (b *Broker) append(c *netsim.StreamConn, bt batch) {
+	b.ns.CPU.RunCosts([]netsim.Charge{{Cat: cpuacct.Usr, D: appendCost.For(bt.bytes)}}, func() {
+		b.log = append(b.log, bt.bytes)
+		b.Offset += int64(bt.bytes)
+		b.Batches++
+		c.SendMessage(ackSize, ack{offset: b.Offset})
+	})
+}
+
+// ProducerConfig is the producer-perf parameter set.
+type ProducerConfig struct {
+	MsgPerSec int // 120000 in Table 1
+	MsgSize   int // 100 B in Table 1
+	BatchSize int // 8192 B in Table 1
+	// LingerMax bounds how long a partial batch may wait (Kafka's
+	// linger.ms analogue; producer-perf keeps batches full at this rate).
+	LingerMax       time.Duration
+	Warmup, Measure time.Duration
+}
+
+// DefaultProducerConfig returns Table 1's parameters.
+func DefaultProducerConfig() ProducerConfig {
+	return ProducerConfig{
+		MsgPerSec: 120000,
+		MsgSize:   100,
+		BatchSize: 8192,
+		LingerMax: 2 * time.Millisecond,
+		Warmup:    20 * time.Millisecond,
+		Measure:   150 * time.Millisecond,
+	}
+}
+
+// Result summarises one run.
+type Result struct {
+	Messages      int
+	PerSec        float64
+	MeanLatency   time.Duration
+	StddevLatency time.Duration
+	P99Latency    time.Duration
+}
+
+// RunProducer drives the constant-rate producer from clientNS against
+// the broker at addr:port. Per-message latency runs from message
+// creation (entering the batch accumulator) to batch acknowledgement —
+// the producer-perf definition.
+func RunProducer(eng *sim.Engine, clientNS *netsim.NetNS, addr netsim.IPv4, port uint16, cfg ProducerConfig) Result {
+	start := eng.Now()
+	measureFrom := start + cfg.Warmup
+	measureTo := measureFrom + cfg.Measure
+
+	var lat sim.Series
+	messages := 0
+
+	conn := clientNS.DialStream(addr, port, nil)
+	inflight := map[int64][]sim.Time{} // log offset is implicit; key by batch seq
+	seq := int64(0)
+	acked := int64(0)
+	conn.OnMessage = func(_ int, app interface{}, _ sim.Time) {
+		if _, ok := app.(ack); !ok {
+			return
+		}
+		now := eng.Now()
+		for _, created := range inflight[acked] {
+			if now >= measureFrom && now < measureTo {
+				messages++
+				lat.AddDuration(now - created)
+			}
+		}
+		delete(inflight, acked)
+		acked++
+	}
+
+	// Accumulate messages at the configured rate; flush on batch-full or
+	// linger expiry.
+	var cur batch
+	interval := time.Duration(float64(time.Second) / float64(cfg.MsgPerSec))
+
+	flush := func() {
+		if cur.count == 0 {
+			return
+		}
+		b := cur
+		cur = batch{}
+		inflight[seq] = b.createdAts
+		seq++
+		conn.SendMessage(b.bytes+produceOverhead, b)
+	}
+
+	// The producer thread creates one message per interval; full batches
+	// flush immediately, partial batches on linger expiry.
+	var tick func()
+	tick = func() {
+		if eng.Now() >= measureTo {
+			flush()
+			return
+		}
+		createdAt := eng.Now()
+		if cur.count == 0 {
+			cur.firstCreated = createdAt
+		}
+		cur.count++
+		cur.bytes += cfg.MsgSize
+		cur.createdAts = append(cur.createdAts, createdAt)
+		if cur.bytes+cfg.MsgSize > cfg.BatchSize {
+			flush()
+		}
+		eng.After(interval, tick)
+	}
+	eng.After(0, tick)
+	// Linger safety: flush stale partial batches periodically.
+	var linger func()
+	linger = func() {
+		if eng.Now() >= measureTo {
+			return
+		}
+		if cur.count > 0 && eng.Now()-cur.firstCreated >= cfg.LingerMax {
+			flush()
+		}
+		eng.After(cfg.LingerMax, linger)
+	}
+	eng.After(cfg.LingerMax, linger)
+
+	eng.RunUntil(measureTo)
+	return Result{
+		Messages:      messages,
+		PerSec:        float64(messages) / cfg.Measure.Seconds(),
+		MeanLatency:   time.Duration(lat.Mean() * float64(time.Second)),
+		StddevLatency: time.Duration(lat.Stddev() * float64(time.Second)),
+		P99Latency:    time.Duration(lat.Percentile(99) * float64(time.Second)),
+	}
+}

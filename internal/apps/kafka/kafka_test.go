@@ -1,0 +1,102 @@
+package kafka
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+func pair() (*sim.Engine, *netsim.NetNS, *netsim.NetNS) {
+	eng := sim.New(17)
+	eng.MaxSteps = 500_000_000
+	w := netsim.NewNet(eng)
+	a := w.NewNS("producer", netsim.NewCPU(eng, "producer", 1, nil))
+	b := w.NewNS("broker", netsim.NewCPU(eng, "broker", 1, nil))
+	ia, ib := netsim.NewVethPair(a, "eth0", b, "eth0")
+	subnet := netsim.MustPrefix(netsim.IP(10, 0, 0, 0), 24)
+	ia.SetAddr(netsim.IP(10, 0, 0, 1), subnet)
+	ib.SetAddr(netsim.IP(10, 0, 0, 2), subnet)
+	return eng, a, b
+}
+
+func TestBrokerAppendsAndAcks(t *testing.T) {
+	eng, producer, brokerNS := pair()
+	br, err := NewBroker(brokerNS, 9092)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks []ack
+	conn := producer.DialStream(netsim.IP(10, 0, 0, 2), 9092, nil)
+	conn.OnMessage = func(_ int, app interface{}, _ sim.Time) {
+		acks = append(acks, app.(ack))
+	}
+	conn.SendMessage(8192, batch{count: 81, bytes: 8100, createdAts: []sim.Time{0}})
+	conn.SendMessage(8192, batch{count: 81, bytes: 8100, createdAts: []sim.Time{0}})
+	eng.Run()
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d, want 2", len(acks))
+	}
+	if acks[1].offset != 16200 {
+		t.Fatalf("final offset = %d, want 16200", acks[1].offset)
+	}
+	if br.Batches != 2 {
+		t.Fatalf("Batches = %d", br.Batches)
+	}
+}
+
+func TestProducerRateAndLatency(t *testing.T) {
+	eng, producer, brokerNS := pair()
+	if _, err := NewBroker(brokerNS, 9092); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultProducerConfig()
+	cfg.Warmup = 10 * time.Millisecond
+	cfg.Measure = 80 * time.Millisecond
+	res := RunProducer(eng, producer, netsim.IP(10, 0, 0, 2), 9092, cfg)
+
+	if res.Messages == 0 {
+		t.Fatal("no messages acknowledged")
+	}
+	// The offered 120 kmsg/s should be achievable on a direct link.
+	if res.PerSec < float64(cfg.MsgPerSec)*0.8 {
+		t.Errorf("achieved %.0f msg/s, offered %d", res.PerSec, cfg.MsgPerSec)
+	}
+	if res.MeanLatency <= 0 {
+		t.Fatalf("bad latency: %+v", res)
+	}
+}
+
+func TestProducerDeterministic(t *testing.T) {
+	run := func() Result {
+		eng, producer, brokerNS := pair()
+		if _, err := NewBroker(brokerNS, 9092); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultProducerConfig()
+		cfg.MsgPerSec = 50000
+		cfg.Warmup = 5 * time.Millisecond
+		cfg.Measure = 30 * time.Millisecond
+		return RunProducer(eng, producer, netsim.IP(10, 0, 0, 2), 9092, cfg)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSmallBatchStillFlushes(t *testing.T) {
+	eng, producer, brokerNS := pair()
+	if _, err := NewBroker(brokerNS, 9092); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultProducerConfig()
+	cfg.MsgPerSec = 100 // far below one batch per linger period
+	cfg.Warmup = 5 * time.Millisecond
+	cfg.Measure = 100 * time.Millisecond
+	res := RunProducer(eng, producer, netsim.IP(10, 0, 0, 2), 9092, cfg)
+	if res.Messages == 0 {
+		t.Fatal("linger flush never delivered slow-rate messages")
+	}
+}

@@ -1,0 +1,205 @@
+// Package memcached models the paper's Memcached macro-benchmark: a
+// key-value store server and a memtier_benchmark-style closed-loop
+// client (Table 1: 4 threads, 50 connections per thread, SET:GET = 1:10)
+// reporting responses/s and request latency (Figs. 5, 11, 12, 14).
+package memcached
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+// Op is a cache operation.
+type Op uint8
+
+// Operations.
+const (
+	Get Op = iota
+	Set
+)
+
+// request is the application message of one operation.
+type request struct {
+	op  Op
+	key string
+	val []byte // Set only
+}
+
+// response is the reply message.
+type response struct {
+	hit bool
+	val []byte
+	// reqAt echoes the request's submission time for client-side
+	// latency measurement.
+	reqAt sim.Time
+}
+
+// Protocol sizes (text-protocol framing approximations).
+const (
+	keyLen       = 24
+	getReqSize   = keyLen + 8
+	setRespSize  = 8
+	missRespSize = 5
+	respOverhead = 24
+)
+
+// Service costs: hash-table work per operation (usr time on the server).
+var (
+	getCost = netsim.StageCost{PerPacket: 2500 * time.Nanosecond, PerByteNs: 0.15}
+	setCost = netsim.StageCost{PerPacket: 3500 * time.Nanosecond, PerByteNs: 0.25}
+)
+
+// Server is the key-value store bound to a namespace port. The store
+// holds real values, so GETs return what SETs wrote.
+type Server struct {
+	ns    *netsim.NetNS
+	store map[string][]byte
+
+	// Gets, Sets, Misses count operations.
+	Gets, Sets, Misses uint64
+}
+
+// NewServer starts a memcached server on ns:port.
+func NewServer(ns *netsim.NetNS, port uint16) (*Server, error) {
+	s := &Server{ns: ns, store: make(map[string][]byte)}
+	_, err := ns.ListenStream(port, func(c *netsim.StreamConn) {
+		c.OnMessage = func(size int, app interface{}, sentAt sim.Time) {
+			req, ok := app.(request)
+			if !ok {
+				return
+			}
+			s.serve(c, req, sentAt)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("memcached: %w", err)
+	}
+	return s, nil
+}
+
+// Len returns the number of stored keys.
+func (s *Server) Len() int { return len(s.store) }
+
+// serve executes one operation and responds on the connection.
+func (s *Server) serve(c *netsim.StreamConn, req request, sentAt sim.Time) {
+	switch req.op {
+	case Set:
+		s.Sets++
+		s.ns.CPU.RunCosts([]netsim.Charge{{Cat: cpuacct.Usr, D: setCost.For(len(req.val))}}, func() {
+			s.store[req.key] = req.val
+			c.SendMessage(setRespSize, response{hit: true, reqAt: sentAt})
+		})
+	case Get:
+		s.Gets++
+		// The lookup happens inside the service callback so operations
+		// delivered back-to-back in one segment still observe prior SETs
+		// in order. The value copy's per-byte cost is paid by the
+		// response send path.
+		s.ns.CPU.RunCosts([]netsim.Charge{{Cat: cpuacct.Usr, D: getCost.For(0)}}, func() {
+			val, hit := s.store[req.key]
+			if !hit {
+				s.Misses++
+				c.SendMessage(missRespSize, response{reqAt: sentAt})
+				return
+			}
+			c.SendMessage(len(val)+respOverhead, response{hit: true, val: val, reqAt: sentAt})
+		})
+	}
+}
+
+// ClientConfig is the memtier_benchmark parameter set.
+type ClientConfig struct {
+	Threads      int // 4 in Table 1
+	ConnsPerThrd int // 50 in Table 1
+	SetRatio     int // 1 in 1:10
+	GetRatio     int // 10 in 1:10
+	KeySpace     int // distinct keys
+	ValueSize    int // bytes per value
+	// Warmup/Measure bound the measurement window.
+	Warmup, Measure time.Duration
+}
+
+// DefaultClientConfig returns Table 1's parameters.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Threads:      4,
+		ConnsPerThrd: 50,
+		SetRatio:     1,
+		GetRatio:     10,
+		KeySpace:     10000,
+		ValueSize:    1024,
+		Warmup:       20 * time.Millisecond,
+		Measure:      150 * time.Millisecond,
+	}
+}
+
+// Result summarises one benchmark run.
+type Result struct {
+	ResponsesPerSec float64
+	MeanLatency     time.Duration
+	StddevLatency   time.Duration
+	P99Latency      time.Duration
+	Responses       int
+}
+
+// RunClient drives the closed-loop load from clientNS against the server
+// at addr:port and reports Fig. 5/11/12 metrics.
+func RunClient(eng *sim.Engine, clientNS *netsim.NetNS, addr netsim.IPv4, port uint16, cfg ClientConfig) Result {
+	total := cfg.Threads * cfg.ConnsPerThrd
+	rng := eng.Rand().Fork()
+
+	start := eng.Now()
+	measureFrom := start + cfg.Warmup
+	measureTo := measureFrom + cfg.Measure
+
+	var lat sim.Series
+	responses := 0
+
+	period := cfg.SetRatio + cfg.GetRatio
+	for i := 0; i < total; i++ {
+		i := i
+		conn := clientNS.DialStream(addr, port, nil)
+		ops := 0
+		var issue func(c *netsim.StreamConn)
+		issue = func(c *netsim.StreamConn) {
+			if eng.Now() >= measureTo {
+				return
+			}
+			ops++
+			key := fmt.Sprintf("key:%d", rng.Intn(cfg.KeySpace))
+			// Interleave SETs at the configured ratio, offset per
+			// connection so they do not synchronise.
+			if (ops+i)%period < cfg.SetRatio {
+				val := make([]byte, cfg.ValueSize)
+				c.SendMessage(keyLen+cfg.ValueSize, request{op: Set, key: key, val: val})
+			} else {
+				c.SendMessage(getReqSize, request{op: Get, key: key})
+			}
+		}
+		conn.OnMessage = func(_ int, app interface{}, _ sim.Time) {
+			now := eng.Now()
+			if resp, ok := app.(response); ok && now >= measureFrom && now < measureTo {
+				responses++
+				lat.AddDuration(now - resp.reqAt)
+			}
+			issue(conn)
+		}
+		// The first operation is queued immediately; it flows once the
+		// handshake completes and its response starts the closed loop.
+		conn.SendMessage(getReqSize, request{op: Get, key: fmt.Sprintf("key:%d", rng.Intn(cfg.KeySpace))})
+	}
+
+	eng.RunUntil(measureTo)
+	res := Result{
+		Responses:       responses,
+		ResponsesPerSec: float64(responses) / cfg.Measure.Seconds(),
+		MeanLatency:     time.Duration(lat.Mean() * float64(time.Second)),
+		StddevLatency:   time.Duration(lat.Stddev() * float64(time.Second)),
+		P99Latency:      time.Duration(lat.Percentile(99) * float64(time.Second)),
+	}
+	return res
+}

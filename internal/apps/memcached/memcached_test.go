@@ -1,0 +1,103 @@
+package memcached
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+func pair() (*sim.Engine, *netsim.NetNS, *netsim.NetNS) {
+	eng := sim.New(11)
+	eng.MaxSteps = 500_000_000
+	w := netsim.NewNet(eng)
+	a := w.NewNS("client", netsim.NewCPU(eng, "client", 1, nil))
+	b := w.NewNS("server", netsim.NewCPU(eng, "server", 1, nil))
+	ia, ib := netsim.NewVethPair(a, "eth0", b, "eth0")
+	subnet := netsim.MustPrefix(netsim.IP(10, 0, 0, 0), 24)
+	ia.SetAddr(netsim.IP(10, 0, 0, 1), subnet)
+	ib.SetAddr(netsim.IP(10, 0, 0, 2), subnet)
+	return eng, a, b
+}
+
+func TestServerStoresAndServes(t *testing.T) {
+	eng, client, serverNS := pair()
+	srv, err := NewServer(serverNS, 11211)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []response
+	conn := client.DialStream(netsim.IP(10, 0, 0, 2), 11211, nil)
+	conn.OnMessage = func(_ int, app interface{}, _ sim.Time) {
+		got = append(got, app.(response))
+	}
+	conn.SendMessage(getReqSize, request{op: Get, key: "missing"})
+	conn.SendMessage(keyLen+100, request{op: Set, key: "k", val: make([]byte, 100)})
+	conn.SendMessage(getReqSize, request{op: Get, key: "k"})
+	eng.Run()
+
+	if len(got) != 3 {
+		t.Fatalf("responses = %d, want 3", len(got))
+	}
+	if got[0].hit {
+		t.Error("GET of missing key hit")
+	}
+	if !got[1].hit {
+		t.Error("SET not acknowledged")
+	}
+	if !got[2].hit || len(got[2].val) != 100 {
+		t.Errorf("GET after SET: hit=%v len=%d", got[2].hit, len(got[2].val))
+	}
+	if srv.Gets != 2 || srv.Sets != 1 || srv.Misses != 1 || srv.Len() != 1 {
+		t.Errorf("counters: gets=%d sets=%d misses=%d len=%d", srv.Gets, srv.Sets, srv.Misses, srv.Len())
+	}
+}
+
+func TestClientDrivesLoad(t *testing.T) {
+	eng, client, serverNS := pair()
+	srv, err := NewServer(serverNS, 11211)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClientConfig()
+	cfg.Threads = 2
+	cfg.ConnsPerThrd = 5
+	cfg.Warmup = 5 * time.Millisecond
+	cfg.Measure = 30 * time.Millisecond
+	res := RunClient(eng, client, netsim.IP(10, 0, 0, 2), 11211, cfg)
+
+	if res.Responses == 0 {
+		t.Fatal("no responses measured")
+	}
+	if res.ResponsesPerSec <= 0 || res.MeanLatency <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	// SET:GET ratio approximately 1:10.
+	ratio := float64(srv.Gets) / float64(srv.Sets)
+	if ratio < 7 || ratio > 14 {
+		t.Errorf("GET/SET ratio = %.1f, want ~10", ratio)
+	}
+	if srv.Len() == 0 {
+		t.Error("no keys stored")
+	}
+}
+
+func TestClientDeterministic(t *testing.T) {
+	run := func() Result {
+		eng, client, serverNS := pair()
+		if _, err := NewServer(serverNS, 11211); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultClientConfig()
+		cfg.Threads = 1
+		cfg.ConnsPerThrd = 4
+		cfg.Warmup = 2 * time.Millisecond
+		cfg.Measure = 10 * time.Millisecond
+		return RunClient(eng, client, netsim.IP(10, 0, 0, 2), 11211, cfg)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,97 @@
+package nginx
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+func pair() (*sim.Engine, *netsim.NetNS, *netsim.NetNS) {
+	eng := sim.New(13)
+	eng.MaxSteps = 500_000_000
+	w := netsim.NewNet(eng)
+	a := w.NewNS("client", netsim.NewCPU(eng, "client", 1, nil))
+	b := w.NewNS("server", netsim.NewCPU(eng, "server", 1, nil))
+	ia, ib := netsim.NewVethPair(a, "eth0", b, "eth0")
+	subnet := netsim.MustPrefix(netsim.IP(10, 0, 0, 0), 24)
+	ia.SetAddr(netsim.IP(10, 0, 0, 1), subnet)
+	ib.SetAddr(netsim.IP(10, 0, 0, 2), subnet)
+	return eng, a, b
+}
+
+func TestServerServesFile(t *testing.T) {
+	eng, client, serverNS := pair()
+	srv, err := NewServer(serverNS, 80, NativeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	var size int
+	conn := client.DialStream(netsim.IP(10, 0, 0, 2), 80, nil)
+	conn.OnMessage = func(n int, app interface{}, _ sim.Time) {
+		size = n
+		resp = app.(response)
+	}
+	conn.SendMessage(reqSize, request{path: "/index.html"})
+	eng.Run()
+	if resp.status != 200 || resp.size != 1024 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if size != 1024+respOverhead {
+		t.Fatalf("wire size = %d", size)
+	}
+	if srv.Requests != 1 {
+		t.Fatalf("Requests = %d", srv.Requests)
+	}
+}
+
+func TestConstantRateLoad(t *testing.T) {
+	eng, client, serverNS := pair()
+	if _, err := NewServer(serverNS, 80, NativeConfig()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClientConfig()
+	cfg.Conns = 20
+	cfg.RatePerSec = 5000
+	cfg.Warmup = 10 * time.Millisecond
+	cfg.Measure = 100 * time.Millisecond
+	res := RunClient(eng, client, netsim.IP(10, 0, 0, 2), 80, cfg)
+
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	// Open-loop: achieved rate should be close to offered.
+	if res.Achieved < cfg.RatePerSec*0.85 || res.Achieved > cfg.RatePerSec*1.15 {
+		t.Errorf("achieved %.0f req/s, offered %.0f", res.Achieved, cfg.RatePerSec)
+	}
+	if res.MeanLatency <= 0 || res.P99Latency < res.MeanLatency {
+		t.Errorf("bad latency stats: %+v", res)
+	}
+}
+
+func TestContainerProfileSlowerAndNoisier(t *testing.T) {
+	run := func(cfg ServerConfig) Result {
+		eng, client, serverNS := pair()
+		if _, err := NewServer(serverNS, 80, cfg); err != nil {
+			t.Fatal(err)
+		}
+		c := DefaultClientConfig()
+		c.Conns = 20
+		c.RatePerSec = 4000
+		c.Warmup = 10 * time.Millisecond
+		c.Measure = 100 * time.Millisecond
+		return RunClient(eng, client, netsim.IP(10, 0, 0, 2), 80, c)
+	}
+	native := run(NativeConfig())
+	ctr := run(ContainerConfig())
+	if ctr.MeanLatency <= native.MeanLatency {
+		t.Errorf("container profile (%v) not slower than native (%v)", ctr.MeanLatency, native.MeanLatency)
+	}
+	nativeCV := float64(native.StddevLatency) / float64(native.MeanLatency)
+	ctrCV := float64(ctr.StddevLatency) / float64(ctr.MeanLatency)
+	if ctrCV <= nativeCV {
+		t.Errorf("container latency CV (%.2f) not noisier than native (%.2f)", ctrCV, nativeCV)
+	}
+}

@@ -1,0 +1,36 @@
+package nginx
+
+import (
+	"nestless/internal/netsim"
+	"testing"
+	"time"
+)
+
+// TestOverloadLatencyExplodes documents the open-loop model: offering
+// more than the worker pool can serve makes wrk2-style (intended-time)
+// latency grow without bound, while a feasible rate stays near the
+// service time. This is the regime that separates the Fig. 13 solutions.
+func TestOverloadLatencyExplodes(t *testing.T) {
+	run := func(rate float64) Result {
+		eng, client, serverNS := pair()
+		cfg := ContainerConfig()
+		if _, err := NewServer(serverNS, 80, cfg); err != nil {
+			t.Fatal(err)
+		}
+		c := DefaultClientConfig()
+		c.Conns = 50
+		c.RatePerSec = rate
+		c.Warmup = 10 * time.Millisecond
+		c.Measure = 120 * time.Millisecond
+		return RunClient(eng, client, netsim.IP(10, 0, 0, 2), 80, c)
+	}
+	// Capacity ≈ Workers / E[service] ≈ 4 / 225µs ≈ 17.8k req/s.
+	ok := run(6000)
+	hot := run(30000)
+	if hot.MeanLatency < ok.MeanLatency*3 {
+		t.Fatalf("overload latency %v not far above feasible %v", hot.MeanLatency, ok.MeanLatency)
+	}
+	if ok.MeanLatency > 2*time.Millisecond {
+		t.Fatalf("feasible-rate latency implausibly high: %v", ok.MeanLatency)
+	}
+}

@@ -1,0 +1,99 @@
+// Package brfusion is the BrFusion CNI plugin (§3): instead of wiring a
+// pod to an in-VM bridge behind in-VM NAT, it asks the VMM (through the
+// core controller) to hot-plug a dedicated NIC for the pod, then — as
+// the orchestrator's in-VM agent — moves that NIC straight into the
+// pod's network namespace. The pod ends up with a first-class address on
+// the host bridge subnet: the in-VM network virtualization layer
+// disappears, which is the whole point.
+package brfusion
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/container"
+	"nestless/internal/core"
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/vmm"
+)
+
+// Agent timing: finding the hot-plugged interface by MAC, pushing it
+// into the pod namespace and configuring the address is a couple of
+// netlink round trips.
+const (
+	agentConfigMean   = 4 * time.Millisecond
+	agentConfigJitter = 1 * time.Millisecond
+)
+
+// Plugin provisions BrFusion networking for pods on one VM.
+type Plugin struct {
+	Ctrl *core.Controller
+	VM   *vmm.VM
+	// Bridge is the host-level networking domain pods join (§3.1 step 1
+	// lets the orchestrator pick a tenant-specific bridge).
+	Bridge string
+
+	devices map[*container.Container]string
+}
+
+// New returns the plugin for one (VM, host bridge) pair.
+func New(ctrl *core.Controller, vm *vmm.VM, bridge string) *Plugin {
+	return &Plugin{Ctrl: ctrl, VM: vm, Bridge: bridge, devices: make(map[*container.Container]string)}
+}
+
+// Name identifies the plugin.
+func (p *Plugin) Name() string { return "brfusion" }
+
+// Provision runs the four-step protocol for one pod sandbox. Published
+// ports are unnecessary — the pod's address is directly reachable on the
+// host bridge domain, with NAT only at the host level exactly as for a
+// VM — so they are ignored.
+func (p *Plugin) Provision(c *container.Container, _ []container.PortMap, done func(netsim.IPv4, error)) {
+	p.Ctrl.ProvisionPodNIC(p.VM, p.Bridge, func(info core.NICInfo, err error) {
+		if err != nil {
+			done(netsim.IPv4{}, err)
+			return
+		}
+		dev := p.VM.Devices()[info.DeviceID]
+		if dev == nil {
+			done(netsim.IPv4{}, fmt.Errorf("brfusion: device %s vanished", info.DeviceID))
+			return
+		}
+		ip, subnet, err := p.Ctrl.AllocPodIP(p.Bridge)
+		if err != nil {
+			done(netsim.IPv4{}, err)
+			return
+		}
+		// Step 4: the VM agent configures the NIC inside the VM and
+		// inserts it into the pod namespace.
+		rng := p.VM.Host.Eng.Rand()
+		d := time.Duration(rng.Normal(float64(agentConfigMean), float64(agentConfigJitter)))
+		if d < agentConfigMean/4 {
+			d = agentConfigMean / 4
+		}
+		p.VM.CPU.Run(cpuacct.Sys, d, func() {
+			iface := dev.NIC.Guest
+			if iface.NS != nil {
+				iface.NS.RemoveIface(iface.Name)
+			}
+			c.NS.AdoptIface(iface, "eth0")
+			iface.SetAddr(ip, subnet)
+			dev.NIC.SetGuestCPU(c.NS.CPU)
+			gw := p.Ctrl.Host().Bridge(p.Bridge).Iface().Addr
+			c.NS.AddRoute(netsim.Route{Dst: netsim.MustPrefix(netsim.IPv4{}, 0), Via: gw, Dev: "eth0"})
+			p.devices[c] = info.DeviceID
+			done(ip, nil)
+		})
+	})
+}
+
+// Release asks the VMM to unplug the pod's NIC.
+func (p *Plugin) Release(c *container.Container) {
+	id, ok := p.devices[c]
+	if !ok {
+		return
+	}
+	delete(p.devices, c)
+	p.Ctrl.ReleasePodNIC(p.VM, id, nil)
+}

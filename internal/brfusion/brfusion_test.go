@@ -1,0 +1,149 @@
+package brfusion
+
+import (
+	"testing"
+
+	"nestless/internal/container"
+	"nestless/internal/core"
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+	"nestless/internal/vmm"
+)
+
+var hostNet = netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24)
+
+type rig struct {
+	eng    *sim.Engine
+	net    *netsim.Net
+	host   *vmm.Host
+	vm     *vmm.VM
+	engine *container.Engine
+	plugin *Plugin
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.New(3)
+	eng.MaxSteps = 50_000_000
+	w := netsim.NewNet(eng)
+	h := vmm.NewHost(w)
+	h.AddBridge("virbr0", netsim.IP(192, 168, 122, 1), hostNet)
+	ctrl := core.NewController(h)
+	vm := h.CreateVM(vmm.VMConfig{Name: "node", VCPUs: 5, MemoryMB: 4096})
+	vm.PlugBridgeNIC("virbr0", hostNet.Host(10), hostNet)
+	e := container.NewEngine(container.Config{
+		Node: "node", Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,
+		EntityCPU: vm.EntityCPU, Uplink: "eth0",
+		Boot: container.FastBootProfile(),
+	})
+	e.Pull(container.Image{Name: "app"})
+	return &rig{eng: eng, net: w, host: h, vm: vm, engine: e, plugin: New(ctrl, vm, "virbr0")}
+}
+
+func (r *rig) runContainer(t *testing.T, name string) *container.Container {
+	t.Helper()
+	var ctr *container.Container
+	r.engine.Run(container.Spec{Name: name, Image: "app", Network: r.plugin}, func(c *container.Container, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr = c
+	})
+	r.eng.Run()
+	if ctr == nil {
+		t.Fatal("container never started")
+	}
+	return ctr
+}
+
+func TestProvisionMovesNICIntoPod(t *testing.T) {
+	r := newRig(t)
+	ctr := r.runContainer(t, "pod1")
+
+	// The pod owns a first-class address on the host bridge subnet.
+	if !hostNet.Contains(ctr.IP) {
+		t.Fatalf("pod IP %v not on the host bridge subnet", ctr.IP)
+	}
+	eth := ctr.NS.Iface("eth0")
+	if eth == nil {
+		t.Fatal("pod has no eth0")
+	}
+	if eth.Addr != ctr.IP {
+		t.Fatalf("iface addr %v != pod IP %v", eth.Addr, ctr.IP)
+	}
+	// The interface left the VM's root namespace entirely.
+	for _, i := range r.vm.NS.Ifaces() {
+		if i.MAC == eth.MAC {
+			t.Fatal("pod NIC still visible in the VM root namespace")
+		}
+	}
+}
+
+func TestPodTrafficBypassesVMStack(t *testing.T) {
+	r := newRig(t)
+	ctr := r.runContainer(t, "pod1")
+
+	var got int
+	if _, err := ctr.NS.BindUDP(80, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := r.host.NS.BindUDP(0, nil)
+	s.SendTo(ctr.IP, 80, 99, nil)
+	r.eng.Run()
+	if got != 99 {
+		t.Fatalf("pod received %d, want 99", got)
+	}
+	if r.vm.NS.Filter.Translations != 0 {
+		t.Error("pod traffic crossed the in-VM NAT")
+	}
+	// RX processing is billed to the pod's entity, not the VM kernel's
+	// soft time (the §5.2.3 effect).
+	if r.net.Acct.Usage("app/pod1").Of(cpuacct.Soft) == 0 {
+		t.Error("pod softirq work not billed to the pod entity")
+	}
+}
+
+func TestTwoPodsGetDistinctNICs(t *testing.T) {
+	r := newRig(t)
+	a := r.runContainer(t, "pod-a")
+	b := r.runContainer(t, "pod-b")
+	if a.IP == b.IP {
+		t.Fatal("pods share an address")
+	}
+	if a.NS.Iface("eth0").MAC == b.NS.Iface("eth0").MAC {
+		t.Fatal("pods share a MAC")
+	}
+	// Pods reach each other over the host bridge.
+	var got bool
+	if _, err := b.NS.BindUDP(9, func(p *netsim.Packet) { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.NS.BindUDP(0, nil)
+	s.SendTo(b.IP, 9, 10, nil)
+	r.eng.Run()
+	if !got {
+		t.Fatal("pod-to-pod traffic over the host bridge failed")
+	}
+}
+
+func TestReleaseUnplugsNIC(t *testing.T) {
+	r := newRig(t)
+	ctr := r.runContainer(t, "pod1")
+	devices := len(r.vm.Devices())
+	r.plugin.Release(ctr)
+	r.eng.Run()
+	if len(r.vm.Devices()) != devices-1 {
+		t.Fatalf("device count %d, want %d", len(r.vm.Devices()), devices-1)
+	}
+	// Double release is a no-op.
+	r.plugin.Release(ctr)
+	r.eng.Run()
+}
+
+func TestPluginName(t *testing.T) {
+	r := newRig(t)
+	if r.plugin.Name() != "brfusion" {
+		t.Fatalf("Name = %q", r.plugin.Name())
+	}
+}

@@ -1,0 +1,314 @@
+package cloudsim
+
+import (
+	"fmt"
+	"sort"
+
+	"nestless/internal/trace"
+)
+
+// item is one placed container.
+type item struct {
+	pod      string
+	cpu, mem float64
+}
+
+// vm is one bought instance with its contents.
+type vm struct {
+	typ     int
+	usedCPU float64
+	usedMem float64
+	items   []item
+}
+
+func (v *vm) freeCPU(c []VMType) float64 { return c[v.typ].RelCPU - v.usedCPU }
+func (v *vm) freeMem(c []VMType) float64 { return c[v.typ].RelMem - v.usedMem }
+
+// requestedFraction is the "most requested" score (§5.3.1): mean of the
+// requested CPU and memory fractions.
+func (v *vm) requestedFraction(c []VMType) float64 {
+	t := c[v.typ]
+	return (v.usedCPU/t.RelCPU + v.usedMem/t.RelMem) / 2
+}
+
+// waste is free capacity (the inverse), used by the Hostlo pass.
+func (v *vm) waste(c []VMType) float64 {
+	return v.freeCPU(c) + v.freeMem(c)
+}
+
+func (v *vm) place(it item) {
+	v.items = append(v.items, it)
+	v.usedCPU += it.cpu
+	v.usedMem += it.mem
+}
+
+func (v *vm) remove(i int) item {
+	it := v.items[i]
+	v.items = append(v.items[:i], v.items[i+1:]...)
+	v.usedCPU -= it.cpu
+	v.usedMem -= it.mem
+	return it
+}
+
+// fleet is a user's set of bought VMs.
+type fleet struct {
+	catalog []VMType
+	vms     []*vm
+}
+
+// cost prices the fleet per hour.
+func (f *fleet) cost() float64 {
+	var c float64
+	for _, v := range f.vms {
+		c += f.catalog[v.typ].PricePerH
+	}
+	return c
+}
+
+// clone deep-copies the fleet (for revertable optimisation passes).
+func (f *fleet) clone() *fleet {
+	nf := &fleet{catalog: f.catalog, vms: make([]*vm, len(f.vms))}
+	for i, v := range f.vms {
+		cp := *v
+		cp.items = append([]item(nil), v.items...)
+		nf.vms[i] = &cp
+	}
+	return nf
+}
+
+// shrink retypes every VM to the cheapest model that still holds its
+// contents and drops empty VMs.
+func (f *fleet) shrink() {
+	out := f.vms[:0]
+	for _, v := range f.vms {
+		if len(v.items) == 0 {
+			continue
+		}
+		if t := cheapestFitting(f.catalog, v.usedCPU, v.usedMem); t >= 0 {
+			v.typ = t
+		}
+		out = append(out, v)
+	}
+	f.vms = out
+}
+
+// ErrPodTooBig reports a pod that exceeds the largest machine under
+// whole-pod placement.
+type ErrPodTooBig struct{ Pod string }
+
+func (e ErrPodTooBig) Error() string {
+	return fmt.Sprintf("cloudsim: pod %s exceeds the largest VM", e.Pod)
+}
+
+// Policy selects the scheduler scoring for whole-pod placement.
+type Policy int
+
+// Scheduler policies: the paper simulates Kubernetes' "most requested"
+// grouping strategy; "least requested" (spreading) is the ablation.
+const (
+	MostRequested Policy = iota
+	LeastRequested
+)
+
+// packKubernetes runs the paper's baseline (steps 1–3): pods biggest
+// first; whole pod onto the most-requested VM that fits, otherwise buy
+// the cheapest type that fits the whole pod.
+func packKubernetes(user trace.User, catalog []VMType) (*fleet, error) {
+	return packKubernetesPolicy(user, catalog, MostRequested)
+}
+
+func packKubernetesPolicy(user trace.User, catalog []VMType, pol Policy) (*fleet, error) {
+	pods := append([]trace.Pod(nil), user.Pods...)
+	sort.SliceStable(pods, func(i, j int) bool {
+		return pods[i].TotalCPU()+pods[i].TotalMem() > pods[j].TotalCPU()+pods[j].TotalMem()
+	})
+	f := &fleet{catalog: catalog}
+	for _, p := range pods {
+		cpu, mem := p.TotalCPU(), p.TotalMem()
+		var best *vm
+		for _, v := range f.vms {
+			if v.freeCPU(catalog) >= cpu && v.freeMem(catalog) >= mem {
+				better := best == nil ||
+					(pol == MostRequested && v.requestedFraction(catalog) > best.requestedFraction(catalog)) ||
+					(pol == LeastRequested && v.requestedFraction(catalog) < best.requestedFraction(catalog))
+				if better {
+					best = v
+				}
+			}
+		}
+		if best == nil {
+			t := cheapestFitting(catalog, cpu, mem)
+			if t < 0 {
+				return nil, ErrPodTooBig{Pod: p.ID}
+			}
+			best = &vm{typ: t}
+			f.vms = append(f.vms, best)
+		}
+		for _, c := range p.Containers {
+			best.place(item{pod: p.ID, cpu: c.CPU, mem: c.Mem})
+		}
+	}
+	return f, nil
+}
+
+// improveHostlo runs the paper's step 4 on a Kubernetes packing: move
+// containers — smallest first — onto the VMs with the most wasted
+// resources, then shrink/drop VMs. Passes repeat while they reduce cost;
+// a pass that does not help is reverted, so the result never costs more
+// than the baseline.
+func improveHostlo(base *fleet) *fleet {
+	cur := base.clone()
+	cur.shrink()
+	if cur.cost() > base.cost() {
+		cur = base.clone()
+	}
+	for pass := 0; pass < 10; pass++ {
+		next := cur.clone()
+		moved := next.consolidate()
+		split := next.splitPass()
+		next.shrink()
+		if (!moved && !split) || next.cost() >= cur.cost() {
+			break
+		}
+		cur = next
+	}
+	// A final split attempt catches single-VM fleets (nothing to
+	// consolidate, but the pod may still be cheaper in pieces — the
+	// paper's §2 motivating example).
+	final := cur.clone()
+	if final.splitPass() {
+		final.shrink()
+		if final.cost() < cur.cost() {
+			cur = final
+		}
+	}
+	return cur
+}
+
+// splitPass replaces VMs whose contents re-pack into a strictly cheaper
+// combination of (typically smaller) models — the "shrinking the sizes
+// of VMs" half of the paper's step 4, which only container-level
+// placement makes possible. Reports whether any VM was replaced.
+func (f *fleet) splitPass() bool {
+	changed := false
+	for i := 0; i < len(f.vms); i++ {
+		v := f.vms[i]
+		if len(v.items) < 2 {
+			continue
+		}
+		sub := packContainersFFD(v.items, f.catalog)
+		if sub == nil || sub.cost() >= f.catalog[v.typ].PricePerH {
+			continue
+		}
+		// Replace v by the sub-fleet.
+		f.vms = append(f.vms[:i], f.vms[i+1:]...)
+		f.vms = append(f.vms, sub.vms...)
+		i--
+		changed = true
+	}
+	return changed
+}
+
+// packContainersFFD packs items container-by-container: biggest first,
+// most-requested existing VM that fits, else buy the cheapest fitting
+// type. Returns nil if some item fits no machine.
+func packContainersFFD(items []item, catalog []VMType) *fleet {
+	sorted := append([]item(nil), items...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return sorted[a].cpu+sorted[a].mem > sorted[b].cpu+sorted[b].mem
+	})
+	f := &fleet{catalog: catalog}
+	for _, it := range sorted {
+		var best *vm
+		for _, v := range f.vms {
+			if v.freeCPU(catalog) >= it.cpu && v.freeMem(catalog) >= it.mem {
+				if best == nil || v.requestedFraction(catalog) > best.requestedFraction(catalog) {
+					best = v
+				}
+			}
+		}
+		if best == nil {
+			t := cheapestFitting(catalog, it.cpu, it.mem)
+			if t < 0 {
+				return nil
+			}
+			best = &vm{typ: t}
+			f.vms = append(f.vms, best)
+		}
+		best.place(it)
+	}
+	// Shrink the sub-fleet so "cheapest fitting at purchase" does not
+	// leave oversized types behind.
+	f.shrink()
+	return f
+}
+
+// consolidate tries to eliminate or lighten VMs: candidates are visited
+// most-wasted first, and each of their containers — smallest first — is
+// relocated into the most-wasted *other* VM that fits (the paper's
+// "moving containers to the VMs that have the most wasted resources,
+// smallest containers first"). A candidate whose containers cannot all
+// be rehomed is left untouched. Reports whether anything moved.
+func (f *fleet) consolidate() bool {
+	order := make([]int, len(f.vms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.vms[order[a]].waste(f.catalog) > f.vms[order[b]].waste(f.catalog)
+	})
+
+	moved := false
+	for _, vi := range order {
+		src := f.vms[vi]
+		if len(src.items) == 0 {
+			continue
+		}
+		// Tentatively rehome every container, smallest first.
+		items := append([]item(nil), src.items...)
+		sort.SliceStable(items, func(a, b int) bool {
+			return items[a].cpu+items[a].mem < items[b].cpu+items[b].mem
+		})
+		type placement struct {
+			target *vm
+			it     item
+		}
+		var plan []placement
+		ok := true
+		for _, it := range items {
+			var best *vm
+			for _, t := range f.vms {
+				if t == src {
+					continue
+				}
+				if t.freeCPU(f.catalog) >= it.cpu && t.freeMem(f.catalog) >= it.mem {
+					if best == nil || t.waste(f.catalog) > best.waste(f.catalog) {
+						best = t
+					}
+				}
+			}
+			if best == nil {
+				ok = false
+				break
+			}
+			best.place(it)
+			plan = append(plan, placement{target: best, it: it})
+		}
+		if !ok {
+			// Revert tentative placements.
+			for _, p := range plan {
+				for i := range p.target.items {
+					if p.target.items[i] == p.it {
+						p.target.remove(i)
+						break
+					}
+				}
+			}
+			continue
+		}
+		src.items = nil
+		src.usedCPU, src.usedMem = 0, 0
+		moved = true
+	}
+	return moved
+}

@@ -1,0 +1,157 @@
+package cloudsim
+
+import (
+	"sort"
+
+	"nestless/internal/sim"
+	"nestless/internal/trace"
+)
+
+// UserResult prices one user's fleet both ways.
+type UserResult struct {
+	UserID         int
+	KubeCostPerH   float64
+	HostloCostPerH float64
+	KubeVMs        int
+	HostloVMs      int
+}
+
+// SavingsAbs returns dollars saved per hour.
+func (r UserResult) SavingsAbs() float64 { return r.KubeCostPerH - r.HostloCostPerH }
+
+// SavingsRel returns the relative cost reduction (0..1).
+func (r UserResult) SavingsRel() float64 {
+	if r.KubeCostPerH <= 0 {
+		return 0
+	}
+	return r.SavingsAbs() / r.KubeCostPerH
+}
+
+// SimulateUser prices one user under the paper's most-requested policy.
+func SimulateUser(u trace.User, catalog []VMType) (UserResult, error) {
+	return SimulateUserPolicy(u, catalog, MostRequested)
+}
+
+// SimulateUserPolicy prices one user under the given scheduler policy
+// (the scheduler-policy ablation).
+func SimulateUserPolicy(u trace.User, catalog []VMType, pol Policy) (UserResult, error) {
+	base, err := packKubernetesPolicy(u, catalog, pol)
+	if err != nil {
+		return UserResult{}, err
+	}
+	improved := improveHostlo(base)
+	return UserResult{
+		UserID:         u.ID,
+		KubeCostPerH:   base.cost(),
+		HostloCostPerH: improved.cost(),
+		KubeVMs:        len(base.vms),
+		HostloVMs:      len(improved.vms),
+	}, nil
+}
+
+// PopulationResult aggregates a user population (Fig. 9).
+type PopulationResult struct {
+	Users []UserResult
+}
+
+// Simulate prices every user; users whose pods exceed the largest VM are
+// skipped (cannot exist under whole-pod placement).
+func Simulate(users []trace.User, catalog []VMType) PopulationResult {
+	out := PopulationResult{}
+	for _, u := range users {
+		r, err := SimulateUser(u, catalog)
+		if err != nil {
+			continue
+		}
+		out.Users = append(out.Users, r)
+	}
+	return out
+}
+
+// SaversFraction returns the share of users with any savings — the
+// paper's "11.4% of the clients".
+func (p PopulationResult) SaversFraction() float64 {
+	if len(p.Users) == 0 {
+		return 0
+	}
+	n := 0
+	for _, u := range p.Users {
+		if u.SavingsAbs() > 1e-9 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Users))
+}
+
+// BigSaversFractionOfSavers returns, among savers, the share saving more
+// than 5 % — the paper's "66.7%".
+func (p PopulationResult) BigSaversFractionOfSavers() float64 {
+	savers, big := 0, 0
+	for _, u := range p.Users {
+		if u.SavingsAbs() > 1e-9 {
+			savers++
+			if u.SavingsRel() > 0.05 {
+				big++
+			}
+		}
+	}
+	if savers == 0 {
+		return 0
+	}
+	return float64(big) / float64(savers)
+}
+
+// MaxRelSavings returns the best relative saving — the paper's "about 40%".
+func (p PopulationResult) MaxRelSavings() float64 {
+	var m float64
+	for _, u := range p.Users {
+		if r := u.SavingsRel(); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// MaxAbsSavings returns the best $/h saving and that user's relative
+// saving — the paper's "237 $/h, which represents a 35% reduction".
+func (p PopulationResult) MaxAbsSavings() (dollarsPerH, rel float64) {
+	for _, u := range p.Users {
+		if a := u.SavingsAbs(); a > dollarsPerH {
+			dollarsPerH, rel = a, u.SavingsRel()
+		}
+	}
+	return dollarsPerH, rel
+}
+
+// SavingsHistogram buckets relative savings of savers into n bins over
+// (0, 1], Fig. 9's frequency axis.
+func (p PopulationResult) SavingsHistogram(n int) *sim.Histogram {
+	h := sim.NewHistogram(0, 1.0000001, n)
+	for _, u := range p.Users {
+		if u.SavingsAbs() > 1e-9 {
+			h.Add(u.SavingsRel())
+		}
+	}
+	return h
+}
+
+// TopSavers returns the k users with the highest relative savings.
+func (p PopulationResult) TopSavers(k int) []UserResult {
+	users := append([]UserResult(nil), p.Users...)
+	sort.SliceStable(users, func(a, b int) bool {
+		return users[a].SavingsRel() > users[b].SavingsRel()
+	})
+	if k > len(users) {
+		k = len(users)
+	}
+	return users[:k]
+}
+
+// TotalCosts sums population costs both ways.
+func (p PopulationResult) TotalCosts() (kube, hostlo float64) {
+	for _, u := range p.Users {
+		kube += u.KubeCostPerH
+		hostlo += u.HostloCostPerH
+	}
+	return kube, hostlo
+}

@@ -1,0 +1,108 @@
+// Package cni is the simulator's Container Network Interface layer: the
+// pluggable boundary through which the orchestrator provides networking
+// to pods (§3.2: "extending the Kubernetes orchestrator ... is easily
+// done with a Container Network Interface plugin").
+//
+// A plugin is a container.Provisioner with a registered name. The
+// registry lets nodes select networks by name, and Chain composes a
+// primary connectivity plugin with secondary attachments (the Hostlo
+// endpoint rides alongside the pod's normal network).
+package cni
+
+import (
+	"fmt"
+	"sort"
+
+	"nestless/internal/container"
+	"nestless/internal/netsim"
+)
+
+// Plugin is a named pod-network provisioner.
+type Plugin = container.Provisioner
+
+// Registry maps plugin names to implementations for one node.
+type Registry struct {
+	plugins map[string]Plugin
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{plugins: make(map[string]Plugin)}
+}
+
+// Register adds a plugin. Re-registering a name replaces it.
+func (r *Registry) Register(p Plugin) {
+	r.plugins[p.Name()] = p
+}
+
+// Lookup returns the named plugin.
+func (r *Registry) Lookup(name string) (Plugin, error) {
+	p, ok := r.plugins[name]
+	if !ok {
+		return nil, fmt.Errorf("cni: no plugin %q (have %v)", name, r.Names())
+	}
+	return p, nil
+}
+
+// Names lists registered plugin names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.plugins))
+	for n := range r.plugins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Chain composes plugins: the first provides the pod's primary
+// connectivity (its result IP becomes the pod IP), the rest attach
+// secondary interfaces. Provision fails fast on the first error.
+type Chain struct {
+	Plugins []Plugin
+}
+
+// Name identifies the chain.
+func (c *Chain) Name() string {
+	n := "chain("
+	for i, p := range c.Plugins {
+		if i > 0 {
+			n += ","
+		}
+		n += p.Name()
+	}
+	return n + ")"
+}
+
+// Provision runs every plugin in order.
+func (c *Chain) Provision(ctr *container.Container, ports []container.PortMap, done func(netsim.IPv4, error)) {
+	if len(c.Plugins) == 0 {
+		done(netsim.IPv4{}, fmt.Errorf("cni: empty chain"))
+		return
+	}
+	var primary netsim.IPv4
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(c.Plugins) {
+			done(primary, nil)
+			return
+		}
+		c.Plugins[i].Provision(ctr, ports, func(ip netsim.IPv4, err error) {
+			if err != nil {
+				done(netsim.IPv4{}, fmt.Errorf("cni: plugin %s: %w", c.Plugins[i].Name(), err))
+				return
+			}
+			if i == 0 {
+				primary = ip
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// Release tears down in reverse order.
+func (c *Chain) Release(ctr *container.Container) {
+	for i := len(c.Plugins) - 1; i >= 0; i-- {
+		c.Plugins[i].Release(ctr)
+	}
+}

@@ -1,0 +1,93 @@
+package cni
+
+import (
+	"errors"
+	"testing"
+
+	"nestless/internal/container"
+	"nestless/internal/netsim"
+)
+
+// fakePlugin records calls.
+type fakePlugin struct {
+	name     string
+	ip       netsim.IPv4
+	err      error
+	adds     int
+	releases int
+}
+
+func (f *fakePlugin) Name() string { return f.name }
+func (f *fakePlugin) Provision(_ *container.Container, _ []container.PortMap, done func(netsim.IPv4, error)) {
+	f.adds++
+	done(f.ip, f.err)
+}
+func (f *fakePlugin) Release(_ *container.Container) { f.releases++ }
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlugin{name: "bridge-nat"}
+	r.Register(p)
+	got, err := r.Lookup("bridge-nat")
+	if err != nil || got != Plugin(p) {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Fatal("missing plugin found")
+	}
+	r.Register(&fakePlugin{name: "brfusion"})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "brfusion" || names[1] != "bridge-nat" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestChainRunsInOrderAndReturnsPrimaryIP(t *testing.T) {
+	primary := &fakePlugin{name: "primary", ip: netsim.IP(10, 0, 0, 1)}
+	secondary := &fakePlugin{name: "secondary", ip: netsim.IP(169, 254, 0, 1)}
+	c := &Chain{Plugins: []Plugin{primary, secondary}}
+
+	var got netsim.IPv4
+	c.Provision(nil, nil, func(ip netsim.IPv4, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = ip
+	})
+	if got != primary.ip {
+		t.Fatalf("chain returned %v, want primary %v", got, primary.ip)
+	}
+	if primary.adds != 1 || secondary.adds != 1 {
+		t.Fatal("not all plugins ran")
+	}
+	if c.Name() != "chain(primary,secondary)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	c.Release(nil)
+	if primary.releases != 1 || secondary.releases != 1 {
+		t.Fatal("release did not reach all plugins")
+	}
+}
+
+func TestChainStopsOnError(t *testing.T) {
+	bad := &fakePlugin{name: "bad", err: errors.New("boom")}
+	after := &fakePlugin{name: "after"}
+	c := &Chain{Plugins: []Plugin{bad, after}}
+	var gotErr error
+	c.Provision(nil, nil, func(_ netsim.IPv4, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Fatal("chain swallowed the error")
+	}
+	if after.adds != 0 {
+		t.Fatal("chain continued past the failure")
+	}
+}
+
+func TestEmptyChainErrors(t *testing.T) {
+	c := &Chain{}
+	var gotErr error
+	c.Provision(nil, nil, func(_ netsim.IPv4, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Fatal("empty chain accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package container
+
+import (
+	"nestless/internal/netsim"
+)
+
+// bridgeNAT is the engine's default network: a veth pair onto docker0,
+// an address from the bridge subnet, a default route through the bridge
+// gateway, MASQUERADE for egress (installed once at engine start) and a
+// DNAT rule per published port. This is the in-VM half of the paper's
+// "duplicate network virtualization" — the layer BrFusion removes.
+type bridgeNAT struct {
+	e *Engine
+}
+
+// Name identifies the provisioner.
+func (p *bridgeNAT) Name() string { return "bridge-nat" }
+
+// Provision pays the veth + bridge + iptables setup time, then wires the
+// namespace.
+func (p *bridgeNAT) Provision(c *Container, ports []PortMap, done func(netsim.IPv4, error)) {
+	e := p.e
+	steps := []bootStep{vethCreateStep, bridgeAttachStep, ifaceConfigStep}
+	// One iptables invocation for the per-container MASQUERADE return
+	// rule, plus one per published port.
+	for i := 0; i < 1+len(ports); i++ {
+		steps = append(steps, iptablesRuleStep)
+	}
+	e.stepRunner(c, steps, func() {
+		ip := e.allocIP()
+		ctrEnd, nodeEnd := netsim.NewVethPair(c.NS, "eth0", e.cfg.NS, "veth-"+c.Name)
+		ctrEnd.SetAddr(ip, e.briNet)
+		e.bridge.AddPort(nodeEnd)
+		c.NS.AddRoute(netsim.Route{
+			Dst: netsim.MustPrefix(netsim.IPv4{}, 0),
+			Via: e.bridge.Iface().Addr,
+			Dev: "eth0",
+		})
+		for _, pm := range ports {
+			e.cfg.NS.Filter.AddDNAT(netsim.DNATRule{
+				Proto:   pm.Proto,
+				DstPort: pm.NodePort,
+				ToIP:    ip,
+				ToPort:  pm.CtrPort,
+			})
+		}
+		done(ip, nil)
+	})()
+}
+
+// Release detaches the container's veth from the bridge.
+func (p *bridgeNAT) Release(c *Container) {
+	e := p.e
+	if nodeEnd := e.cfg.NS.Iface("veth-" + c.Name); nodeEnd != nil {
+		e.bridge.RemovePort(nodeEnd)
+		e.cfg.NS.RemoveIface(nodeEnd.Name)
+	}
+	if ctrEnd := c.NS.Iface("eth0"); ctrEnd != nil {
+		c.NS.RemoveIface("eth0")
+	}
+}

@@ -1,0 +1,264 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+// node is a minimal stand-in for a VM hosting the engine.
+type node struct {
+	eng *sim.Engine
+	net *netsim.Net
+	ns  *netsim.NetNS
+	cpu *netsim.CPU
+}
+
+func newNode() *node {
+	eng := sim.New(1)
+	eng.MaxSteps = 20_000_000
+	w := netsim.NewNet(eng)
+	cpu := netsim.NewCPU(eng, "node", 1, netsim.BillTo(w.Acct, "guest/node", "vm/node"))
+	ns := w.NewNS("node", cpu)
+	ns.Forward = true
+	// Give the node an uplink so masquerade has an egress device.
+	up := ns.AddIface("eth0", w.NewMAC(), w.Costs.EthMTU)
+	up.SetAddr(netsim.IP(192, 168, 122, 10), netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24))
+	up.Up = true
+	return &node{eng: eng, net: w, ns: ns, cpu: cpu}
+}
+
+func (n *node) engine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(Config{
+		Node: "node", Eng: n.eng, Net: n.net, NS: n.ns, CPU: n.cpu,
+		EntityCPU: func(entity string) *netsim.CPU {
+			return &netsim.CPU{Eng: n.eng, Station: n.cpu.Station, Bill: netsim.BillTo(n.net.Acct, entity, "vm/node")}
+		},
+		Uplink: "eth0",
+		Boot:   FastBootProfile(),
+	})
+	e.Pull(Image{Name: "app", SizeMB: 120})
+	e.Pull(Image{Name: "pause", SizeMB: 1})
+	return e
+}
+
+func TestRunContainerLifecycle(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var got *Container
+	e.Run(Spec{Name: "web", Image: "app"}, func(c *Container, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = c
+	})
+	n.eng.Run()
+	if got == nil {
+		t.Fatal("container never became ready")
+	}
+	if got.State != Running {
+		t.Fatalf("state = %v, want running", got.State)
+	}
+	if got.IP.IsZero() {
+		t.Fatal("no IP assigned")
+	}
+	if got.ReadyAt <= got.CreatedAt {
+		t.Fatal("start-up consumed no time")
+	}
+	if e.Containers()["web"] != got {
+		t.Fatal("registry wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var err1 error
+	e.Run(Spec{Name: "x", Image: "missing"}, func(_ *Container, err error) { err1 = err })
+	if err1 == nil {
+		t.Fatal("missing image accepted")
+	}
+	e.Run(Spec{Name: "dup", Image: "app"}, nil2)
+	var err2 error
+	e.Run(Spec{Name: "dup", Image: "app"}, func(_ *Container, err error) { err2 = err })
+	if err2 == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func nil2(*Container, error) {}
+
+func TestContainerReachableViaNAT(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var ctr *Container
+	e.Run(Spec{
+		Name: "web", Image: "app",
+		Ports: []PortMap{{Proto: netsim.ProtoUDP, NodePort: 8080, CtrPort: 80}},
+	}, func(c *Container, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr = c
+	})
+	n.eng.Run()
+
+	var gotReq bool
+	if _, err := ctr.NS.BindUDP(80, func(p *netsim.Packet) {
+		gotReq = true
+		ctr.NS.Iface("eth0").NS.Net.Eng.Now() // no-op touch
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A peer on the node's subnet hits the published port.
+	peerCPU := netsim.NewCPU(n.eng, "peer", 1, nil)
+	peer := n.net.NewNS("peer", peerCPU)
+	pi, ni := netsim.NewVethPair(peer, "eth0", n.ns, "peer0")
+	peerNet := netsim.MustPrefix(netsim.IP(10, 50, 0, 0), 24)
+	pi.SetAddr(netsim.IP(10, 50, 0, 2), peerNet)
+	ni.SetAddr(netsim.IP(10, 50, 0, 1), peerNet)
+	peer.AddRoute(netsim.Route{Dst: netsim.MustPrefix(netsim.IPv4{}, 0), Via: netsim.IP(10, 50, 0, 1), Dev: "eth0"})
+	ps, _ := peer.BindUDP(0, nil)
+	ps.SendTo(netsim.IP(10, 50, 0, 1), 8080, 44, nil)
+	n.eng.Run()
+	if !gotReq {
+		t.Fatal("published port did not reach the container")
+	}
+}
+
+func TestContainerEgressMasqueraded(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var ctr *Container
+	e.Run(Spec{Name: "web", Image: "app"}, func(c *Container, err error) { ctr = c })
+	n.eng.Run()
+
+	// Outside host on the node's uplink subnet.
+	outCPU := netsim.NewCPU(n.eng, "out", 1, nil)
+	out := n.net.NewNS("out", outCPU)
+	oi := out.AddIface("eth0", n.net.NewMAC(), 1500)
+	oi.SetAddr(netsim.IP(192, 168, 122, 1), netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24))
+	netsim.ConnectVeth(oi, n.ns.Iface("eth0")) // node uplink to outside
+
+	var seen netsim.IPv4
+	if _, err := out.BindUDP(53, func(p *netsim.Packet) { seen = p.Src }); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := ctr.NS.BindUDP(0, nil)
+	cs.SendTo(netsim.IP(192, 168, 122, 1), 53, 10, nil)
+	n.eng.Run()
+	if seen != netsim.IP(192, 168, 122, 10) {
+		t.Fatalf("outside saw %v, want node address (masqueraded)", seen)
+	}
+}
+
+func TestPodSandboxSharing(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var sandbox *Container
+	e.RunSandbox("pod1", "app/pod1", nil, nil, func(c *Container, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sandbox = c
+	})
+	n.eng.Run()
+	var member *Container
+	e.Run(Spec{Name: "pod1-app", Image: "app", JoinPod: sandbox}, func(c *Container, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		member = c
+	})
+	n.eng.Run()
+	if member.NS != sandbox.NS {
+		t.Fatal("joined container has a different namespace")
+	}
+	// Intra-pod localhost works.
+	var got bool
+	if _, err := sandbox.NS.BindUDP(9999, func(p *netsim.Packet) { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := member.NS.BindUDP(0, nil)
+	ms.SendTo(netsim.IP(127, 0, 0, 1), 9999, 5, nil)
+	n.eng.Run()
+	if !got {
+		t.Fatal("pod-localhost delivery failed")
+	}
+}
+
+func TestStopReleasesNetwork(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var ctr *Container
+	e.Run(Spec{Name: "web", Image: "app"}, func(c *Container, err error) { ctr = c })
+	n.eng.Run()
+	ports := len(e.Bridge().Ports())
+	if err := e.Stop("web"); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Bridge().Ports()) != ports-1 {
+		t.Fatal("veth not detached from bridge")
+	}
+	if err := e.Stop("web"); err == nil {
+		t.Fatal("double stop succeeded")
+	}
+	_ = ctr
+}
+
+func TestBootTimeDistributionVaries(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	var durations []time.Duration
+	for i := 0; i < 20; i++ {
+		name := "c" + string(rune('a'+i))
+		start := n.eng.Now()
+		e.Run(Spec{Name: name, Image: "app"}, func(c *Container, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			durations = append(durations, n.eng.Now()-start)
+		})
+		n.eng.Run()
+	}
+	if len(durations) != 20 {
+		t.Fatalf("only %d boots completed", len(durations))
+	}
+	allSame := true
+	for _, d := range durations[1:] {
+		if d != durations[0] {
+			allSame = false
+		}
+		if d <= 0 {
+			t.Fatal("non-positive boot duration")
+		}
+	}
+	if allSame {
+		t.Fatal("boot times show no jitter")
+	}
+}
+
+func TestBootBillsCPUTime(t *testing.T) {
+	n := newNode()
+	e := n.engine(t)
+	e.Run(Spec{Name: "web", Image: "app"}, nil2)
+	n.eng.Run()
+	if n.net.Acct.Usage("guest/node").Of(cpuacct.Sys) == 0 {
+		t.Fatal("boot work billed no node CPU")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Created: "created", Starting: "starting", Running: "running", Stopped: "stopped"} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown state name")
+	}
+}

@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"fmt"
+
+	"nestless/internal/container"
+	"nestless/internal/kube"
+	"nestless/internal/netsim"
+	"nestless/internal/report"
+	"nestless/internal/scenario"
+	"nestless/internal/sim"
+)
+
+// BootSamples measures container start-up the way the paper defines it
+// (§5.2.4): "the duration between ordering Docker to create the
+// container, and the container sending a message through a TCP socket".
+// It runs `runs` boots per solution (the paper uses 100) on a fresh
+// node, dialing a host-side listener from inside the new pod, and
+// returns the per-run durations in seconds.
+func BootSamples(o Opts, mode scenario.Mode, runs int) *sim.Series {
+	sc, err := scenario.NewServerClient(o.Seed, scenario.ModeNoCont)
+	if err != nil {
+		panic(err)
+	}
+	// Real boot timing for this experiment (scenarios default to the
+	// fast profile for the traffic benchmarks).
+	node := sc.Cluster.Nodes()[0]
+	setBootProfile(node, container.DefaultBootProfile())
+
+	// Host-side readiness listener.
+	const readyPort = 19000
+	ready := make(map[uint64]bool)
+	if _, err := sc.Host.NS.ListenStream(readyPort, func(c *netsim.StreamConn) {
+		c.OnMessage = func(_ int, app interface{}, _ sim.Time) {
+			if id, ok := app.(uint64); ok {
+				ready[id] = true
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	var samples sim.Series
+	for run := 0; run < runs; run++ {
+		name := fmt.Sprintf("boot-%s-%d", mode, run)
+		started := sc.Eng.Now()
+		id := uint64(run + 1)
+
+		spec := kube.PodSpec{
+			Name:       name,
+			Containers: []kube.ContainerSpec{{Name: "app", Image: "app", CPU: 0.05, MemMB: 32}},
+		}
+		if mode == scenario.ModeBrFusion {
+			spec.Network = "brfusion"
+		}
+		var finished sim.Time
+		sc.Cluster.Deploy(spec, func(pod *kube.Pod, err error) {
+			if err != nil {
+				panic(err)
+			}
+			// Entrypoint is up: speak TCP through the pod's network.
+			ns := pod.Parts[0].Sandbox.NS
+			conn := ns.DialStream(scenario.HostGateway, readyPort, nil)
+			conn.OnMessage = nil
+			conn.SendMessage(16, id)
+		})
+		// Run until the readiness message lands.
+		sc.Eng.RunWhile(func() bool { return !ready[id] })
+		if !ready[id] {
+			panic("figures: boot readiness message never arrived")
+		}
+		finished = sc.Eng.Now()
+		samples.AddDuration(finished - started)
+		// Tear down to keep the node empty for the next run.
+		if err := sc.Cluster.Delete(name); err != nil {
+			panic(err)
+		}
+		sc.Eng.Run()
+	}
+	return &samples
+}
+
+// Fig8 reproduces the container start-up comparison (§5.2.4): summary
+// statistics plus a CDF table for NAT (vanilla Docker) and BrFusion.
+func Fig8(o Opts, runs int) (stats, cdf *report.Table) {
+	if runs <= 0 {
+		runs = 100
+	}
+	if o.Quick {
+		runs = 20
+	}
+	nat := BootSamples(o, scenario.ModeNAT, runs)
+	brf := BootSamples(o, scenario.ModeBrFusion, runs)
+
+	stats = report.New("Fig. 8b — container start-up statistics (ms)",
+		"solution", "min", "p25", "median", "p75", "max", "mean", "stddev")
+	for _, row := range []struct {
+		name string
+		s    *sim.Series
+	}{{"nat", nat}, {"brfusion", brf}} {
+		ms := func(v float64) float64 { return v * 1e3 }
+		stats.AddRow(row.name,
+			ms(row.s.Min()), ms(row.s.Percentile(25)), ms(row.s.Median()),
+			ms(row.s.Percentile(75)), ms(row.s.Max()), ms(row.s.Mean()), ms(row.s.Stddev()))
+	}
+
+	cdf = report.New("Fig. 8a — start-up time CDF (ms)",
+		"fraction", "nat_ms", "brfusion_ms")
+	steps := 20
+	for i := 1; i <= steps; i++ {
+		p := float64(i) / float64(steps) * 100
+		cdf.AddRow(p/100, nat.Percentile(p)*1e3, brf.Percentile(p)*1e3)
+	}
+	return stats, cdf
+}
+
+// setBootProfile swaps the node engine's boot profile. Engines embed the
+// profile at construction; the scenario builder exposes the node so the
+// boot experiment can opt into realistic timings.
+func setBootProfile(node *kube.Node, p container.BootProfile) {
+	node.Engine.SetBootProfile(p)
+}

@@ -1,0 +1,187 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§5) from the simulated stack. Each Fig* function builds
+// fresh scenarios, runs the corresponding workload, and returns
+// report.Tables whose rows mirror the series the paper plots. The
+// cmd/ binaries and the repository benchmarks are thin wrappers around
+// this package, so "the figure" is computed exactly one way.
+package figures
+
+import (
+	"time"
+
+	"nestless/internal/netperf"
+	"nestless/internal/report"
+	"nestless/internal/scenario"
+)
+
+// Opts tunes a figure run.
+type Opts struct {
+	// Seed drives all randomness; same seed, same tables.
+	Seed int64
+	// Quick shrinks measurement windows (used by tests); the shapes
+	// survive, absolute precision drops.
+	Quick bool
+}
+
+// DefaultOpts is the standard configuration.
+func DefaultOpts() Opts { return Opts{Seed: 42} }
+
+func (o Opts) streamWindow() (warmup, dur time.Duration) {
+	if o.Quick {
+		return 10 * time.Millisecond, 40 * time.Millisecond
+	}
+	return 30 * time.Millisecond, 120 * time.Millisecond
+}
+
+func (o Opts) rrWindow() time.Duration {
+	if o.Quick {
+		return 30 * time.Millisecond
+	}
+	return 100 * time.Millisecond
+}
+
+// Fig2 reproduces the motivation measurement (§2, Fig. 2): nested (NAT)
+// versus single-level (NoCont) at 1280 B.
+func Fig2(o Opts) *report.Table {
+	t := report.New("Fig. 2 — nested vs single-level virtualization (1280 B)",
+		"solution", "throughput_mbps", "rr_latency_us", "rr_stddev_us")
+	for _, mode := range []scenario.Mode{scenario.ModeNAT, scenario.ModeNoCont} {
+		tp, rr := measureServerClient(o, mode, 1280)
+		t.AddRow(string(mode), tp.ThroughputMbps,
+			float64(rr.MeanRTT)/1e3, float64(rr.StddevRTT)/1e3)
+	}
+	return t
+}
+
+// Fig4 reproduces the BrFusion micro-benchmark (§5.2.1): TCP_STREAM
+// throughput and UDP_RR latency over message sizes for NAT, BrFusion and
+// NoCont.
+func Fig4(o Opts) (throughput, latency *report.Table) {
+	modes := []scenario.Mode{scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont}
+	throughput = report.New("Fig. 4a — TCP_STREAM throughput (Mbps)",
+		"msg_size", "nat", "brfusion", "nocont")
+	latency = report.New("Fig. 4b — UDP_RR latency (µs, mean±sd)",
+		"msg_size", "nat", "nat_sd", "brfusion", "brfusion_sd", "nocont", "nocont_sd")
+
+	sizes := netperf.Sizes
+	rrSizes := netperf.RRSizes
+	if o.Quick {
+		sizes = []int{256, 1280, 8192}
+		rrSizes = []int{256, 1280}
+	}
+	for _, size := range sizes {
+		row := []interface{}{size}
+		for _, m := range modes {
+			tp, _ := measureStreamOnly(o, m, size)
+			row = append(row, tp.ThroughputMbps)
+		}
+		throughput.AddRow(row...)
+	}
+	for _, size := range rrSizes {
+		row := []interface{}{size}
+		for _, m := range modes {
+			rr := measureRROnly(o, m, size)
+			row = append(row, float64(rr.MeanRTT)/1e3, float64(rr.StddevRTT)/1e3)
+		}
+		latency.AddRow(row...)
+	}
+	return throughput, latency
+}
+
+// measureServerClient runs both micro modes against one fresh scenario.
+func measureServerClient(o Opts, mode scenario.Mode, size int) (netperf.StreamResult, netperf.RRResult) {
+	sc, err := scenario.NewServerClient(o.Seed, mode, 5001, 7001)
+	if err != nil {
+		panic(err)
+	}
+	warm, dur := o.streamWindow()
+	tp := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 5001, MsgSize: size,
+		Warmup: warm, Duration: dur,
+	})
+	rr := netperf.RunUDPRR(sc.Eng, netperf.RRConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 7001, MsgSize: size,
+		Duration: o.rrWindow(),
+	})
+	return tp, rr
+}
+
+func measureStreamOnly(o Opts, mode scenario.Mode, size int) (netperf.StreamResult, *scenario.ServerClient) {
+	sc, err := scenario.NewServerClient(o.Seed, mode, 5001)
+	if err != nil {
+		panic(err)
+	}
+	warm, dur := o.streamWindow()
+	tp := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 5001, MsgSize: size,
+		Warmup: warm, Duration: dur,
+	})
+	return tp, sc
+}
+
+func measureRROnly(o Opts, mode scenario.Mode, size int) netperf.RRResult {
+	sc, err := scenario.NewServerClient(o.Seed, mode, 7001)
+	if err != nil {
+		panic(err)
+	}
+	return netperf.RunUDPRR(sc.Eng, netperf.RRConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 7001, MsgSize: size,
+		Duration: o.rrWindow(),
+	})
+}
+
+// Fig10 reproduces the Hostlo micro-benchmark (§5.3.2): throughput and
+// latency over message sizes for NAT, Overlay, Hostlo and SameNode
+// container-to-container transports.
+func Fig10(o Opts) (throughput, latency *report.Table) {
+	modes := []scenario.CCMode{scenario.CCSameNode, scenario.CCHostlo, scenario.CCNAT, scenario.CCOverlay}
+	throughput = report.New("Fig. 10a — intra-pod TCP_STREAM throughput (Mbps)",
+		"msg_size", "samenode", "hostlo", "nat", "overlay")
+	latency = report.New("Fig. 10b — intra-pod UDP_RR latency (µs, mean±sd)",
+		"msg_size", "samenode", "sn_sd", "hostlo", "hl_sd", "nat", "nat_sd", "overlay", "ov_sd")
+
+	sizes := netperf.Sizes
+	rrSizes := netperf.RRSizes
+	if o.Quick {
+		sizes = []int{256, 1024, 8192}
+		rrSizes = []int{256, 1024}
+	}
+	for _, size := range sizes {
+		row := []interface{}{size}
+		for _, m := range modes {
+			pp, err := scenario.NewPodPair(o.Seed, m, 5001)
+			if err != nil {
+				panic(err)
+			}
+			warm, dur := o.streamWindow()
+			tp := netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
+				Client: pp.ANS, Server: pp.BNS,
+				DialAddr: pp.DialAddr, Port: 5001, MsgSize: size,
+				Warmup: warm, Duration: dur,
+			})
+			row = append(row, tp.ThroughputMbps)
+		}
+		throughput.AddRow(row...)
+	}
+	for _, size := range rrSizes {
+		row := []interface{}{size}
+		for _, m := range modes {
+			pp, err := scenario.NewPodPair(o.Seed, m, 7001)
+			if err != nil {
+				panic(err)
+			}
+			rr := netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
+				Client: pp.ANS, Server: pp.BNS,
+				DialAddr: pp.DialAddr, Port: 7001, MsgSize: size,
+				Duration: o.rrWindow(),
+			})
+			row = append(row, float64(rr.MeanRTT)/1e3, float64(rr.StddevRTT)/1e3)
+		}
+		latency.AddRow(row...)
+	}
+	return throughput, latency
+}

@@ -1,0 +1,257 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nestless/internal/scenario"
+)
+
+var quick = Opts{Seed: 42, Quick: true}
+
+// cell parses a table cell as float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2TableShape(t *testing.T) {
+	tab := Fig2(quick)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	natT := cell(t, tab.Rows[0][1])
+	ncT := cell(t, tab.Rows[1][1])
+	if natT >= ncT {
+		t.Errorf("NAT throughput %v not below NoCont %v", natT, ncT)
+	}
+	natL := cell(t, tab.Rows[0][2])
+	ncL := cell(t, tab.Rows[1][2])
+	if natL <= ncL {
+		t.Errorf("NAT latency %v not above NoCont %v", natL, ncL)
+	}
+}
+
+func TestFig4Tables(t *testing.T) {
+	tput, lat := Fig4(quick)
+	if len(tput.Rows) == 0 || len(lat.Rows) == 0 {
+		t.Fatal("empty tables")
+	}
+	for _, r := range tput.Rows {
+		nat, brf, nc := cell(t, r[1]), cell(t, r[2]), cell(t, r[3])
+		if nat >= brf {
+			t.Errorf("size %s: NAT %v not below BrFusion %v", r[0], nat, brf)
+		}
+		if brf < nc*0.9 || brf > nc*1.1 {
+			t.Errorf("size %s: BrFusion %v not within 10%% of NoCont %v", r[0], brf, nc)
+		}
+	}
+	// Throughput grows with message size for every solution.
+	first, last := tput.Rows[0], tput.Rows[len(tput.Rows)-1]
+	for col := 1; col <= 3; col++ {
+		if cell(t, last[col]) <= cell(t, first[col]) {
+			t.Errorf("column %d did not scale with message size", col)
+		}
+	}
+}
+
+func TestFig5MacroOrdering(t *testing.T) {
+	tab := Fig5(quick)
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 apps × 3 modes)", len(tab.Rows))
+	}
+	// Index rows by app+mode.
+	lat := map[string]float64{}
+	for _, r := range tab.Rows {
+		lat[r[0]+"/"+r[1]] = cell(t, r[4])
+	}
+	// BrFusion improves on NAT for every app (Fig. 5's claim).
+	for _, app := range []string{"memcached", "nginx", "kafka"} {
+		if lat[app+"/brfusion"] >= lat[app+"/nat"] {
+			t.Errorf("%s: BrFusion latency %.1f not below NAT %.1f",
+				app, lat[app+"/brfusion"], lat[app+"/nat"])
+		}
+	}
+	// NGINX stays far above NoCont even with BrFusion (§5.2.2: the
+	// overhead is the software itself).
+	if lat["nginx/brfusion"] < lat["nginx/nocont"]*1.3 {
+		t.Errorf("nginx BrFusion %.1f should remain well above NoCont %.1f",
+			lat["nginx/brfusion"], lat["nginx/nocont"])
+	}
+}
+
+func TestFig6SoftIRQReduction(t *testing.T) {
+	tab := Fig6(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	soft := map[string]float64{}
+	for _, r := range tab.Rows {
+		soft[r[0]] = cell(t, r[3])
+	}
+	// BrFusion cuts the in-VM softirq time sharply versus NAT (§5.2.3:
+	// −67% for Kafka).
+	if soft["brfusion"] >= soft["nat"]*0.6 {
+		t.Errorf("BrFusion soft %.4f not well below NAT %.4f", soft["brfusion"], soft["nat"])
+	}
+}
+
+func TestFig8BootStatistics(t *testing.T) {
+	stats, cdf := Fig8(quick, 0)
+	if len(stats.Rows) != 2 {
+		t.Fatalf("stats rows = %d", len(stats.Rows))
+	}
+	med := map[string]float64{}
+	for _, r := range stats.Rows {
+		med[r[0]] = cell(t, r[3])
+		if cell(t, r[1]) <= 0 {
+			t.Errorf("%s: non-positive min boot time", r[0])
+		}
+	}
+	// BrFusion boots at least as fast as vanilla NAT at the median
+	// (Fig. 8: 75% of boots slightly better).
+	if med["brfusion"] > med["nat"]*1.05 {
+		t.Errorf("BrFusion median %.1fms above NAT %.1fms", med["brfusion"], med["nat"])
+	}
+	if len(cdf.Rows) == 0 {
+		t.Fatal("empty CDF")
+	}
+	// CDF columns must be non-decreasing.
+	for i := 1; i < len(cdf.Rows); i++ {
+		if cell(t, cdf.Rows[i][1]) < cell(t, cdf.Rows[i-1][1]) {
+			t.Fatal("NAT CDF not monotone")
+		}
+	}
+}
+
+func TestFig9Stats(t *testing.T) {
+	hist, stats := Fig9(quick)
+	if len(hist.Rows) == 0 {
+		t.Fatal("empty savings histogram")
+	}
+	vals := map[string]string{}
+	for _, r := range stats.Rows {
+		vals[r[0]] = r[1]
+	}
+	savers := cell(t, vals["users with savings"])
+	if savers <= 2 || savers >= 40 {
+		t.Errorf("savers fraction %.1f%% far from the paper's 11.4%%", savers)
+	}
+	if cell(t, vals["max relative savings"]) < 10 {
+		t.Error("max relative savings implausibly small")
+	}
+}
+
+func TestFig10Tables(t *testing.T) {
+	tput, lat := Fig10(quick)
+	if len(tput.Rows) == 0 || len(lat.Rows) == 0 {
+		t.Fatal("empty tables")
+	}
+	// At every size: SameNode leads throughput; Hostlo beats NAT.
+	for _, r := range tput.Rows {
+		sn, hl, nat := cell(t, r[1]), cell(t, r[2]), cell(t, r[3])
+		if sn <= hl {
+			t.Errorf("size %s: SameNode %v not above Hostlo %v", r[0], sn, hl)
+		}
+		if hl <= nat {
+			t.Errorf("size %s: Hostlo %v not above NAT %v", r[0], hl, nat)
+		}
+	}
+	// At every size: Hostlo latency far below NAT and Overlay.
+	for _, r := range lat.Rows {
+		hl, nat, ov := cell(t, r[3]), cell(t, r[5]), cell(t, r[7])
+		if hl >= nat*0.7 || hl >= ov*0.7 {
+			t.Errorf("size %s: Hostlo latency %v not well below NAT %v / Overlay %v", r[0], hl, nat, ov)
+		}
+	}
+}
+
+func TestFig11MemcachedOrdering(t *testing.T) {
+	tab := Fig11(quick)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	lat := map[string]float64{}
+	for _, r := range tab.Rows {
+		lat[r[0]] = cell(t, r[2])
+	}
+	if lat[string(scenario.CCHostlo)] >= lat[string(scenario.CCNAT)] {
+		t.Error("Hostlo memcached latency not below NAT")
+	}
+	if lat[string(scenario.CCHostlo)] >= lat[string(scenario.CCOverlay)] {
+		t.Error("Hostlo memcached latency not below Overlay")
+	}
+}
+
+func TestFig13NginxOrdering(t *testing.T) {
+	tab := Fig13(quick)
+	lat := map[string]float64{}
+	for _, r := range tab.Rows {
+		lat[r[0]] = cell(t, r[2])
+	}
+	// §5.3.3: Hostlo slower than SameNode but much better than NAT and
+	// Overlay.
+	if lat[string(scenario.CCHostlo)] < lat[string(scenario.CCSameNode)] {
+		t.Error("Hostlo below SameNode?")
+	}
+	if lat[string(scenario.CCHostlo)] >= lat[string(scenario.CCOverlay)] {
+		t.Error("Hostlo nginx latency not below Overlay")
+	}
+}
+
+func TestFig14CPUAttribution(t *testing.T) {
+	tab := Fig14(quick)
+	cores := map[string][2]float64{}
+	for _, r := range tab.Rows {
+		cores[r[0]] = [2]float64{cell(t, r[3]), cell(t, r[4])} // cs_total, guest
+	}
+	// Hostlo raises client+server CPU versus SameNode (§5.3.4).
+	if cores[string(scenario.CCHostlo)][0] <= cores[string(scenario.CCSameNode)][0] {
+		t.Error("Hostlo cs CPU not above SameNode")
+	}
+	// All cross-VM solutions bill guest time.
+	for _, m := range []scenario.CCMode{scenario.CCHostlo, scenario.CCNAT, scenario.CCOverlay} {
+		if cores[string(m)][1] <= 0 {
+			t.Errorf("%s: no guest time recorded", m)
+		}
+	}
+}
+
+func TestFig15Runs(t *testing.T) {
+	tab := Fig15(quick)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if cell(t, r[5]) < 0 {
+			t.Errorf("%s: negative host sys", r[0])
+		}
+	}
+}
+
+func TestTables1And2(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 3 {
+		t.Fatalf("Table 1 rows = %d", len(t1.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 6 {
+		t.Fatalf("Table 2 rows = %d", len(t2.Rows))
+	}
+	if t2.Rows[5][0] != "24xlarge" {
+		t.Fatal("Table 2 ordering wrong")
+	}
+}
+
+func TestFiguresDeterministic(t *testing.T) {
+	a := Fig2(quick).String()
+	b := Fig2(quick).String()
+	if a != b {
+		t.Fatal("Fig2 not deterministic")
+	}
+}

@@ -1,0 +1,178 @@
+// Package hostlo implements the paper's Hostlo device (§4): a host-side
+// TAP driver modified to act as a loopback interface that can be
+// multiplexed among several VMs. The device keeps one RX/TX queue pair
+// per served VM and reflects every Ethernet frame received on any queue
+// to all of its queues, so each VM's endpoint NIC behaves as one shared
+// pod-localhost segment backed by the host.
+//
+// The reflect work runs in the host kernel (the paper implements it as a
+// modified TAP driver); the simulator bills it as host sys time —
+// matching §5.3.4's observation that the module's CPU time surfaces in
+// the host kernel alongside vhost.
+package hostlo
+
+import (
+	"fmt"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+)
+
+// Mode selects the frame fan-out policy.
+type Mode int
+
+// Fan-out policies.
+const (
+	// ReflectAll is the paper's semantics: every frame is sent back to
+	// all queues, including the sender's (endpoints filter by MAC).
+	ReflectAll Mode = iota
+	// FilterMAC is the ablation variant: unicast frames go only to the
+	// queue whose endpoint owns the destination MAC; broadcast still
+	// fans out. Cheaper on the host, but requires the driver to learn
+	// endpoint MACs — complexity the paper's driver avoids.
+	FilterMAC
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ReflectAll:
+		return "reflect-all"
+	case FilterMAC:
+		return "filter-mac"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Endpoint is the consumer of one queue: the virtio NIC of a served VM.
+type Endpoint interface {
+	// InjectToGuest pushes a reflected frame toward the VM.
+	InjectToGuest(f *netsim.Frame)
+	// EndpointMAC returns the MAC of the in-VM endpoint interface
+	// (used by the FilterMAC ablation).
+	EndpointMAC() netsim.MAC
+}
+
+// Device is one Hostlo instance: a multi-queue loopback TAP on the host.
+type Device struct {
+	name    string
+	hostCPU *netsim.CPU
+	costs   *netsim.CostModel
+	mode    Mode
+
+	queues []*Queue
+
+	// Reflected counts frame deliveries into queues (diagnostics).
+	Reflected uint64
+}
+
+// New creates a Hostlo device whose reflect work runs on hostCPU.
+func New(name string, hostCPU *netsim.CPU, costs *netsim.CostModel) *Device {
+	return &Device{name: name, hostCPU: hostCPU, costs: costs, mode: ReflectAll}
+}
+
+// Name returns the device name (e.g. "hostlo0").
+func (d *Device) Name() string { return d.name }
+
+// Mode returns the fan-out policy.
+func (d *Device) Mode() Mode { return d.mode }
+
+// SetMode selects the fan-out policy (ablation hook).
+func (d *Device) SetMode(m Mode) { d.mode = m }
+
+// Queues returns the number of attached queue pairs.
+func (d *Device) Queues() int { return len(d.queues) }
+
+// Queue is one RX/TX queue pair, owned by one VM's endpoint NIC.
+type Queue struct {
+	dev *Device
+	vm  string
+	ep  Endpoint
+
+	// RX counts frames this queue received from its VM; TX counts
+	// frames reflected into it.
+	RX, TX uint64
+}
+
+// AddQueue attaches a queue pair for the named VM — the ioctl the VMM
+// issues when multiplexing the device into another VM.
+func (d *Device) AddQueue(vm string, ep Endpoint) *Queue {
+	q := &Queue{dev: d, vm: vm, ep: ep}
+	d.queues = append(d.queues, q)
+	return q
+}
+
+// RemoveQueue detaches a queue (VM released its endpoint).
+func (d *Device) RemoveQueue(q *Queue) {
+	for i, x := range d.queues {
+		if x == q {
+			d.queues = append(d.queues[:i], d.queues[i+1:]...)
+			return
+		}
+	}
+}
+
+// VM returns the owning VM's name.
+func (q *Queue) VM() string { return q.vm }
+
+// Receive ingests a frame arriving from the queue's VM (called on the
+// vhost completion path) and reflects it per the device policy. Each
+// reflected copy costs host-kernel time proportional to the fan-out —
+// this is why Hostlo's throughput trails batched overlays while its
+// latency beats them (Fig. 10).
+func (q *Queue) Receive(f *netsim.Frame) {
+	d := q.dev
+	q.RX++
+	size := f.PayloadLen()
+
+	targets := make([]*Queue, 0, len(d.queues))
+	switch d.mode {
+	case FilterMAC:
+		if f.Dst.IsBroadcast() {
+			for _, t := range d.queues {
+				if t != q {
+					targets = append(targets, t)
+				}
+			}
+		} else {
+			for _, t := range d.queues {
+				if t.ep.EndpointMAC() == f.Dst {
+					targets = append(targets, t)
+					break
+				}
+			}
+		}
+	default:
+		// ReflectAll: every queue, including the sender's. Peer queues
+		// are served first so the sender's echo copy never delays the
+		// actual delivery.
+		for _, t := range d.queues {
+			if t != q {
+				targets = append(targets, t)
+			}
+		}
+		targets = append(targets, q)
+	}
+
+	if len(targets) == 0 {
+		return
+	}
+	// One copy per queue, charged incrementally: early queues receive
+	// their frame without waiting for the rest of the fan-out.
+	per := d.costs.HostloReflect.For(size)
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(targets) {
+			return
+		}
+		t := targets[i]
+		d.hostCPU.RunCosts([]netsim.Charge{{Cat: cpuacct.Sys, D: per}}, func() {
+			t.TX++
+			d.Reflected++
+			t.ep.InjectToGuest(f.Clone())
+			step(i + 1)
+		})
+	}
+	step(0)
+}

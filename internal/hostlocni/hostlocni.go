@@ -1,0 +1,79 @@
+// Package hostlocni is the Hostlo CNI plugin (§4): it configures a VM's
+// Hostlo endpoint as the localhost interface of the pod fraction placed
+// on that VM. The orchestrator provisions the underlying multiplexed
+// device once per pod (core.Controller.ProvisionHostlo) and then runs
+// one Attachment per VM as a secondary CNI plugin alongside the pod's
+// primary network.
+package hostlocni
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/container"
+	"nestless/internal/core"
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/vmm"
+)
+
+// PodLocalNet is the pod-scoped subnet Hostlo endpoints use as the
+// shared "localhost" segment (link-local, never routed).
+var PodLocalNet = netsim.MustPrefix(netsim.IP(169, 254, 77, 0), 24)
+
+// EndpointAddr returns the address of the idx-th pod part on the
+// pod-local segment.
+func EndpointAddr(idx int) netsim.IPv4 { return PodLocalNet.Host(10 + idx) }
+
+// Agent timing for configuring the endpoint inside the VM.
+const (
+	agentConfigMean   = 3 * time.Millisecond
+	agentConfigJitter = 800 * time.Microsecond
+)
+
+// Attachment installs one VM's Hostlo endpoint into a pod sandbox.
+type Attachment struct {
+	VM       *vmm.VM
+	Endpoint core.EndpointInfo
+	Addr     netsim.IPv4
+
+	attached *container.Container
+}
+
+// Name identifies the plugin.
+func (a *Attachment) Name() string { return "hostlo" }
+
+// Provision moves the endpoint interface into the sandbox namespace and
+// addresses it on the pod-local segment (§4.1 step 4).
+func (a *Attachment) Provision(c *container.Container, _ []container.PortMap, done func(netsim.IPv4, error)) {
+	dev := a.VM.Devices()[a.Endpoint.DeviceID]
+	if dev == nil {
+		done(netsim.IPv4{}, fmt.Errorf("hostlocni: endpoint device %s missing on %s", a.Endpoint.DeviceID, a.VM.Name))
+		return
+	}
+	rng := a.VM.Host.Eng.Rand()
+	d := time.Duration(rng.Normal(float64(agentConfigMean), float64(agentConfigJitter)))
+	if d < agentConfigMean/4 {
+		d = agentConfigMean / 4
+	}
+	a.VM.CPU.Run(cpuacct.Sys, d, func() {
+		iface := dev.NIC.Guest
+		if iface.NS != nil {
+			iface.NS.RemoveIface(iface.Name)
+		}
+		c.NS.AdoptIface(iface, "hlo0")
+		iface.SetAddr(a.Addr, PodLocalNet)
+		dev.NIC.SetGuestCPU(c.NS.CPU)
+		a.attached = c
+		done(a.Addr, nil)
+	})
+}
+
+// Release detaches the endpoint from the Hostlo device.
+func (a *Attachment) Release(c *container.Container) {
+	if a.attached != c {
+		return
+	}
+	a.attached = nil
+	a.VM.Monitor().Execute("device_del", map[string]string{"id": a.Endpoint.DeviceID}, nil)
+}

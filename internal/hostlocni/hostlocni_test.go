@@ -1,0 +1,153 @@
+package hostlocni
+
+import (
+	"testing"
+
+	"nestless/internal/container"
+	"nestless/internal/core"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+	"nestless/internal/vmm"
+)
+
+var hostNet = netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24)
+
+type rig struct {
+	eng     *sim.Engine
+	net     *netsim.Net
+	host    *vmm.Host
+	vms     []*vmm.VM
+	engines []*container.Engine
+	eps     []core.EndpointInfo
+	hostloD string
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.New(9)
+	eng.MaxSteps = 50_000_000
+	w := netsim.NewNet(eng)
+	h := vmm.NewHost(w)
+	h.AddBridge("virbr0", netsim.IP(192, 168, 122, 1), hostNet)
+	ctrl := core.NewController(h)
+	r := &rig{eng: eng, net: w, host: h}
+	for i := 0; i < 2; i++ {
+		name := []string{"vm1", "vm2"}[i]
+		vm := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+		vm.PlugBridgeNIC("virbr0", hostNet.Host(10+i), hostNet)
+		e := container.NewEngine(container.Config{
+			Node: name, Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,
+			EntityCPU: vm.EntityCPU, Uplink: "eth0",
+			Boot: container.FastBootProfile(),
+		})
+		e.Pull(container.Image{Name: "app"})
+		r.vms = append(r.vms, vm)
+		r.engines = append(r.engines, e)
+	}
+	ctrl.ProvisionHostlo(r.vms, func(id string, eps []core.EndpointInfo, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.hostloD = id
+		r.eps = eps
+	})
+	eng.Run()
+	return r
+}
+
+// startPart runs one pod part with its hostlo attachment as the network.
+func (r *rig) startPart(t *testing.T, idx int) *container.Container {
+	t.Helper()
+	att := &Attachment{VM: r.vms[idx], Endpoint: r.eps[idx], Addr: EndpointAddr(idx)}
+	var ctr *container.Container
+	r.engines[idx].Run(container.Spec{
+		Name: "part", Image: "app", Network: att,
+	}, func(c *container.Container, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr = c
+	})
+	r.eng.Run()
+	if ctr == nil {
+		t.Fatal("part never started")
+	}
+	return ctr
+}
+
+func TestEndpointMovesIntoSandbox(t *testing.T) {
+	r := newRig(t)
+	a := r.startPart(t, 0)
+	hlo := a.NS.Iface("hlo0")
+	if hlo == nil {
+		t.Fatal("sandbox has no hlo0")
+	}
+	if hlo.Addr != EndpointAddr(0) {
+		t.Fatalf("endpoint addr %v, want %v", hlo.Addr, EndpointAddr(0))
+	}
+	if !PodLocalNet.Contains(hlo.Addr) {
+		t.Fatal("endpoint outside the pod-local segment")
+	}
+}
+
+func TestCrossVMLocalhostTraffic(t *testing.T) {
+	r := newRig(t)
+	a := r.startPart(t, 0)
+	b := r.startPart(t, 1)
+
+	var got int
+	if _, err := b.NS.BindUDP(6000, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.NS.BindUDP(0, nil)
+	s.SendTo(EndpointAddr(1), 6000, 77, nil)
+	r.eng.Run()
+	if got != 77 {
+		t.Fatalf("cross-VM pod-localhost got %d, want 77", got)
+	}
+	if r.host.Hostlo(r.hostloD).Reflected == 0 {
+		t.Fatal("no reflections recorded on the hostlo device")
+	}
+}
+
+func TestEndpointAddrAllocation(t *testing.T) {
+	if EndpointAddr(0) == EndpointAddr(1) {
+		t.Fatal("duplicate endpoint addresses")
+	}
+	for i := 0; i < 4; i++ {
+		if !PodLocalNet.Contains(EndpointAddr(i)) {
+			t.Fatalf("EndpointAddr(%d) = %v outside %v", i, EndpointAddr(i), PodLocalNet)
+		}
+	}
+}
+
+func TestProvisionMissingDeviceFails(t *testing.T) {
+	r := newRig(t)
+	att := &Attachment{VM: r.vms[0], Endpoint: core.EndpointInfo{DeviceID: "nope"}, Addr: EndpointAddr(0)}
+	cpu := netsim.NewCPU(r.eng, "x", 1, nil)
+	ns := r.net.NewNS("x", cpu)
+	var gotErr error
+	att.Provision(&container.Container{NS: ns}, nil, func(_ netsim.IPv4, err error) { gotErr = err })
+	r.eng.Run()
+	if gotErr == nil {
+		t.Fatal("missing endpoint device accepted")
+	}
+}
+
+func TestReleaseDetachesQueue(t *testing.T) {
+	r := newRig(t)
+	att := &Attachment{VM: r.vms[0], Endpoint: r.eps[0], Addr: EndpointAddr(0)}
+	var ctr *container.Container
+	r.engines[0].Run(container.Spec{Name: "part", Image: "app", Network: att},
+		func(c *container.Container, err error) { ctr = c })
+	r.eng.Run()
+	queues := r.host.Hostlo(r.hostloD).Queues()
+	att.Release(ctr)
+	r.eng.Run()
+	if got := r.host.Hostlo(r.hostloD).Queues(); got != queues-1 {
+		t.Fatalf("queues = %d after release, want %d", got, queues-1)
+	}
+	if att.Name() != "hostlo" {
+		t.Fatalf("Name = %q", att.Name())
+	}
+}

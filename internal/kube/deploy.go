@@ -1,0 +1,248 @@
+package kube
+
+import (
+	"fmt"
+
+	"nestless/internal/cni"
+	"nestless/internal/container"
+	"nestless/internal/core"
+	"nestless/internal/hostlocni"
+	"nestless/internal/mempipe"
+	"nestless/internal/netsim"
+	"nestless/internal/virtfs"
+	"nestless/internal/vmm"
+)
+
+// Deploy schedules and starts a pod, invoking done when every container
+// runs. Split pods get a Hostlo provisioned across their VMs before any
+// part starts, so the pod-localhost exists when the containers come up.
+func (c *Cluster) Deploy(spec PodSpec, done func(*Pod, error)) {
+	if _, dup := c.pods[spec.Name]; dup {
+		done(nil, fmt.Errorf("kube: pod %q already deployed", spec.Name))
+		return
+	}
+	if len(spec.Containers) == 0 {
+		done(nil, fmt.Errorf("kube: pod %q has no containers", spec.Name))
+		return
+	}
+	placements, err := c.schedule(spec)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+
+	pod := &Pod{Spec: spec}
+	for _, pl := range placements {
+		pl.node.commit(totalCPU(pl.specs), totalMem(pl.specs))
+		pod.Parts = append(pod.Parts, &PodPart{Node: pl.node, specs: pl.specs})
+	}
+
+	fail := func(err error) {
+		c.teardown(pod)
+		done(nil, err)
+	}
+
+	if len(pod.Parts) == 1 {
+		pod.Parts[0].LocalAddr = netsim.IP(127, 0, 0, 1)
+		c.deployParts(pod, nil, func(err error) {
+			if err != nil {
+				fail(err)
+				return
+			}
+			c.attachResources(pod)
+			c.pods[spec.Name] = pod
+			done(pod, nil)
+		})
+		return
+	}
+
+	// Cross-VM pod: provision the Hostlo first (§4.1 steps 1–3).
+	vms := make([]*vmm.VM, len(pod.Parts))
+	for i, part := range pod.Parts {
+		vms[i] = part.Node.VM
+	}
+	c.Ctrl.ProvisionHostlo(vms, func(hid string, eps []core.EndpointInfo, err error) {
+		if err != nil {
+			fail(err)
+			return
+		}
+		pod.HostloID = hid
+		atts := make([]*hostlocni.Attachment, len(pod.Parts))
+		for i, part := range pod.Parts {
+			part.LocalAddr = hostlocni.EndpointAddr(i)
+			atts[i] = &hostlocni.Attachment{
+				VM:       part.Node.VM,
+				Endpoint: eps[i],
+				Addr:     part.LocalAddr,
+			}
+		}
+		c.deployParts(pod, atts, func(err error) {
+			if err != nil {
+				fail(err)
+				return
+			}
+			c.attachResources(pod)
+			c.pods[spec.Name] = pod
+			done(pod, nil)
+		})
+	})
+}
+
+// attachResources provisions the pod's non-network shared resources
+// (§4.3): VirtFS volumes mounted into every part, and — for split pods
+// that ask for it — a MemPipe between each pair of parts.
+func (c *Cluster) attachResources(pod *Pod) {
+	host := c.Ctrl.Host()
+	if len(pod.Spec.Volumes) > 0 {
+		pod.Volumes = make(map[string]*virtfs.FS, len(pod.Spec.Volumes))
+		for _, name := range pod.Spec.Volumes {
+			fs := virtfs.New(pod.Spec.Name+"/"+name, host.CPU)
+			pod.Volumes[name] = fs
+			for _, part := range pod.Parts {
+				if part.Mounts == nil {
+					part.Mounts = make(map[string]*virtfs.Mount)
+				}
+				part.Mounts[name] = fs.Mount(part.Node.Name, part.Sandbox.NS.CPU)
+			}
+		}
+	}
+	if pod.Spec.SharedMemory && len(pod.Parts) > 1 {
+		pod.Pipes = make(map[[2]int]*mempipe.Pipe)
+		for i := 0; i < len(pod.Parts); i++ {
+			for j := i + 1; j < len(pod.Parts); j++ {
+				pipe := mempipe.New(
+					fmt.Sprintf("%s/%d-%d", pod.Spec.Name, i, j),
+					host.Eng, 1<<20,
+					pod.Parts[i].Sandbox.NS.CPU,
+					pod.Parts[j].Sandbox.NS.CPU,
+				)
+				pod.Pipes[[2]int{i, j}] = pipe
+			}
+		}
+	}
+}
+
+// deployParts starts every part sequentially: sandbox (with CNI chain)
+// then member containers.
+func (c *Cluster) deployParts(pod *Pod, atts []*hostlocni.Attachment, done func(error)) {
+	var nextPart func(i int)
+	nextPart = func(i int) {
+		if i >= len(pod.Parts) {
+			done(nil)
+			return
+		}
+		part := pod.Parts[i]
+		primaryName := pod.Spec.Network
+		if primaryName == "" {
+			primaryName = "bridge-nat"
+		}
+		primary, err := part.Node.CNI.Lookup(primaryName)
+		if err != nil {
+			done(err)
+			return
+		}
+		var prov cni.Plugin = primary
+		if atts != nil {
+			prov = &cni.Chain{Plugins: []cni.Plugin{primary, atts[i]}}
+		}
+		var ports []container.PortMap
+		for _, cs := range part.specs {
+			ports = append(ports, cs.Ports...)
+		}
+		sandboxName := fmt.Sprintf("%s-%s", pod.Spec.Name, part.Node.Name)
+		ensureImage(part.Node.Engine, "pause")
+		part.Node.Engine.RunSandbox(sandboxName, "app/"+pod.Spec.Name, prov, ports, func(sb *container.Container, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			part.Sandbox = sb
+			part.PodIP = sb.IP
+			c.startContainers(pod, part, 0, func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				nextPart(i + 1)
+			})
+		})
+	}
+	nextPart(0)
+}
+
+// startContainers launches a part's containers one by one, joining the
+// sandbox namespace.
+func (c *Cluster) startContainers(pod *Pod, part *PodPart, i int, done func(error)) {
+	if i >= len(part.specs) {
+		done(nil)
+		return
+	}
+	cs := part.specs[i]
+	ensureImage(part.Node.Engine, cs.Image)
+	name := fmt.Sprintf("%s-%s", pod.Spec.Name, cs.Name)
+	part.Node.Engine.Run(container.Spec{
+		Name:         name,
+		Image:        cs.Image,
+		Entity:       "app/" + pod.Spec.Name,
+		JoinPod:      part.Sandbox,
+		CPURequest:   cs.CPU,
+		MemRequestMB: cs.MemMB,
+	}, func(ctr *container.Container, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		part.Containers = append(part.Containers, ctr)
+		c.startContainers(pod, part, i+1, done)
+	})
+}
+
+// Delete tears a pod down and returns its resources.
+func (c *Cluster) Delete(name string) error {
+	pod, ok := c.pods[name]
+	if !ok {
+		return fmt.Errorf("kube: no pod %q", name)
+	}
+	delete(c.pods, name)
+	for _, part := range pod.Parts {
+		for _, ctr := range part.Containers {
+			_ = part.Node.Engine.Stop(ctr.Name)
+		}
+		if part.Sandbox != nil {
+			_ = part.Node.Engine.Stop(part.Sandbox.Name)
+		}
+	}
+	c.teardown(pod)
+	return nil
+}
+
+// teardown returns committed resources.
+func (c *Cluster) teardown(pod *Pod) {
+	for _, part := range pod.Parts {
+		part.Node.release(totalCPU(part.specs), totalMem(part.specs))
+	}
+}
+
+func totalCPU(specs []ContainerSpec) float64 {
+	var t float64
+	for _, s := range specs {
+		t += s.CPU
+	}
+	return t
+}
+
+func totalMem(specs []ContainerSpec) int {
+	var t int
+	for _, s := range specs {
+		t += s.MemMB
+	}
+	return t
+}
+
+// ensureImage makes deploys self-contained: missing images are pulled
+// implicitly, as kubelet would.
+func ensureImage(e *container.Engine, name string) {
+	if !e.HasImage(name) {
+		e.Pull(container.Image{Name: name, SizeMB: 100})
+	}
+}

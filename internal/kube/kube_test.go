@@ -1,0 +1,277 @@
+package kube
+
+import (
+	"testing"
+
+	"nestless/internal/brfusion"
+	"nestless/internal/container"
+	"nestless/internal/core"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+	"nestless/internal/vmm"
+)
+
+var hostSubnet = netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24)
+
+type testCluster struct {
+	eng     *sim.Engine
+	net     *netsim.Net
+	host    *vmm.Host
+	cluster *Cluster
+}
+
+// newTestCluster builds one host with nVMs nodes (5 vCPUs / 4096 MB each,
+// the paper's VM size), each running a container engine with both the
+// bridge-nat and brfusion CNI plugins registered.
+func newTestCluster(t *testing.T, nVMs int) *testCluster {
+	if t != nil {
+		t.Helper()
+	}
+	eng := sim.New(7)
+	eng.MaxSteps = 50_000_000
+	w := netsim.NewNet(eng)
+	h := vmm.NewHost(w)
+	h.AddBridge("virbr0", netsim.IP(192, 168, 122, 1), hostSubnet)
+	ctrl := core.NewController(h)
+	cl := NewCluster(ctrl)
+	for i := 0; i < nVMs; i++ {
+		name := "vm" + string(rune('1'+i))
+		vm := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+		vm.PlugBridgeNIC("virbr0", hostSubnet.Host(10+i), hostSubnet)
+		e := container.NewEngine(container.Config{
+			Node: name, Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,
+			EntityCPU: vm.EntityCPU,
+			Uplink:    "eth0",
+			Boot:      container.FastBootProfile(),
+		})
+		node := NewNode(vm, e)
+		node.CNI.Register(e.DefaultProvisioner())
+		node.CNI.Register(brfusion.New(ctrl, vm, "virbr0"))
+		cl.AddNode(node)
+	}
+	return &testCluster{eng: eng, net: w, host: h, cluster: cl}
+}
+
+// deploy runs a deployment to completion and returns the pod.
+func (tc *testCluster) deploy(t *testing.T, spec PodSpec) *Pod {
+	t.Helper()
+	var pod *Pod
+	var derr error
+	tc.cluster.Deploy(spec, func(p *Pod, err error) { pod, derr = p, err })
+	tc.eng.Run()
+	if derr != nil {
+		t.Fatalf("deploy %s: %v", spec.Name, derr)
+	}
+	if pod == nil {
+		t.Fatalf("deploy %s never completed", spec.Name)
+	}
+	return pod
+}
+
+func TestDeployNATPod(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	pod := tc.deploy(t, PodSpec{
+		Name: "web",
+		Containers: []ContainerSpec{
+			{Name: "srv", Image: "app", CPU: 1, MemMB: 512,
+				Ports: []container.PortMap{{Proto: netsim.ProtoUDP, NodePort: 8080, CtrPort: 80}}},
+		},
+	})
+	if pod.Split() {
+		t.Fatal("single-node pod reported split")
+	}
+	part := pod.Parts[0]
+	if part.LocalAddr != netsim.IP(127, 0, 0, 1) {
+		t.Fatalf("LocalAddr = %v, want loopback", part.LocalAddr)
+	}
+	// Pod got a docker-subnet address behind the VM NAT.
+	if !netsim.MustPrefix(netsim.IP(172, 17, 0, 0), 16).Contains(part.PodIP) {
+		t.Fatalf("NAT pod IP = %v, want 172.17/16", part.PodIP)
+	}
+	// Reachable from the host through the published port on the VM.
+	var got bool
+	if _, err := part.Sandbox.NS.BindUDP(80, func(p *netsim.Packet) { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tc.host.NS.BindUDP(0, nil)
+	s.SendTo(hostSubnet.Host(10), 8080, 10, nil)
+	tc.eng.Run()
+	if !got {
+		t.Fatal("NAT pod unreachable via published port")
+	}
+}
+
+func TestDeployBrFusionPod(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	pod := tc.deploy(t, PodSpec{
+		Name:    "web",
+		Network: "brfusion",
+		Containers: []ContainerSpec{
+			{Name: "srv", Image: "app", CPU: 1, MemMB: 512},
+		},
+	})
+	part := pod.Parts[0]
+	// BrFusion pods live on the host bridge subnet — first-class citizens.
+	if !hostSubnet.Contains(part.PodIP) {
+		t.Fatalf("BrFusion pod IP = %v, want host subnet", part.PodIP)
+	}
+	// Directly reachable from the host: no VM DNAT involved.
+	var got bool
+	if _, err := part.Sandbox.NS.BindUDP(80, func(p *netsim.Packet) { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tc.host.NS.BindUDP(0, nil)
+	s.SendTo(part.PodIP, 80, 10, nil)
+	tc.eng.Run()
+	if !got {
+		t.Fatal("BrFusion pod unreachable at its first-class address")
+	}
+	// The VM's netfilter saw none of the pod's traffic.
+	vm := tc.host.VM("vm1")
+	if vm.NS.Filter.Translations != 0 {
+		t.Error("BrFusion traffic went through in-VM NAT")
+	}
+}
+
+func TestDeploySplitPodWithHostlo(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	// Each VM has 5 cores; 8 cores cannot fit on one node.
+	pod := tc.deploy(t, PodSpec{
+		Name:       "big",
+		AllowSplit: true,
+		Containers: []ContainerSpec{
+			{Name: "a", Image: "app", CPU: 4, MemMB: 1024},
+			{Name: "b", Image: "app", CPU: 4, MemMB: 1024},
+		},
+	})
+	if !pod.Split() {
+		t.Fatal("oversized pod was not split")
+	}
+	if pod.HostloID == "" {
+		t.Fatal("split pod has no hostlo")
+	}
+	if tc.host.Hostlo(pod.HostloID).Queues() != 2 {
+		t.Fatalf("hostlo queues = %d, want 2", tc.host.Hostlo(pod.HostloID).Queues())
+	}
+	// Cross-VM pod-localhost works: part 0 talks to part 1 over hostlo.
+	p0, p1 := pod.Parts[0], pod.Parts[1]
+	if p0.LocalAddr == p1.LocalAddr {
+		t.Fatal("parts share a localhost address")
+	}
+	var got int
+	if _, err := p1.Sandbox.NS.BindUDP(9000, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := p0.Sandbox.NS.BindUDP(0, nil)
+	s.SendTo(p1.LocalAddr, 9000, 123, nil)
+	tc.eng.Run()
+	if got != 123 {
+		t.Fatalf("cross-VM pod-localhost got %d, want 123", got)
+	}
+}
+
+func TestSchedulerMostRequestedPacks(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	small := func(name string) PodSpec {
+		return PodSpec{Name: name, Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 1, MemMB: 256}}}
+	}
+	p1 := tc.deploy(t, small("p1"))
+	p2 := tc.deploy(t, small("p2"))
+	// Most-requested groups pods onto the same node.
+	if p1.Parts[0].Node != p2.Parts[0].Node {
+		t.Fatal("most-requested policy spread pods instead of packing")
+	}
+}
+
+func TestSchedulerUnschedulable(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	var derr error
+	tc.cluster.Deploy(PodSpec{
+		Name:       "huge",
+		Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 99, MemMB: 99999}},
+	}, func(_ *Pod, err error) { derr = err })
+	tc.eng.Run()
+	if _, ok := derr.(ErrUnschedulable); !ok {
+		t.Fatalf("err = %v, want ErrUnschedulable", derr)
+	}
+}
+
+func TestSchedulerSplitRespectsCapacity(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	// 3 containers × 2 cores over 2×5-core nodes: the 6-core pod fits no
+	// single node, so it must split 2/1 without overcommitting either.
+	pod := tc.deploy(t, PodSpec{
+		Name:       "wide",
+		AllowSplit: true,
+		Containers: []ContainerSpec{
+			{Name: "a", Image: "app", CPU: 2, MemMB: 256},
+			{Name: "b", Image: "app", CPU: 2, MemMB: 256},
+			{Name: "c", Image: "app", CPU: 2, MemMB: 256},
+		},
+	})
+	if len(pod.Parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(pod.Parts))
+	}
+	for _, n := range tc.cluster.Nodes() {
+		if n.FreeCPU() < 0 || n.FreeMemMB() < 0 {
+			t.Fatalf("node %s overcommitted: cpu=%v mem=%v", n.Name, n.FreeCPU(), n.FreeMemMB())
+		}
+	}
+	if pod.Part("a") == nil || pod.Part("b") == nil || pod.Part("c") == nil {
+		t.Fatal("Part lookup lost a container")
+	}
+}
+
+func TestDeleteReturnsResources(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	n := tc.cluster.Nodes()[0]
+	freeCPU, freeMem := n.FreeCPU(), n.FreeMemMB()
+	tc.deploy(t, PodSpec{Name: "p", Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 2, MemMB: 512}}})
+	if n.FreeCPU() != freeCPU-2 {
+		t.Fatalf("FreeCPU = %v after deploy", n.FreeCPU())
+	}
+	if err := tc.cluster.Delete("p"); err != nil {
+		t.Fatal(err)
+	}
+	tc.eng.Run()
+	if n.FreeCPU() != freeCPU || n.FreeMemMB() != freeMem {
+		t.Fatal("resources not returned after delete")
+	}
+	if tc.cluster.Pod("p") != nil {
+		t.Fatal("pod still registered")
+	}
+	if err := tc.cluster.Delete("p"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	var derr error
+	tc.cluster.Deploy(PodSpec{Name: "empty"}, func(_ *Pod, err error) { derr = err })
+	tc.eng.Run()
+	if derr == nil {
+		t.Fatal("empty pod accepted")
+	}
+	tc.deploy(t, PodSpec{Name: "dup", Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 1, MemMB: 64}}})
+	tc.cluster.Deploy(PodSpec{Name: "dup", Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 1, MemMB: 64}}},
+		func(_ *Pod, err error) { derr = err })
+	tc.eng.Run()
+	if derr == nil {
+		t.Fatal("duplicate pod accepted")
+	}
+	var badNet error
+	tc.cluster.Deploy(PodSpec{Name: "badnet", Network: "nope", Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 1, MemMB: 64}}},
+		func(_ *Pod, err error) { badNet = err })
+	tc.eng.Run()
+	if badNet == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestPodSpecTotals(t *testing.T) {
+	s := PodSpec{Containers: []ContainerSpec{{CPU: 1.5, MemMB: 100}, {CPU: 2.5, MemMB: 200}}}
+	if s.TotalCPU() != 4 || s.TotalMemMB() != 300 {
+		t.Fatalf("totals = %v/%v", s.TotalCPU(), s.TotalMemMB())
+	}
+}

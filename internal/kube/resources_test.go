@@ -1,0 +1,108 @@
+package kube
+
+import (
+	"bytes"
+	"testing"
+
+	"nestless/internal/sim"
+)
+
+func TestSplitPodSharedVolume(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	pod := tc.deploy(t, PodSpec{
+		Name:       "data",
+		AllowSplit: true,
+		Volumes:    []string{"shared"},
+		Containers: []ContainerSpec{
+			{Name: "writer", Image: "app", CPU: 4, MemMB: 1024},
+			{Name: "reader", Image: "app", CPU: 4, MemMB: 1024},
+		},
+	})
+	if !pod.Split() {
+		t.Fatal("pod was not split")
+	}
+	if pod.Volumes["shared"] == nil {
+		t.Fatal("volume not provisioned")
+	}
+	w := pod.Parts[0].Mounts["shared"]
+	r := pod.Parts[1].Mounts["shared"]
+	if w == nil || r == nil {
+		t.Fatal("mounts missing on a part")
+	}
+
+	// Part 0 writes through its VirtFS mount; part 1 — on the other VM —
+	// reads the same bytes (§4.3.1's coherence requirement).
+	var werr error
+	w.Write("state.json", []byte(`{"leader":"part0"}`), func(err error) { werr = err })
+	tc.eng.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	r.Read("state.json", func(data []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = data
+	})
+	tc.eng.Run()
+	if !bytes.Equal(got, []byte(`{"leader":"part0"}`)) {
+		t.Fatalf("cross-VM volume read %q", got)
+	}
+}
+
+func TestUnsplitPodVolume(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	pod := tc.deploy(t, PodSpec{
+		Name:    "solo",
+		Volumes: []string{"v"},
+		Containers: []ContainerSpec{
+			{Name: "c", Image: "app", CPU: 1, MemMB: 128},
+		},
+	})
+	m := pod.Parts[0].Mounts["v"]
+	if m == nil {
+		t.Fatal("single-part pod did not get its volume mount")
+	}
+	var ok bool
+	m.Write("f", []byte("x"), func(err error) { ok = err == nil })
+	tc.eng.Run()
+	if !ok {
+		t.Fatal("volume write failed")
+	}
+	if pod.Pipes != nil {
+		t.Fatal("unsplit pod must not get mempipes")
+	}
+}
+
+func TestSplitPodSharedMemory(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	pod := tc.deploy(t, PodSpec{
+		Name:         "shm",
+		AllowSplit:   true,
+		SharedMemory: true,
+		Containers: []ContainerSpec{
+			{Name: "a", Image: "app", CPU: 4, MemMB: 1024},
+			{Name: "b", Image: "app", CPU: 4, MemMB: 1024},
+		},
+	})
+	pipe := pod.Pipes[[2]int{0, 1}]
+	if pipe == nil {
+		t.Fatal("split pod did not get a mempipe")
+	}
+	a, b := pipe.Endpoints()
+	var got string
+	var oneWay sim.Time
+	b.OnRecv = func(data []byte, sentAt sim.Time) {
+		got = string(data)
+		oneWay = tc.eng.Now() - sentAt
+	}
+	a.Send([]byte("bulk-payload"), nil)
+	tc.eng.Run()
+	if got != "bulk-payload" {
+		t.Fatalf("mempipe delivered %q", got)
+	}
+	if oneWay <= 0 {
+		t.Fatal("mempipe delivery took no time")
+	}
+}

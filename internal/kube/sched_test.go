@@ -1,0 +1,131 @@
+package kube
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeAccountingBasics(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	n := tc.cluster.Nodes()[0]
+	if n.CapCPU != 5 || n.CapMemMB != 4096 {
+		t.Fatalf("capacity = %v/%v", n.CapCPU, n.CapMemMB)
+	}
+	if n.RequestedFraction() != 0 {
+		t.Fatal("fresh node not at zero fraction")
+	}
+	n.commit(2.5, 2048)
+	if got := n.RequestedFraction(); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	n.release(2.5, 2048)
+	if n.FreeCPU() != 5 || n.FreeMemMB() != 4096 {
+		t.Fatal("release did not restore capacity")
+	}
+	// Over-release clamps at zero.
+	n.release(99, 99999)
+	if n.FreeCPU() != 5 || n.FreeMemMB() != 4096 {
+		t.Fatal("over-release corrupted accounting")
+	}
+}
+
+func TestNodeNameSelector(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	pod := tc.deploy(t, PodSpec{
+		Name:     "pinned",
+		NodeName: "vm2",
+		Containers: []ContainerSpec{
+			{Name: "c", Image: "app", CPU: 1, MemMB: 128},
+		},
+	})
+	if pod.Parts[0].Node.Name != "vm2" {
+		t.Fatalf("pinned pod landed on %s", pod.Parts[0].Node.Name)
+	}
+	var derr error
+	tc.cluster.Deploy(PodSpec{
+		Name:       "bad-pin",
+		NodeName:   "vm99",
+		Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 1, MemMB: 128}},
+	}, func(_ *Pod, err error) { derr = err })
+	tc.eng.Run()
+	if derr == nil {
+		t.Fatal("unknown node accepted")
+	}
+	// A pinned pod too big for its node is unschedulable even when other
+	// nodes could host it.
+	tc.cluster.Deploy(PodSpec{
+		Name:       "pin-too-big",
+		NodeName:   "vm1",
+		Containers: []ContainerSpec{{Name: "c", Image: "app", CPU: 99, MemMB: 128}},
+	}, func(_ *Pod, err error) { derr = err })
+	tc.eng.Run()
+	if derr == nil {
+		t.Fatal("oversized pinned pod accepted")
+	}
+}
+
+func TestSplitDisallowedFailsCleanly(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	var derr error
+	tc.cluster.Deploy(PodSpec{
+		Name: "big",
+		Containers: []ContainerSpec{
+			{Name: "a", Image: "app", CPU: 4, MemMB: 512},
+			{Name: "b", Image: "app", CPU: 4, MemMB: 512},
+		},
+	}, func(_ *Pod, err error) { derr = err })
+	tc.eng.Run()
+	if _, ok := derr.(ErrUnschedulable); !ok {
+		t.Fatalf("err = %v, want ErrUnschedulable without AllowSplit", derr)
+	}
+	// Resources fully returned on failure.
+	for _, n := range tc.cluster.Nodes() {
+		if n.FreeCPU() != n.CapCPU {
+			t.Fatalf("node %s leaked resources", n.Name)
+		}
+	}
+	if derr.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// Property: scheduling any mix of feasible pods never overcommits a node
+// and the split placement covers every container exactly once.
+func TestScheduleNeverOvercommitsProperty(t *testing.T) {
+	prop := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 6 {
+			return true
+		}
+		tc := newTestCluster(nil, 2)
+		specs := make([]ContainerSpec, len(sizes))
+		total := 0.0
+		for i, s := range sizes {
+			cpu := float64(s%4) + 0.5
+			specs[i] = ContainerSpec{Name: string(rune('a' + i)), Image: "app", CPU: cpu, MemMB: 64}
+			total += cpu
+		}
+		if total > 10 { // cannot fit the 2×5-core cluster at all
+			return true
+		}
+		var pod *Pod
+		tc.cluster.Deploy(PodSpec{Name: "p", AllowSplit: true, Containers: specs},
+			func(p *Pod, err error) { pod = p })
+		tc.eng.Run()
+		if pod == nil {
+			return true // legitimately unschedulable split (fragmentation)
+		}
+		for _, n := range tc.cluster.Nodes() {
+			if n.FreeCPU() < 0 || n.FreeMemMB() < 0 {
+				return false
+			}
+		}
+		covered := 0
+		for _, part := range pod.Parts {
+			covered += len(part.specs)
+		}
+		return covered == len(specs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package netperf
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+// pair builds two namespaces joined by a veth.
+func pair() (*sim.Engine, *netsim.NetNS, *netsim.NetNS) {
+	eng := sim.New(1)
+	eng.MaxSteps = 500_000_000
+	w := netsim.NewNet(eng)
+	a := w.NewNS("a", netsim.NewCPU(eng, "a", 1, nil))
+	b := w.NewNS("b", netsim.NewCPU(eng, "b", 1, nil))
+	ia, ib := netsim.NewVethPair(a, "eth0", b, "eth0")
+	subnet := netsim.MustPrefix(netsim.IP(10, 0, 0, 0), 24)
+	ia.SetAddr(netsim.IP(10, 0, 0, 1), subnet)
+	ib.SetAddr(netsim.IP(10, 0, 0, 2), subnet)
+	return eng, a, b
+}
+
+func TestTCPStreamMeasuresThroughput(t *testing.T) {
+	eng, a, b := pair()
+	res := RunTCPStream(eng, StreamConfig{
+		Client: a, Server: b,
+		DialAddr: netsim.IP(10, 0, 0, 2), Port: 5001,
+		MsgSize: 1280,
+	})
+	if res.ThroughputMbps <= 0 {
+		t.Fatalf("throughput = %v", res.ThroughputMbps)
+	}
+	if res.Messages == 0 || res.Bytes == 0 {
+		t.Fatal("no messages measured")
+	}
+	if res.Bytes != res.Messages*1280 {
+		t.Fatalf("bytes %d != msgs %d × 1280", res.Bytes, res.Messages)
+	}
+}
+
+func TestTCPStreamThroughputGrowsWithMessageSize(t *testing.T) {
+	run := func(size int) float64 {
+		eng, a, b := pair()
+		return RunTCPStream(eng, StreamConfig{
+			Client: a, Server: b,
+			DialAddr: netsim.IP(10, 0, 0, 2), Port: 5001,
+			MsgSize: size,
+		}).ThroughputMbps
+	}
+	small, large := run(64), run(8192)
+	if large <= small*2 {
+		t.Fatalf("per-message cost not amortized: 64B=%.1f Mbps, 8K=%.1f Mbps", small, large)
+	}
+}
+
+func TestTCPStreamDeterministic(t *testing.T) {
+	run := func() StreamResult {
+		eng, a, b := pair()
+		return RunTCPStream(eng, StreamConfig{
+			Client: a, Server: b,
+			DialAddr: netsim.IP(10, 0, 0, 2), Port: 5001,
+			MsgSize: 1024,
+		})
+	}
+	r1, r2 := run(), run()
+	if r1 != r2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestUDPRRMeasuresLatency(t *testing.T) {
+	eng, a, b := pair()
+	res := RunUDPRR(eng, RRConfig{
+		Client: a, Server: b,
+		DialAddr: netsim.IP(10, 0, 0, 2), Port: 7001,
+		MsgSize: 256,
+	})
+	if res.Transactions < 100 {
+		t.Fatalf("transactions = %d, want plenty", res.Transactions)
+	}
+	if res.MeanRTT <= 0 || res.PerSecond <= 0 {
+		t.Fatalf("bad RTT stats: %+v", res)
+	}
+	if res.P99RTT < res.MeanRTT/2 {
+		t.Fatalf("p99 (%v) implausibly below mean (%v)", res.P99RTT, res.MeanRTT)
+	}
+}
+
+func TestUDPRRLatencyGrowsWithExtraHop(t *testing.T) {
+	// Same endpoints, but routed through a middle namespace: RTT must
+	// increase.
+	direct := func() time.Duration {
+		eng, a, b := pair()
+		return RunUDPRR(eng, RRConfig{
+			Client: a, Server: b,
+			DialAddr: netsim.IP(10, 0, 0, 2), Port: 7001, MsgSize: 512,
+		}).MeanRTT
+	}()
+
+	eng := sim.New(1)
+	eng.MaxSteps = 500_000_000
+	w := netsim.NewNet(eng)
+	a := w.NewNS("a", netsim.NewCPU(eng, "a", 1, nil))
+	r := w.NewNS("r", netsim.NewCPU(eng, "r", 1, nil))
+	b := w.NewNS("b", netsim.NewCPU(eng, "b", 1, nil))
+	r.Forward = true
+	ia, ra := netsim.NewVethPair(a, "eth0", r, "pa")
+	rb, ib := netsim.NewVethPair(r, "pb", b, "eth0")
+	n1 := netsim.MustPrefix(netsim.IP(10, 1, 0, 0), 24)
+	n2 := netsim.MustPrefix(netsim.IP(10, 2, 0, 0), 24)
+	ia.SetAddr(netsim.IP(10, 1, 0, 2), n1)
+	ra.SetAddr(netsim.IP(10, 1, 0, 1), n1)
+	rb.SetAddr(netsim.IP(10, 2, 0, 1), n2)
+	ib.SetAddr(netsim.IP(10, 2, 0, 2), n2)
+	a.AddRoute(netsim.Route{Dst: netsim.MustPrefix(netsim.IPv4{}, 0), Via: netsim.IP(10, 1, 0, 1), Dev: "eth0"})
+	b.AddRoute(netsim.Route{Dst: netsim.MustPrefix(netsim.IPv4{}, 0), Via: netsim.IP(10, 2, 0, 1), Dev: "eth0"})
+	routed := RunUDPRR(eng, RRConfig{
+		Client: a, Server: b,
+		DialAddr: netsim.IP(10, 2, 0, 2), Port: 7001, MsgSize: 512,
+	}).MeanRTT
+
+	if routed <= direct {
+		t.Fatalf("extra hop did not add latency: direct=%v routed=%v", direct, routed)
+	}
+}
+
+func TestSweepListsAreSane(t *testing.T) {
+	if len(Sizes) == 0 || len(RRSizes) == 0 {
+		t.Fatal("empty sweeps")
+	}
+	for i := 1; i < len(Sizes); i++ {
+		if Sizes[i] <= Sizes[i-1] {
+			t.Fatal("Sizes not increasing")
+		}
+	}
+	if RRSizes[len(RRSizes)-1] > 1472 {
+		t.Fatal("RR sweep exceeds a single MTU datagram")
+	}
+}

@@ -1,0 +1,87 @@
+package netsim
+
+import "nestless/internal/cpuacct"
+
+// ARP in the simulator works exactly like IPv4-over-Ethernet ARP: a
+// namespace that needs the MAC of a next hop broadcasts a who-has
+// request, the owner replies, and pending frames flush from the wait
+// queue. This exercises bridge flooding and keeps multi-segment
+// topologies honest (nothing magically knows link-layer addresses).
+
+// arpResolve parks f until nexthop's MAC is known, sending a request if
+// none is outstanding.
+func (ns *NetNS) arpResolve(out *Iface, nexthop IPv4, f *Frame) {
+	ns.arpWait[nexthop] = append(ns.arpWait[nexthop], f)
+	if _, pending := ns.arpPending[nexthop]; pending {
+		return
+	}
+	ns.arpPending[nexthop] = out
+	req := &Frame{
+		Dst:  BroadcastMAC,
+		Src:  out.MAC,
+		Type: EtherARP,
+		ARP: &ARPPayload{
+			Op:        ARPRequest,
+			SenderMAC: out.MAC,
+			SenderIP:  out.Addr,
+			TargetIP:  nexthop,
+		},
+	}
+	out.Transmit(req)
+}
+
+// arpInput handles a received ARP frame: answer requests for our
+// addresses, learn from replies, flush waiting frames.
+func (ns *NetNS) arpInput(in *Iface, f *Frame) {
+	a := f.ARP
+	if a == nil {
+		return
+	}
+	// Learn the sender either way.
+	if !a.SenderIP.IsZero() {
+		ns.arp[a.SenderIP] = a.SenderMAC
+	}
+	switch a.Op {
+	case ARPRequest:
+		if a.TargetIP != in.Addr {
+			return
+		}
+		reply := &Frame{
+			Dst:  a.SenderMAC,
+			Src:  in.MAC,
+			Type: EtherARP,
+			ARP: &ARPPayload{
+				Op:        ARPReply,
+				SenderMAC: in.MAC,
+				SenderIP:  in.Addr,
+				TargetMAC: a.SenderMAC,
+				TargetIP:  a.SenderIP,
+			},
+		}
+		// Replying costs a little kernel time.
+		ns.CPU.RunCosts([]Charge{{cpuacct.Sys, ns.Costs.RouteLookup.For(0)}}, func() {
+			in.Transmit(reply)
+		})
+	case ARPReply:
+		ns.arpFlush(a.SenderIP)
+	}
+}
+
+// arpFlush transmits frames that were waiting on ip's resolution.
+func (ns *NetNS) arpFlush(ip IPv4) {
+	out, pending := ns.arpPending[ip]
+	if !pending {
+		return
+	}
+	delete(ns.arpPending, ip)
+	mac, ok := ns.arp[ip]
+	if !ok {
+		return
+	}
+	waiting := ns.arpWait[ip]
+	delete(ns.arpWait, ip)
+	for _, f := range waiting {
+		f.Dst = mac
+		out.Transmit(f)
+	}
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCaptureRecordsBothDirections(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	cap := AttachCapture(a.Iface("eth0"), 0)
+
+	if _, err := b.BindUDP(7, func(p *Packet) {
+		b.udp[7].SendTo(p.Src, p.SrcPort, 64, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.BindUDP(0, nil)
+	s.SendTo(IP(10, 0, 0, 2), 7, 64, nil)
+	eng.Run()
+
+	recs := cap.Records()
+	if len(recs) < 4 { // ARP req/reply + data + echo at minimum
+		t.Fatalf("captured %d frames, want >= 4", len(recs))
+	}
+	var tx, rx, arp, ip4 int
+	for _, r := range recs {
+		if r.Dir == DirTX {
+			tx++
+		} else {
+			rx++
+		}
+		switch r.Frame.Type {
+		case EtherARP:
+			arp++
+		case EtherIPv4:
+			ip4++
+		}
+		if r.Iface != "eth0" {
+			t.Fatalf("record iface %q", r.Iface)
+		}
+	}
+	if tx == 0 || rx == 0 {
+		t.Fatalf("tx=%d rx=%d, want both directions", tx, rx)
+	}
+	if arp == 0 || ip4 == 0 {
+		t.Fatalf("arp=%d ipv4=%d, want both kinds", arp, ip4)
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatal("capture timestamps out of order")
+		}
+	}
+	if recs[0].String() == "" {
+		t.Fatal("empty record string")
+	}
+}
+
+func TestCaptureLimitAndDetach(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	cap := AttachCapture(a.Iface("eth0"), 2)
+	if _, err := b.BindUDP(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.BindUDP(0, nil)
+	for i := 0; i < 5; i++ {
+		s.SendTo(IP(10, 0, 0, 2), 7, 64, nil)
+	}
+	eng.Run()
+	if cap.Count() != 2 {
+		t.Fatalf("Count = %d, want limit 2", cap.Count())
+	}
+	cap.Detach()
+	s.SendTo(IP(10, 0, 0, 2), 7, 64, nil)
+	eng.Run()
+	if cap.Count() != 2 {
+		t.Fatal("capture grew after Detach")
+	}
+}
+
+func TestCaptureWriteReadRoundTrip(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	cap := AttachCapture(a.Iface("eth0"), 0)
+	if _, err := b.BindUDP(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.BindUDP(0, nil)
+	s.SendTo(IP(10, 0, 0, 2), 7, 333, nil)
+	eng.Run()
+
+	var buf bytes.Buffer
+	if _, err := cap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cap.Count() {
+		t.Fatalf("round trip lost records: %d vs %d", len(recs), cap.Count())
+	}
+	for i, r := range recs {
+		orig := cap.Records()[i]
+		if r.At != orig.At || r.Dir != orig.Dir {
+			t.Fatal("metadata mismatch")
+		}
+		if r.Frame.Src != orig.Frame.Src || r.Frame.Dst != orig.Frame.Dst {
+			t.Fatal("frame header mismatch")
+		}
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"time"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/sim"
+)
+
+// CPU binds a sim.Station (the serial compute resource) to a billing
+// function. All network work of a namespace executes on its CPU; the
+// billing function decides which cpuacct entities the time lands on —
+// e.g. guest-side work bills both "app/<name>" (guest view) and
+// "vm/<name>" as guest time (host view).
+type CPU struct {
+	Eng     *sim.Engine
+	Station *sim.Station
+	Bill    func(cat cpuacct.Category, d time.Duration)
+}
+
+// NewCPU builds a CPU around a fresh single-server station. The bill
+// function may be nil (no accounting).
+func NewCPU(eng *sim.Engine, name string, servers int, bill func(cpuacct.Category, time.Duration)) *CPU {
+	return &CPU{Eng: eng, Station: sim.NewStation(eng, name, servers), Bill: bill}
+}
+
+// Run executes work of duration d on the CPU, billing it to cat, and
+// calls then when it completes. then may be nil.
+func (c *CPU) Run(cat cpuacct.Category, d time.Duration, then func()) {
+	if c.Bill != nil && d > 0 {
+		c.Bill(cat, d)
+	}
+	c.Station.Process(d, then)
+}
+
+// RunCosts executes a sequence of (category, duration) charges as one
+// serial occupancy of the CPU (a single station job), while billing each
+// charge to its own category. Batching keeps event counts low and models
+// the fact that one core runs the whole stage sequence back to back.
+func (c *CPU) RunCosts(charges []Charge, then func()) {
+	var total time.Duration
+	for _, ch := range charges {
+		if ch.D <= 0 {
+			continue
+		}
+		total += ch.D
+		if c.Bill != nil {
+			c.Bill(ch.Cat, ch.D)
+		}
+	}
+	c.Station.Process(total, then)
+}
+
+// Charge is one (category, duration) billing item.
+type Charge struct {
+	Cat cpuacct.Category
+	D   time.Duration
+}

@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/sim"
+)
+
+func TestLongestPrefixMatchWins(t *testing.T) {
+	eng, n := newWorld()
+	r := newNS(n, "router")
+	r.Forward = true
+	// Two candidate egress interfaces.
+	wide := r.AddIface("wide", n.NewMAC(), 1500)
+	wide.SetAddr(IP(10, 1, 0, 1), MustPrefix(IP(10, 1, 0, 0), 24))
+	wide.Up = true
+	narrow := r.AddIface("narrow", n.NewMAC(), 1500)
+	narrow.SetAddr(IP(10, 2, 0, 1), MustPrefix(IP(10, 2, 0, 0), 24))
+	narrow.Up = true
+	r.AddRoute(Route{Dst: MustPrefix(IP(8, 0, 0, 0), 8), Via: IP(10, 1, 0, 2), Dev: "wide"})
+	r.AddRoute(Route{Dst: MustPrefix(IP(8, 8, 8, 0), 24), Via: IP(10, 2, 0, 2), Dev: "narrow"})
+
+	out, nh, ok := r.lookupRoute(IP(8, 8, 8, 8))
+	if !ok || out.Name != "narrow" || nh != IP(10, 2, 0, 2) {
+		t.Fatalf("LPM picked %v via %v", out, nh)
+	}
+	out, _, ok = r.lookupRoute(IP(8, 9, 0, 1))
+	if !ok || out.Name != "wide" {
+		t.Fatalf("fallback picked %v", out)
+	}
+	_ = eng
+}
+
+func TestOnLinkRouteBeatsGateway(t *testing.T) {
+	_, n := newWorld()
+	r := newNS(n, "r")
+	i := r.AddIface("eth0", n.NewMAC(), 1500)
+	i.SetAddr(IP(10, 5, 0, 1), MustPrefix(IP(10, 5, 0, 0), 24))
+	i.Up = true
+	r.AddRoute(Route{Dst: MustPrefix(IPv4{}, 0), Via: IP(10, 5, 0, 254), Dev: "eth0"})
+	// A destination on the connected subnet must be delivered on-link,
+	// not via the default gateway.
+	_, nh, ok := r.lookupRoute(IP(10, 5, 0, 9))
+	if !ok || nh != IP(10, 5, 0, 9) {
+		t.Fatalf("on-link next hop = %v", nh)
+	}
+}
+
+func TestDownIfaceDropsTraffic(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	// Exchange once to warm ARP, then take the egress down.
+	if _, err := b.BindUDP(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.BindUDP(0, nil)
+	s.SendTo(IP(10, 0, 0, 2), 7, 8, nil)
+	eng.Run()
+	before := a.Drops.NoLink
+	a.Iface("eth0").Up = false
+	s.SendTo(IP(10, 0, 0, 2), 7, 8, nil)
+	eng.Run()
+	// With the only interface down there is no route at all — counted
+	// either as NoRoute (lookup skips downed links) or NoLink.
+	if a.Drops.NoLink == before && a.Drops.NoRoute == 0 {
+		t.Fatal("send over downed interface not dropped")
+	}
+}
+
+func TestOutputWithoutRouteDrops(t *testing.T) {
+	eng, n := newWorld()
+	a := newNS(n, "a")
+	s, _ := a.BindUDP(0, nil)
+	s.SendTo(IP(203, 0, 113, 9), 7, 8, nil)
+	eng.Run()
+	if a.Drops.NoRoute == 0 {
+		t.Fatal("routeless send not counted")
+	}
+}
+
+func TestSNATExplicitToIP(t *testing.T) {
+	ns := natNS()
+	ns.Filter.AddMasquerade(SNATRule{
+		SrcNet: MustPrefix(IP(172, 17, 0, 0), 16),
+		ToIP:   IP(198, 51, 100, 7),
+	})
+	p := &Packet{Src: IP(172, 17, 0, 5), Dst: IP(8, 8, 8, 8), Proto: ProtoUDP, SrcPort: 1, DstPort: 2}
+	if !ns.Filter.postrouting(p, ns.Iface("ext")) {
+		t.Fatal("SNAT did not fire")
+	}
+	if p.Src != IP(198, 51, 100, 7) {
+		t.Fatalf("src = %v, want explicit ToIP", p.Src)
+	}
+}
+
+func TestStreamCloseStopsDemux(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	var accepted *StreamConn
+	if _, err := b.ListenStream(80, func(c *StreamConn) { accepted = c }); err != nil {
+		t.Fatal(err)
+	}
+	conn := a.DialStream(IP(10, 0, 0, 2), 80, nil)
+	conn.SendMessage(100, nil)
+	eng.Run()
+	if accepted == nil {
+		t.Fatal("no accept")
+	}
+	accepted.Close()
+	before := b.Drops.NoSocket
+	conn.SendMessage(100, nil)
+	eng.Run()
+	if b.Drops.NoSocket <= before {
+		t.Fatal("segments for a closed conn not dropped")
+	}
+}
+
+func TestUDPEphemeralPortsUnique(t *testing.T) {
+	_, n := newWorld()
+	a := newNS(n, "a")
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		s, err := a.BindUDP(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.Port()] {
+			t.Fatalf("duplicate ephemeral port %d", s.Port())
+		}
+		seen[s.Port()] = true
+	}
+}
+
+func TestUDPSocketCloseReleasesPort(t *testing.T) {
+	_, n := newWorld()
+	a := newNS(n, "a")
+	s, err := a.BindUDP(5353, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := a.BindUDP(5353, nil); err != nil {
+		t.Fatalf("rebind after close failed: %v", err)
+	}
+}
+
+func TestBridgeHairpinSuppressed(t *testing.T) {
+	eng, n := newWorld()
+	hub := newNS(n, "hub")
+	br := NewBridge(hub, "br0")
+	subnet := MustPrefix(IP(192, 168, 70, 0), 24)
+	br.Iface().SetAddr(IP(192, 168, 70, 1), subnet)
+	m := newNS(n, "m")
+	mi, pi := NewVethPair(m, "eth0", hub, "p")
+	mi.SetAddr(IP(192, 168, 70, 2), subnet)
+	br.AddPort(pi)
+
+	// Teach the FDB that 70.2 lives behind port p, then make the member
+	// send a frame to its own MAC through the bridge: it must not come
+	// back (hairpin off).
+	var echoes int
+	if _, err := m.BindUDP(9, func(p *Packet) { echoes++ }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.BindUDP(0, nil)
+	s.SendTo(IP(192, 168, 70, 1), 9, 8, nil) // learn
+	eng.Run()
+	rxBefore := mi.RXPackets
+	// Frame addressed to the member itself arriving at its own port.
+	f := &Frame{Src: mi.MAC, Dst: mi.MAC, Type: EtherIPv4,
+		Packet: &Packet{Src: IP(192, 168, 70, 2), Dst: IP(192, 168, 70, 2), Proto: ProtoUDP, SrcPort: 1, DstPort: 9, TTL: 4, PayloadLen: 8}}
+	pi.rxHook(pi, f)
+	eng.Run()
+	if mi.RXPackets != rxBefore {
+		t.Fatal("bridge hairpinned a frame back out its ingress port")
+	}
+}
+
+func TestWakeupOnlyAfterIdle(t *testing.T) {
+	eng := sim.New(1)
+	st := sim.NewStation(eng, "vcpu", 1)
+	st.SetWakeup(8*time.Microsecond, 0, 20*time.Microsecond)
+
+	// Back-to-back jobs: no wakeups beyond the first (station starts
+	// idle at t=0 with idleSince=0 — idle duration 0 < threshold).
+	done := []sim.Time{}
+	st.Process(5*time.Microsecond, func() { done = append(done, eng.Now()) })
+	st.Process(5*time.Microsecond, func() { done = append(done, eng.Now()) })
+	eng.Run()
+	if st.Wakeups != 0 {
+		t.Fatalf("busy chain paid %d wakeups", st.Wakeups)
+	}
+	// After a long idle gap the next job pays the penalty.
+	eng.At(eng.Now()+100*time.Microsecond, func() {
+		st.Process(5*time.Microsecond, nil)
+	})
+	eng.Run()
+	if st.Wakeups != 1 {
+		t.Fatalf("idle wakeups = %d, want 1", st.Wakeups)
+	}
+}
+
+func TestAdoptIfaceDuplicatePanics(t *testing.T) {
+	_, n := newWorld()
+	a, b := twoHosts(n)
+	moved := b.RemoveIface("eth0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate adopt did not panic")
+		}
+	}()
+	a.AdoptIface(moved, "eth0") // a already has eth0
+}
+
+func TestPrefixHostArithmetic(t *testing.T) {
+	p := MustPrefix(IP(10, 0, 0, 0), 8)
+	if p.Host(256) != IP(10, 0, 1, 0) {
+		t.Fatalf("Host(256) = %v", p.Host(256))
+	}
+}

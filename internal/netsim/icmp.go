@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"time"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/sim"
+)
+
+// ProtoICMP is the ICMP protocol number.
+const ProtoICMP Proto = 1
+
+// icmpEcho is the application payload of an echo request/reply.
+type icmpEcho struct {
+	id      uint64
+	seq     int
+	request bool
+}
+
+// PingResult reports one echo exchange.
+type PingResult struct {
+	Seq int
+	RTT time.Duration
+	OK  bool // false = timed out
+}
+
+// pingWaiter tracks an outstanding echo request.
+type pingWaiter struct {
+	sentAt sim.Time
+	seq    int
+	done   func(PingResult)
+	fired  bool
+}
+
+// Ping sends one ICMP echo request of the given payload size to dst and
+// reports the round trip (or a timeout) through done. Kernels answer
+// echo requests without any socket, so this works against any namespace
+// address — the classic connectivity probe.
+func (ns *NetNS) Ping(dst IPv4, payload int, timeout time.Duration, done func(PingResult)) {
+	if timeout <= 0 {
+		timeout = 100 * time.Millisecond
+	}
+	if ns.pings == nil {
+		ns.pings = make(map[uint64]*pingWaiter)
+	}
+	id := ns.Net.nextConnID()
+	w := &pingWaiter{sentAt: ns.Net.Eng.Now(), seq: len(ns.pings) + 1, done: done}
+	ns.pings[id] = w
+
+	p := &Packet{
+		Dst:        dst,
+		Proto:      ProtoICMP,
+		TTL:        64,
+		PayloadLen: payload + 8, // ICMP header
+		App:        icmpEcho{id: id, seq: w.seq, request: true},
+		SentAt:     w.sentAt,
+	}
+	ns.Output(p, []Charge{{cpuacct.Sys, ns.Costs.SyscallTX.For(payload)}})
+
+	ns.Net.Eng.After(timeout, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		delete(ns.pings, id)
+		if done != nil {
+			done(PingResult{Seq: w.seq, OK: false})
+		}
+	})
+}
+
+// icmpInput handles a locally delivered ICMP packet.
+func (ns *NetNS) icmpInput(p *Packet) {
+	echo, ok := p.App.(icmpEcho)
+	if !ok {
+		return
+	}
+	if echo.request {
+		// Echo reply: swap endpoints; kernel work only.
+		reply := &Packet{
+			Dst:        p.Src,
+			Src:        p.Dst,
+			Proto:      ProtoICMP,
+			TTL:        64,
+			PayloadLen: p.PayloadLen,
+			App:        icmpEcho{id: echo.id, seq: echo.seq},
+			SentAt:     p.SentAt,
+		}
+		ns.Output(reply, nil)
+		return
+	}
+	w, okW := ns.pings[echo.id]
+	if !okW || w.fired {
+		return
+	}
+	w.fired = true
+	delete(ns.pings, echo.id)
+	if w.done != nil {
+		w.done(PingResult{Seq: w.seq, RTT: ns.Net.Eng.Now() - w.sentAt, OK: true})
+	}
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPingSameSubnet(t *testing.T) {
+	eng, n := newWorld()
+	a, _ := twoHosts(n)
+	var res PingResult
+	a.Ping(IP(10, 0, 0, 2), 56, time.Second, func(r PingResult) { res = r })
+	eng.Run()
+	if !res.OK {
+		t.Fatal("ping timed out on a direct link")
+	}
+	if res.RTT <= 0 {
+		t.Fatalf("RTT = %v", res.RTT)
+	}
+}
+
+func TestPingThroughRouter(t *testing.T) {
+	eng, n := newWorld()
+	client := newNS(n, "client")
+	router := newNS(n, "router")
+	server := newNS(n, "server")
+	router.Forward = true
+	ic, rc := NewVethPair(client, "eth0", router, "cli")
+	rs, is := NewVethPair(router, "srv", server, "eth0")
+	cNet := MustPrefix(IP(10, 0, 2, 0), 24)
+	sNet := MustPrefix(IP(192, 168, 1, 0), 24)
+	ic.SetAddr(IP(10, 0, 2, 2), cNet)
+	rc.SetAddr(IP(10, 0, 2, 1), cNet)
+	rs.SetAddr(IP(192, 168, 1, 1), sNet)
+	is.SetAddr(IP(192, 168, 1, 2), sNet)
+	client.AddRoute(Route{Dst: MustPrefix(IPv4{}, 0), Via: IP(10, 0, 2, 1), Dev: "eth0"})
+	server.AddRoute(Route{Dst: MustPrefix(IPv4{}, 0), Via: IP(192, 168, 1, 1), Dev: "eth0"})
+	router.Filter.AddMasquerade(SNATRule{SrcNet: cNet, OutDev: "srv"})
+
+	var direct, routed PingResult
+	client.Ping(IP(10, 0, 2, 1), 56, time.Second, func(r PingResult) { direct = r })
+	eng.Run()
+	client.Ping(IP(192, 168, 1, 2), 56, time.Second, func(r PingResult) { routed = r })
+	eng.Run()
+	if !direct.OK || !routed.OK {
+		t.Fatalf("direct=%+v routed=%+v", direct, routed)
+	}
+	if routed.RTT <= direct.RTT {
+		t.Fatalf("routed RTT %v not above direct %v", routed.RTT, direct.RTT)
+	}
+}
+
+func TestPingUnreachableTimesOut(t *testing.T) {
+	eng, n := newWorld()
+	a, _ := twoHosts(n)
+	var res PingResult
+	fired := false
+	a.Ping(IP(10, 0, 0, 99), 56, 5*time.Millisecond, func(r PingResult) {
+		res = r
+		fired = true
+	})
+	eng.Run()
+	if !fired {
+		t.Fatal("timeout callback never fired")
+	}
+	if res.OK {
+		t.Fatal("ping to a non-existent host succeeded")
+	}
+}
+
+func TestPingLoopback(t *testing.T) {
+	eng, n := newWorld()
+	a := newNS(n, "a")
+	var res PingResult
+	a.Ping(IP(127, 0, 0, 1), 56, time.Second, func(r PingResult) { res = r })
+	eng.Run()
+	if !res.OK || res.RTT <= 0 {
+		t.Fatalf("loopback ping: %+v", res)
+	}
+}
+
+func TestConcurrentPingsKeepIdentity(t *testing.T) {
+	eng, n := newWorld()
+	a, _ := twoHosts(n)
+	results := map[int]PingResult{}
+	for i := 0; i < 5; i++ {
+		a.Ping(IP(10, 0, 0, 2), 56, time.Second, func(r PingResult) { results[r.Seq] = r })
+	}
+	eng.Run()
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5 (IDs collided?)", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Fatal("a concurrent ping timed out")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+
+	"nestless/internal/cpuacct"
+)
+
+// Link is where an interface's transmitted frames go: the other end of a
+// veth pair, a wire, a virtio backend, a Hostlo queue, the loopback
+// turnaround. Send is called on the transmitting interface's namespace
+// CPU context; implementations charge their own transmit costs.
+type Link interface {
+	// Send transmits f out of src. Implementations take ownership of f.
+	Send(src *Iface, f *Frame)
+}
+
+// Iface is a network interface inside a namespace. An interface may be
+// enslaved to a bridge (rxHook set), in which case received frames are
+// handed to the bridge instead of the local IP stack.
+type Iface struct {
+	NS   *NetNS
+	Name string
+	MAC  MAC
+	Addr IPv4
+	Net  Prefix // the subnet Addr lives in (zero = unnumbered)
+	MTU  int
+	Up   bool
+
+	link   Link
+	rxHook func(in *Iface, f *Frame)     // bridge/overlay intercept, runs after softirq charge
+	probe  func(dir Direction, f *Frame) // capture hook (AttachCapture)
+
+	// TXPackets/RXPackets count frames for diagnostics.
+	TXPackets, RXPackets uint64
+	TXBytes, RXBytes     uint64
+}
+
+// SetLink connects the interface's transmit side.
+func (i *Iface) SetLink(l Link) { i.link = l }
+
+// Link returns the interface's transmit target.
+func (i *Iface) Link() Link { return i.link }
+
+// SetAddr assigns the interface's IP address within subnet.
+func (i *Iface) SetAddr(addr IPv4, subnet Prefix) {
+	i.Addr = addr
+	i.Net = subnet
+}
+
+// String formats the interface for diagnostics.
+func (i *Iface) String() string {
+	ns := "?"
+	if i.NS != nil {
+		ns = i.NS.Name
+	}
+	return fmt.Sprintf("%s@%s(%s %s)", i.Name, ns, i.MAC, i.Addr)
+}
+
+// Transmit sends a frame out of the interface. The caller has already
+// paid its own processing costs; link-specific transmit costs are charged
+// by the link. Frames on a downed or unconnected interface are dropped.
+func (i *Iface) Transmit(f *Frame) {
+	if !i.Up || i.link == nil {
+		if i.NS != nil {
+			i.NS.Drops.NoLink++
+		}
+		return
+	}
+	i.TXPackets++
+	i.TXBytes += uint64(f.WireLen())
+	if i.probe != nil {
+		i.probe(DirTX, f)
+	}
+	i.link.Send(i, f)
+}
+
+// Deliver hands a received frame to the interface: the receive softirq
+// charge is paid on the owning namespace's CPU, then the frame goes to
+// the bridge hook (if enslaved) or the local stack.
+func (i *Iface) Deliver(f *Frame) {
+	if !i.Up || i.NS == nil {
+		return
+	}
+	i.RXPackets++
+	i.RXBytes += uint64(f.WireLen())
+	if i.probe != nil {
+		i.probe(DirRX, f)
+	}
+	ns := i.NS
+	ns.CPU.RunCosts([]Charge{{cpuacct.Soft, ns.Costs.SoftirqRX.For(f.PayloadLen())}}, func() {
+		if i.rxHook != nil {
+			i.rxHook(i, f)
+			return
+		}
+		ns.input(i, f)
+	})
+}
+
+// DropCounters tallies the reasons a namespace discarded traffic.
+type DropCounters struct {
+	NoLink     uint64 // interface down or not connected
+	BadMAC     uint64 // unicast frame for another MAC
+	NoRoute    uint64
+	TTLExpired uint64
+	NoSocket   uint64
+	NotForward uint64 // forwarding disabled
+}
+
+// Total returns the sum of all drop counters.
+func (d DropCounters) Total() uint64 {
+	return d.NoLink + d.BadMAC + d.NoRoute + d.TTLExpired + d.NoSocket + d.NotForward
+}

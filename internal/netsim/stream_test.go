@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nestless/internal/sim"
+)
+
+func TestStreamConnectAndExchange(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+
+	var serverGot []int
+	if _, err := b.ListenStream(80, func(c *StreamConn) {
+		c.OnMessage = func(size int, app interface{}, _ sim.Time) {
+			serverGot = append(serverGot, size)
+			c.SendMessage(size/2, "resp") // respond with half the bytes
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var clientGot []int
+	conn := a.DialStream(IP(10, 0, 0, 2), 80, func(c *StreamConn) {
+		c.SendMessage(1000, "req1")
+		c.SendMessage(5000, "req2")
+	})
+	conn.OnMessage = func(size int, app interface{}, _ sim.Time) {
+		clientGot = append(clientGot, size)
+	}
+	eng.Run()
+
+	if len(serverGot) != 2 || serverGot[0] != 1000 || serverGot[1] != 5000 {
+		t.Fatalf("server got %v, want [1000 5000]", serverGot)
+	}
+	if len(clientGot) != 2 || clientGot[0] != 500 || clientGot[1] != 2500 {
+		t.Fatalf("client got %v, want [500 2500]", clientGot)
+	}
+	if !conn.Established() {
+		t.Fatal("connection not established")
+	}
+	if conn.MSS() != 1448 {
+		t.Fatalf("MSS = %d, want 1448 on ethernet", conn.MSS())
+	}
+}
+
+func TestStreamSendBeforeEstablishedQueues(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	var got int
+	if _, err := b.ListenStream(80, func(c *StreamConn) {
+		c.OnMessage = func(size int, _ interface{}, _ sim.Time) { got = size }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := a.DialStream(IP(10, 0, 0, 2), 80, nil)
+	c.SendMessage(777, nil) // before SegAccept arrives
+	eng.Run()
+	if got != 777 {
+		t.Fatalf("queued pre-establish message lost: got %d", got)
+	}
+}
+
+func TestStreamLargeTransferSegmentsAndWindow(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	const total = 2 * 1024 * 1024
+	var got int
+	if _, err := b.ListenStream(5001, func(c *StreamConn) {
+		c.OnMessage = func(size int, _ interface{}, _ sim.Time) { got += size }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.DialStream(IP(10, 0, 0, 2), 5001, func(c *StreamConn) {
+		for i := 0; i < 16; i++ {
+			c.SendMessage(total/16, nil)
+		}
+	})
+	eng.Run()
+	if got != total {
+		t.Fatalf("received %d bytes, want %d", got, total)
+	}
+	if a.Drops.Total()+b.Drops.Total() != 0 {
+		t.Fatalf("drops: a=%+v b=%+v", a.Drops, b.Drops)
+	}
+}
+
+func TestStreamLoopbackUsesJumboMSS(t *testing.T) {
+	eng, n := newWorld()
+	a := newNS(n, "a")
+	if _, err := a.ListenStream(9000, func(c *StreamConn) {}); err != nil {
+		t.Fatal(err)
+	}
+	c := a.DialStream(IP(127, 0, 0, 1), 9000, nil)
+	eng.Run()
+	if c.MSS() < 60000 {
+		t.Fatalf("loopback MSS = %d, want jumbo (~65 KiB)", c.MSS())
+	}
+}
+
+func TestStreamLoopbackFasterThanVeth(t *testing.T) {
+	// The SameNode-vs-anything gap in Fig. 10 rests on loopback moving
+	// bulk data much faster. Verify the substrate produces that.
+	run := func(loopback bool) sim.Time {
+		eng, n := newWorld()
+		a, b := twoHosts(n)
+		target := IP(10, 0, 0, 2)
+		server := b
+		if loopback {
+			target = IP(127, 0, 0, 1)
+			server = a
+		}
+		done := sim.Time(0)
+		if _, err := server.ListenStream(7777, func(c *StreamConn) {
+			var got int
+			c.OnMessage = func(size int, _ interface{}, _ sim.Time) {
+				got += size
+				if got >= 1<<20 {
+					done = eng.Now()
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		a.DialStream(target, 7777, func(c *StreamConn) {
+			for i := 0; i < 64; i++ {
+				c.SendMessage(1<<20/64, nil)
+			}
+		})
+		eng.Run()
+		if done == 0 {
+			t.Fatal("transfer did not complete")
+		}
+		return done
+	}
+	lo, eth := run(true), run(false)
+	if lo*2 >= eth {
+		t.Fatalf("loopback (%v) not clearly faster than veth (%v)", lo, eth)
+	}
+}
+
+func TestStreamThroughNAT(t *testing.T) {
+	eng, n := newWorld()
+	client := newNS(n, "client")
+	router := newNS(n, "router")
+	server := newNS(n, "server")
+	router.Forward = true
+	ic, rc := NewVethPair(client, "eth0", router, "cli")
+	rs, is := NewVethPair(router, "srv", server, "eth0")
+	cNet := MustPrefix(IP(10, 0, 2, 0), 24)
+	sNet := MustPrefix(IP(192, 168, 1, 0), 24)
+	ic.SetAddr(IP(10, 0, 2, 2), cNet)
+	rc.SetAddr(IP(10, 0, 2, 1), cNet)
+	rs.SetAddr(IP(192, 168, 1, 1), sNet)
+	is.SetAddr(IP(192, 168, 1, 2), sNet)
+	client.AddRoute(Route{Dst: MustPrefix(IPv4{}, 0), Via: IP(10, 0, 2, 1), Dev: "eth0"})
+	server.AddRoute(Route{Dst: MustPrefix(IPv4{}, 0), Via: IP(192, 168, 1, 1), Dev: "eth0"})
+	router.Filter.AddMasquerade(SNATRule{SrcNet: cNet, OutDev: "srv"})
+
+	var reqs, resps int
+	if _, err := server.ListenStream(80, func(c *StreamConn) {
+		c.OnMessage = func(size int, _ interface{}, _ sim.Time) {
+			reqs++
+			c.SendMessage(2000, nil)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conn := client.DialStream(IP(192, 168, 1, 2), 80, func(c *StreamConn) {
+		c.SendMessage(100, nil)
+		c.SendMessage(100, nil)
+	})
+	conn.OnMessage = func(size int, _ interface{}, _ sim.Time) { resps++ }
+	eng.Run()
+	if reqs != 2 || resps != 2 {
+		t.Fatalf("reqs=%d resps=%d, want 2/2 through NAT", reqs, resps)
+	}
+}
+
+func TestStreamMessageLatencyPositiveAndOrdered(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	var lat []sim.Time
+	if _, err := b.ListenStream(80, func(c *StreamConn) {
+		c.OnMessage = func(_ int, _ interface{}, sentAt sim.Time) {
+			lat = append(lat, eng.Now()-sentAt)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.DialStream(IP(10, 0, 0, 2), 80, func(c *StreamConn) {
+		for i := 0; i < 5; i++ {
+			c.SendMessage(200, i)
+		}
+	})
+	eng.Run()
+	if len(lat) != 5 {
+		t.Fatalf("got %d messages, want 5", len(lat))
+	}
+	for _, l := range lat {
+		if l <= 0 {
+			t.Fatal("non-positive message latency")
+		}
+	}
+}
+
+func TestStreamDialUnboundPortDrops(t *testing.T) {
+	eng, n := newWorld()
+	a, b := twoHosts(n)
+	a.DialStream(IP(10, 0, 0, 2), 4444, func(c *StreamConn) {
+		t.Error("connected to a port nobody listens on")
+	})
+	eng.Run()
+	if b.Drops.NoSocket == 0 {
+		t.Fatal("connect to closed port not counted as drop")
+	}
+}
+
+func TestListenDuplicatePortFails(t *testing.T) {
+	_, n := newWorld()
+	a := newNS(n, "a")
+	if _, err := a.ListenStream(80, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ListenStream(80, nil); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	if _, err := a.BindUDP(53, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.BindUDP(53, nil); err == nil {
+		t.Fatal("duplicate UDP bind succeeded")
+	}
+}
+
+// Property: any mix of message sizes is delivered completely and in
+// order over the stream transport.
+func TestStreamDeliveryProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		sizes := make([]int, len(raw))
+		for i, r := range raw {
+			sizes[i] = int(r)%8000 + 1
+		}
+		eng, n := newWorld()
+		a, b := twoHosts(n)
+		var got []int
+		if _, err := b.ListenStream(80, func(c *StreamConn) {
+			c.OnMessage = func(size int, _ interface{}, _ sim.Time) { got = append(got, size) }
+		}); err != nil {
+			return false
+		}
+		a.DialStream(IP(10, 0, 0, 2), 80, func(c *StreamConn) {
+			for _, s := range sizes {
+				c.SendMessage(s, nil)
+			}
+		})
+		eng.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i := range sizes {
+			if got[i] != sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

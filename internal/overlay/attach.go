@@ -1,0 +1,72 @@
+package overlay
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nestless/internal/container"
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+)
+
+// overlayMTU reflects the VXLAN encapsulation overhead on a 1500-byte
+// underlay.
+const overlayMTU = 1450
+
+// setupDelay approximates the driver's veth + bridge + gossip bookkeeping
+// when a container joins the overlay.
+const setupDelay = 9 * time.Millisecond
+
+// Attachment is the CNI-style provisioner that joins containers on one
+// VM to an overlay network.
+type Attachment struct {
+	Net  *Network
+	VTEP *VTEP
+
+	ifSeq int
+}
+
+// NewAttachment returns the provisioner for one VM's VTEP.
+func NewAttachment(n *Network, v *VTEP) *Attachment {
+	return &Attachment{Net: n, VTEP: v}
+}
+
+// Name identifies the provisioner.
+func (a *Attachment) Name() string { return "overlay" }
+
+// Provision attaches the container to the overlay bridge and assigns an
+// overlay-subnet address.
+func (a *Attachment) Provision(c *container.Container, _ []container.PortMap, done func(netsim.IPv4, error)) {
+	vm := a.VTEP.vm
+	a.ifSeq++
+	hostEnd := fmt.Sprintf("veth-ovl-%s-%d", c.Name, a.ifSeq)
+	vm.CPU.Run(cpuacct.Sys, 2*time.Millisecond, func() {
+		vm.Host.Eng.After(setupDelay, func() {
+			ip := a.Net.AllocIP()
+			ctrEnd, nodeEnd := netsim.NewVethPair(c.NS, "ovl0", vm.NS, hostEnd)
+			ctrEnd.MTU = overlayMTU
+			ctrEnd.SetAddr(ip, a.Net.Subnet)
+			a.VTEP.Bridge.AddPort(nodeEnd)
+			a.VTEP.learnLocal(ctrEnd.MAC)
+			done(ip, nil)
+		})
+	})
+}
+
+// Release detaches the container from the overlay bridge.
+func (a *Attachment) Release(c *container.Container) {
+	vm := a.VTEP.vm
+	for _, p := range a.VTEP.Bridge.Ports() {
+		if p.NS == vm.NS && p.Link() != nil {
+			// Identify the port paired to this container by name prefix.
+			if strings.HasPrefix(p.Name, "veth-ovl-") && strings.Contains(p.Name, c.Name) {
+				a.VTEP.Bridge.RemovePort(p)
+				vm.NS.RemoveIface(p.Name)
+			}
+		}
+	}
+	if i := c.NS.Iface("ovl0"); i != nil {
+		c.NS.RemoveIface("ovl0")
+	}
+}

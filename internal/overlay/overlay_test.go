@@ -1,0 +1,180 @@
+package overlay
+
+import (
+	"testing"
+
+	"nestless/internal/container"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+	"nestless/internal/vmm"
+)
+
+var (
+	underlay = netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24)
+	ovlNet   = netsim.MustPrefix(netsim.IP(10, 100, 0, 0), 24)
+)
+
+type ovlRig struct {
+	eng  *sim.Engine
+	net  *netsim.Net
+	host *vmm.Host
+	ovl  *Network
+	ctrs []*container.Container
+}
+
+// newOvlRig builds two VMs joined to one overlay, with one container on
+// each attached to it.
+func newOvlRig(t *testing.T) *ovlRig {
+	t.Helper()
+	eng := sim.New(3)
+	eng.MaxSteps = 50_000_000
+	w := netsim.NewNet(eng)
+	h := vmm.NewHost(w)
+	h.AddBridge("virbr0", netsim.IP(192, 168, 122, 1), underlay)
+	ovl := NewNetwork("ovl", ovlNet)
+	r := &ovlRig{eng: eng, net: w, host: h, ovl: ovl}
+
+	for i := 0; i < 2; i++ {
+		name := "vm" + string(rune('1'+i))
+		vm := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+		addr := underlay.Host(10 + i)
+		vm.PlugBridgeNIC("virbr0", addr, underlay)
+		vtep, err := ovl.Join(vm, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := container.NewEngine(container.Config{
+			Node: name, Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,
+			EntityCPU: vm.EntityCPU, Uplink: "eth0",
+			Boot: container.FastBootProfile(),
+		})
+		e.Pull(container.Image{Name: "app"})
+		att := NewAttachment(ovl, vtep)
+		var ctr *container.Container
+		e.Run(container.Spec{Name: "c" + name, Image: "app", Network: att}, func(c *container.Container, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctr = c
+		})
+		eng.Run()
+		r.ctrs = append(r.ctrs, ctr)
+	}
+	return r
+}
+
+func TestOverlayCrossVMDelivery(t *testing.T) {
+	r := newOvlRig(t)
+	a, b := r.ctrs[0], r.ctrs[1]
+	if !ovlNet.Contains(a.IP) || !ovlNet.Contains(b.IP) {
+		t.Fatalf("overlay IPs wrong: %v %v", a.IP, b.IP)
+	}
+	var got int
+	if _, err := b.NS.BindUDP(7000, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.NS.BindUDP(0, nil)
+	s.SendTo(b.IP, 7000, 400, nil)
+	r.eng.Run()
+	if got != 400 {
+		t.Fatalf("overlay delivery got %d, want 400", got)
+	}
+	if r.ovl.Carriers == 0 || r.ovl.Encapsulated == 0 {
+		t.Fatal("no VXLAN carriers recorded")
+	}
+}
+
+func TestOverlayRoundTripAndLearning(t *testing.T) {
+	r := newOvlRig(t)
+	a, b := r.ctrs[0], r.ctrs[1]
+	var replies int
+	if _, err := b.NS.BindUDP(7000, func(p *netsim.Packet) {
+		b.NS.Iface("ovl0").NS.Net.Eng.Now()
+		sock, _ := b.NS.BindUDP(0, nil)
+		sock.SendTo(p.Src, p.SrcPort, 50, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.NS.BindUDP(0, func(p *netsim.Packet) { replies++ })
+	for i := 0; i < 3; i++ {
+		s.SendTo(b.IP, 7000, 100, nil)
+		r.eng.Run()
+	}
+	if replies != 3 {
+		t.Fatalf("replies = %d, want 3", replies)
+	}
+	// After learning, unicast uses a single target: carriers stay
+	// bounded (no flood explosion).
+	if r.ovl.Carriers > 40 {
+		t.Fatalf("carriers = %d, flooding did not converge", r.ovl.Carriers)
+	}
+}
+
+func TestOverlayBatchingAmortizesCarriers(t *testing.T) {
+	r := newOvlRig(t)
+	a, b := r.ctrs[0], r.ctrs[1]
+	if _, err := b.NS.BindUDP(7000, func(p *netsim.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := a.NS.BindUDP(0, nil)
+	// Warm up ARP/FDB.
+	s.SendTo(b.IP, 7000, 64, nil)
+	r.eng.Run()
+	base := r.ovl.Carriers
+	// A burst of 32 frames should ride far fewer carriers.
+	for i := 0; i < 32; i++ {
+		s.SendTo(b.IP, 7000, 1000, nil)
+	}
+	r.eng.Run()
+	used := r.ovl.Carriers - base
+	if used == 0 || used >= 32 {
+		t.Fatalf("batching ineffective: %d carriers for 32 frames", used)
+	}
+}
+
+func TestOverlayStream(t *testing.T) {
+	r := newOvlRig(t)
+	a, b := r.ctrs[0], r.ctrs[1]
+	const total = 256 * 1024
+	var got int
+	if _, err := b.NS.ListenStream(8000, func(c *netsim.StreamConn) {
+		c.OnMessage = func(size int, _ interface{}, _ sim.Time) { got += size }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.NS.DialStream(b.IP, 8000, func(c *netsim.StreamConn) {
+		// The overlay MTU must shrink the MSS below the ethernet MSS.
+		if c.MSS() >= 1448 {
+			t.Errorf("MSS = %d, want < 1448 under VXLAN", c.MSS())
+		}
+		for i := 0; i < 8; i++ {
+			c.SendMessage(total/8, nil)
+		}
+	})
+	r.eng.Run()
+	if got != total {
+		t.Fatalf("stream over overlay: got %d, want %d", got, total)
+	}
+}
+
+func TestOverlayJoinValidation(t *testing.T) {
+	r := newOvlRig(t)
+	if _, err := r.ovl.Join(r.host.VM("vm1"), underlay.Host(10)); err == nil {
+		t.Fatal("double join accepted")
+	}
+	if r.ovl.VTEP("vm1") == nil || r.ovl.VTEP("nope") != nil {
+		t.Fatal("VTEP lookup wrong")
+	}
+}
+
+func TestOverlayRelease(t *testing.T) {
+	r := newOvlRig(t)
+	a := r.ctrs[0]
+	vtep := r.ovl.VTEP("vm1")
+	ports := len(vtep.Bridge.Ports())
+	att := NewAttachment(r.ovl, vtep)
+	att.Release(a)
+	if len(vtep.Bridge.Ports()) >= ports {
+		t.Fatal("release did not detach the container port")
+	}
+}

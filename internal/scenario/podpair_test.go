@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"testing"
+
+	"nestless/internal/netperf"
+	"nestless/internal/netsim"
+)
+
+// measureCC runs TCP_STREAM and UDP_RR at 1024 B for one c2c mode.
+func measureCC(t *testing.T, mode CCMode) (mbps float64, rttMicros float64, sd float64) {
+	t.Helper()
+	pp, err := NewPodPair(21, mode, 5001, 7001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
+		Client: pp.ANS, Server: pp.BNS,
+		DialAddr: pp.DialAddr, Port: 5001, MsgSize: 1024,
+	})
+	rr := netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
+		Client: pp.ANS, Server: pp.BNS,
+		DialAddr: pp.DialAddr, Port: 7001, MsgSize: 1024,
+	})
+	t.Logf("%-9s  %8.1f Mbps   RTT %v (sd %v)", mode, stream.ThroughputMbps, rr.MeanRTT, rr.StddevRTT)
+	return stream.ThroughputMbps, float64(rr.MeanRTT.Microseconds()), float64(rr.StddevRTT.Microseconds())
+}
+
+// TestFig10Shape verifies the paper's Hostlo micro-benchmark ordering at
+// 1024 B (§5.3.2): SameNode far above everything; Overlay's batching
+// beats Hostlo on throughput; Hostlo beats NAT on throughput; Hostlo's
+// latency is far below NAT's and Overlay's and the lowest of the
+// cross-VM solutions.
+func TestFig10Shape(t *testing.T) {
+	snT, snL, _ := measureCC(t, CCSameNode)
+	hlT, hlL, _ := measureCC(t, CCHostlo)
+	natT, natL, _ := measureCC(t, CCNAT)
+	ovT, ovL, _ := measureCC(t, CCOverlay)
+
+	t.Logf("throughput: SameNode/Hostlo = %.2f (paper ≈ 5.3)", snT/hlT)
+	t.Logf("throughput: Hostlo/NAT      = %.2f (paper ≈ 1.18)", hlT/natT)
+	t.Logf("throughput: Hostlo/Overlay  = %.2f (paper ≈ 0.73)", hlT/ovT)
+	t.Logf("latency:    Hostlo/NAT      = %.2f (paper ≈ 0.13)", hlL/natL)
+	t.Logf("latency:    Hostlo/Overlay  = %.2f (paper ≈ 0.10)", hlL/ovL)
+	t.Logf("latency:    Hostlo/SameNode = %.2f (paper ≈ 2)", hlL/snL)
+
+	if snT < hlT*3 {
+		t.Errorf("SameNode (%.0f) not clearly above Hostlo (%.0f); paper 5.3×", snT, hlT)
+	}
+	if hlT < natT {
+		t.Errorf("Hostlo throughput (%.0f) below NAT (%.0f); paper +18%%", hlT, natT)
+	}
+	if ovT < hlT {
+		t.Errorf("Overlay throughput (%.0f) below Hostlo (%.0f); paper has Overlay ahead", ovT, hlT)
+	}
+	if hlL > natL*0.6 {
+		t.Errorf("Hostlo latency (%.0fµs) not far below NAT (%.0fµs); paper −87%%", hlL, natL)
+	}
+	if hlL > ovL*0.6 {
+		t.Errorf("Hostlo latency (%.0fµs) not far below Overlay (%.0fµs); paper −90%%", hlL, ovL)
+	}
+	if hlL < snL {
+		t.Errorf("Hostlo latency (%.0fµs) below SameNode (%.0fµs)?", hlL, snL)
+	}
+}
+
+// TestFig10HostloLatencyFlat verifies Hostlo's signature property: its
+// latency stays roughly constant across message sizes (§5.3.2 "its
+// latency remains stable across all message sizes, like SameNode").
+func TestFig10HostloLatencyFlat(t *testing.T) {
+	rtt := func(size int) float64 {
+		pp, err := NewPodPair(5, CCHostlo, 7001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
+			Client: pp.ANS, Server: pp.BNS,
+			DialAddr: pp.DialAddr, Port: 7001, MsgSize: size,
+		})
+		return float64(res.MeanRTT.Microseconds())
+	}
+	small, large := rtt(64), rtt(1400)
+	t.Logf("hostlo RTT: 64B=%.1fµs 1400B=%.1fµs", small, large)
+	if large > small*1.6 {
+		t.Errorf("hostlo latency not flat: %.1f → %.1f µs", small, large)
+	}
+}
+
+func TestPodPairTopologiesSound(t *testing.T) {
+	for _, mode := range []CCMode{CCSameNode, CCHostlo, CCNAT, CCOverlay} {
+		pp, err := NewPodPair(3, mode, 9000)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var got bool
+		if _, err := pp.BNS.BindUDP(9000, func(p *netsim.Packet) { got = true }); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := pp.ANS.BindUDP(0, nil)
+		s.SendTo(pp.DialAddr, 9000, 32, nil)
+		pp.Eng.Run()
+		if !got {
+			t.Errorf("%s: B unreachable from A via %v", mode, pp.DialAddr)
+		}
+	}
+}

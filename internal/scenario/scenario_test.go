@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"testing"
+
+	"nestless/internal/netperf"
+	"nestless/internal/netsim"
+)
+
+// measure runs TCP_STREAM and UDP_RR at 1280 B for one mode.
+func measure(t *testing.T, mode Mode) (mbps float64, rttMicros float64) {
+	t.Helper()
+	sc, err := NewServerClient(42, mode, 5001, 7001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := netperf.RunTCPStream(sc.Eng, netperf.StreamConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 5001, MsgSize: 1280,
+	})
+	rr := netperf.RunUDPRR(sc.Eng, netperf.RRConfig{
+		Client: sc.Client, Server: sc.ServerNS,
+		DialAddr: sc.DialAddr, Port: 7001, MsgSize: 1280,
+	})
+	t.Logf("%-9s  %8.1f Mbps   RTT %v (sd %v)", mode, stream.ThroughputMbps, rr.MeanRTT, rr.StddevRTT)
+	return stream.ThroughputMbps, float64(rr.MeanRTT.Microseconds())
+}
+
+// TestFig2Shape verifies the paper's §2 measurement: vanilla nested
+// virtualization (NAT) loses roughly 68 % throughput and adds roughly
+// 31 % latency against single-level virtualization at 1280 B. Bounds are
+// deliberately loose — the claim is the shape, not the digit.
+func TestFig2Shape(t *testing.T) {
+	natT, natL := measure(t, ModeNAT)
+	ncT, ncL := measure(t, ModeNoCont)
+
+	tputRatio := natT / ncT
+	latRatio := natL / ncL
+	t.Logf("NAT/NoCont throughput ratio = %.3f (paper ≈ 0.32)", tputRatio)
+	t.Logf("NAT/NoCont latency ratio    = %.3f (paper ≈ 1.31)", latRatio)
+
+	if tputRatio > 0.45 || tputRatio < 0.20 {
+		t.Errorf("throughput degradation off: ratio %.3f, want ~0.32", tputRatio)
+	}
+	if latRatio < 1.15 || latRatio > 1.55 {
+		t.Errorf("latency increase off: ratio %.3f, want ~1.31", latRatio)
+	}
+}
+
+// TestFig4BrFusionMatchesNoCont verifies BrFusion's headline: within a
+// few percent of single-level virtualization, and ~2× NAT's throughput.
+func TestFig4BrFusionMatchesNoCont(t *testing.T) {
+	brT, brL := measure(t, ModeBrFusion)
+	ncT, ncL := measure(t, ModeNoCont)
+	natT, _ := measure(t, ModeNAT)
+
+	if brT < ncT*0.93 || brT > ncT*1.07 {
+		t.Errorf("BrFusion throughput %.1f not within ~3.5%% of NoCont %.1f", brT, ncT)
+	}
+	if brL < ncL*0.9 || brL > ncL*1.1 {
+		t.Errorf("BrFusion RTT %.1fµs not close to NoCont %.1fµs", brL, ncL)
+	}
+	if brT < natT*1.7 {
+		t.Errorf("BrFusion %.1f Mbps not ≈2.1× NAT %.1f Mbps", brT, natT)
+	}
+}
+
+func TestServerClientTopologyIsSound(t *testing.T) {
+	for _, mode := range []Mode{ModeNAT, ModeBrFusion, ModeNoCont} {
+		sc, err := NewServerClient(7, mode, 9000)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var got bool
+		if _, err := sc.ServerNS.BindUDP(9000, func(p *netsim.Packet) { got = true }); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := sc.Client.BindUDP(0, nil)
+		s.SendTo(sc.DialAddr, 9000, 32, nil)
+		sc.Eng.Run()
+		if !got {
+			t.Errorf("%s: server unreachable from client", mode)
+		}
+	}
+}
+
+func TestUnknownModesRejected(t *testing.T) {
+	if _, err := NewServerClient(1, Mode("weird")); err == nil {
+		t.Fatal("unknown server mode accepted")
+	}
+	if _, err := NewPodPair(1, CCMode("weird")); err == nil {
+		t.Fatal("unknown pair mode accepted")
+	}
+}

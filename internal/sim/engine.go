@@ -1,0 +1,135 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue, serial-server stations that model CPU
+// stages with queueing, seeded random distributions, and statistics
+// accumulators.
+//
+// All of nestless runs on virtual time. Determinism is a hard requirement:
+// two runs with the same seed must produce bit-identical results, which is
+// what makes the experiment harness reproducible. Events scheduled for the
+// same instant fire in scheduling order (FIFO tie-break by sequence
+// number).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, expressed as the duration elapsed
+// since the start of the simulation. Using time.Duration keeps arithmetic
+// and formatting ergonomic (Time and durations add directly).
+type Time = time.Duration
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler. It is not safe for concurrent
+// use: the whole simulation is single-threaded by design (determinism).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+
+	// Steps counts executed events; useful for budget guards in tests.
+	Steps uint64
+	// MaxSteps aborts Run with a panic when exceeded (0 = unlimited).
+	// It is a safety net against accidental event loops.
+	MaxSteps uint64
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// At schedules fn to run at instant t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// step executes the earliest event. It reports false when no events remain.
+func (e *Engine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.Steps++
+	if e.MaxSteps != 0 && e.Steps > e.MaxSteps {
+		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t. Events scheduled exactly at t do run.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.step() {
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30*time.Microsecond, func() { got = append(got, 3) })
+	e.At(10*time.Microsecond, func() { got = append(got, 1) })
+	e.At(20*time.Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("Now() = %v, want 30µs", e.Now())
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := New(1)
+	var at Time
+	e.At(5*time.Millisecond, func() {
+		e.After(2*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 7ms", at)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntilStopsAndAdvancesClock(t *testing.T) {
+	e := New(1)
+	fired := map[Time]bool{}
+	for _, d := range []Time{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.At(d, func() { fired[d] = true })
+	}
+	e.RunUntil(2 * time.Second)
+	if !fired[time.Second] || !fired[2*time.Second] {
+		t.Error("events at or before the horizon must fire")
+	}
+	if fired[3*time.Second] {
+		t.Error("event after the horizon fired early")
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	// Advancing past all events moves the clock to the horizon.
+	e.RunUntil(10 * time.Second)
+	if e.Now() != 10*time.Second || !fired[3*time.Second] {
+		t.Fatalf("Now() = %v after draining, want 10s", e.Now())
+	}
+}
+
+func TestEngineNegativeAfterClampsToNow(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative After: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineMaxStepsGuards(t *testing.T) {
+	e := New(1)
+	e.MaxSteps = 10
+	var loop func()
+	loop = func() { e.After(time.Millisecond, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway loop did not trip MaxSteps")
+		}
+	}()
+	e.Run()
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := New(seed)
+		var out []float64
+		var tick func()
+		tick = func() {
+			out = append(out, e.Rand().Float64())
+			if len(out) < 100 {
+				e.After(Time(e.Rand().Intn(1000))*time.Microsecond, tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// Property: for any batch of scheduled delays, events execute in
+// non-decreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New(7)
+		var times []Time
+		for _, d := range delays {
+			e.At(Time(d)*time.Microsecond, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

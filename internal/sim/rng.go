@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source with the distributions the
+// simulator needs. It wraps math/rand with an explicit seed so that a
+// whole experiment is reproducible from a single integer.
+type Rand struct {
+	src *rand.Rand
+}
+
+// NewRand returns a Rand seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Exp returns an exponential sample with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.src.ExpFloat64() * mean
+}
+
+// Normal returns a normal sample with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return r.src.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normal sample where mu and sigma are the mean
+// and standard deviation of the underlying normal distribution.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.src.NormFloat64()*sigma + mu)
+}
+
+// Pareto returns a Pareto sample with minimum xm and shape alpha.
+// Heavy-tailed: used by the trace generator for resource requests.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Fork derives an independent sub-stream. Deriving streams by draw keeps
+// component randomness decoupled: adding draws in one component does not
+// shift the sequence seen by another.
+func (r *Rand) Fork() *Rand { return NewRand(r.src.Int63()) }

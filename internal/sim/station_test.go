@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStationSerializesWork(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		s.Process(10*time.Microsecond, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if s.Completed != 3 {
+		t.Fatalf("Completed = %d, want 3", s.Completed)
+	}
+	if s.MaxQueue != 2 {
+		t.Fatalf("MaxQueue = %d, want 2", s.MaxQueue)
+	}
+}
+
+func TestStationMultiServerParallelism(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpus", 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		s.Process(10*time.Microsecond, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	// Two servers: pairs complete at 10µs and 20µs.
+	want := []Time{10 * time.Microsecond, 10 * time.Microsecond, 20 * time.Microsecond, 20 * time.Microsecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestStationFIFOUnderLoad(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		s.Process(time.Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("station reordered jobs: %v", order)
+		}
+	}
+}
+
+func TestStationZeroServiceStillFIFO(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	var order []int
+	s.Process(5*time.Microsecond, func() { order = append(order, 0) })
+	s.Process(0, func() { order = append(order, 1) })
+	e.Run()
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("zero-service job jumped the queue: %v", order)
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	s.Process(30*time.Microsecond, nil)
+	e.At(60*time.Microsecond, func() {}) // extend the run to 60µs
+	e.Run()
+	if got := s.Utilization(); got < 0.49 || got > 0.51 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestStationNegativeServiceAndServersClamp(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 0)
+	if s.Servers() != 1 {
+		t.Fatalf("Servers() = %d, want clamp to 1", s.Servers())
+	}
+	ran := false
+	s.Process(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative service: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestStationBusyTimeAccumulates(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 2)
+	s.Process(10*time.Microsecond, nil)
+	s.Process(20*time.Microsecond, nil)
+	e.Run()
+	if s.BusyTime != 30*time.Microsecond {
+		t.Fatalf("BusyTime = %v, want 30µs", s.BusyTime)
+	}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(1))
+	b := Generate(DefaultConfig(1))
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if len(a[i].Pods) != len(b[i].Pods) {
+			t.Fatalf("user %d pod counts differ", i)
+		}
+		for j := range a[i].Pods {
+			for k := range a[i].Pods[j].Containers {
+				if a[i].Pods[j].Containers[k] != b[i].Pods[j].Containers[k] {
+					t.Fatal("same seed diverged")
+				}
+			}
+		}
+	}
+	c := Generate(DefaultConfig(2))
+	if len(c) == len(a) && len(c[0].Pods) == len(a[0].Pods) && c[0].Pods[0].TotalCPU() == a[0].Pods[0].TotalCPU() {
+		t.Error("different seeds produced suspiciously identical output")
+	}
+}
+
+func TestGeneratePopulationShape(t *testing.T) {
+	users := Generate(DefaultConfig(42))
+	s := Summarize(users)
+	if s.Users != 492 {
+		t.Fatalf("users = %d, want 492", s.Users)
+	}
+	if s.Pods < 492 {
+		t.Fatalf("pods = %d, want at least one per user", s.Pods)
+	}
+	if s.Containers < s.Pods {
+		t.Fatal("containers < pods")
+	}
+	// Heavy-tailed: mean pod far below max pod.
+	if s.MaxPodCPU < 4*s.MeanPodCPU {
+		t.Errorf("tail too light: max=%.3f mean=%.3f", s.MaxPodCPU, s.MeanPodCPU)
+	}
+}
+
+// Property: every pod fits the largest machine (whole-pod placement must
+// be feasible), and every request is positive.
+func TestGenerateFitsLargestMachineProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.Users = 40
+		for _, u := range Generate(cfg) {
+			for _, p := range u.Pods {
+				if p.TotalCPU() > 1.0 || p.TotalMem() > 1.0 {
+					return false
+				}
+				for _, c := range p.Containers {
+					if c.CPU <= 0 || c.Mem <= 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPodTotals(t *testing.T) {
+	p := Pod{Containers: []Container{{CPU: 0.1, Mem: 0.2}, {CPU: 0.3, Mem: 0.1}}}
+	if p.TotalCPU() != 0.4 {
+		t.Fatalf("TotalCPU = %v", p.TotalCPU())
+	}
+	if got := p.TotalMem(); got < 0.2999 || got > 0.3001 {
+		t.Fatalf("TotalMem = %v", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Users != 0 || s.MeanPodCPU != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}

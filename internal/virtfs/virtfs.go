@@ -1,0 +1,282 @@
+// Package virtfs models the shared-volume substrate the paper's §4.3.1
+// adopts for cross-VM pods: a VirtFS-style para-virtualized filesystem
+// (Jujjuri et al., a 9p server in the VMM) that mounts the same
+// host-backed tree into multiple guests. Because every operation is
+// served by the host — there is no guest page cache in this mode
+// (cache=none) — all mounts observe one coherent filesystem state, which
+// is exactly what lets the two halves of a split pod share a volume.
+//
+// Operations are asynchronous and charge both sides: the guest pays the
+// 9p client transaction (virtio channel), the host pays the server work
+// plus per-byte copies.
+package virtfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+)
+
+// Operation costs (9p transaction + host VFS work).
+var (
+	clientOp  = netsim.StageCost{PerPacket: 6 * time.Microsecond, PerByteNs: 0.4}
+	serverOp  = netsim.StageCost{PerPacket: 9 * time.Microsecond, PerByteNs: 0.6}
+	statCost  = netsim.StageCost{PerPacket: 4 * time.Microsecond}
+	aggregate = 64 * 1024 // bytes per 9p message (msize)
+)
+
+// node is one file or directory in the host tree.
+type node struct {
+	name     string
+	isDir    bool
+	data     []byte
+	children map[string]*node
+	version  uint64
+}
+
+// FS is the host-backed filesystem (the VirtFS server in the VMM).
+type FS struct {
+	Name string
+	host *netsim.CPU
+	root *node
+
+	// Ops counts served transactions.
+	Ops uint64
+}
+
+// New creates an empty shared filesystem served on hostCPU.
+func New(name string, hostCPU *netsim.CPU) *FS {
+	return &FS{
+		Name: name,
+		host: hostCPU,
+		root: &node{name: "/", isDir: true, children: map[string]*node{}},
+	}
+}
+
+// Mount is one guest's attachment (the 9p client inside a VM or pod).
+type Mount struct {
+	fs  *FS
+	cpu *netsim.CPU
+	tag string
+
+	// Ops counts client transactions issued through this mount.
+	Ops uint64
+}
+
+// Mount attaches the filesystem for a guest whose work runs on cpu.
+func (fs *FS) Mount(tag string, cpu *netsim.CPU) *Mount {
+	return &Mount{fs: fs, cpu: cpu, tag: tag}
+}
+
+// split normalises a path into segments.
+func split(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	segs := strings.Split(path, "/")
+	for _, s := range segs {
+		if s == "" || s == "." || s == ".." {
+			return nil, fmt.Errorf("virtfs: invalid path segment %q", s)
+		}
+	}
+	return segs, nil
+}
+
+// walk resolves a path to its node.
+func (fs *FS) walk(path string) (*node, error) {
+	segs, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	n := fs.root
+	for _, s := range segs {
+		if !n.isDir {
+			return nil, fmt.Errorf("virtfs: %q is not a directory", n.name)
+		}
+		child, ok := n.children[s]
+		if !ok {
+			return nil, fmt.Errorf("virtfs: %q not found", path)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// transact runs one 9p round trip: client cost, then server cost, then
+// the result callback on the client side.
+func (m *Mount) transact(bytes int, server func() error, done func(error)) {
+	m.Ops++
+	m.cpu.RunCosts([]netsim.Charge{{Cat: cpuacct.Sys, D: clientOp.For(bytes)}}, func() {
+		m.fs.host.RunCosts([]netsim.Charge{{Cat: cpuacct.Sys, D: serverOp.For(bytes)}}, func() {
+			m.fs.Ops++
+			err := server()
+			m.cpu.RunCosts([]netsim.Charge{{Cat: cpuacct.Sys, D: statCost.For(0)}}, func() {
+				if done != nil {
+					done(err)
+				}
+			})
+		})
+	})
+}
+
+// chunked runs one transaction per msize worth of payload, modelling 9p
+// message segmentation for large reads/writes.
+func (m *Mount) chunked(total int, server func() error, done func(error)) {
+	chunks := (total + aggregate - 1) / aggregate
+	if chunks < 1 {
+		chunks = 1
+	}
+	var step func(i int)
+	step = func(i int) {
+		size := aggregate
+		if i == chunks-1 {
+			size = total - (chunks-1)*aggregate
+		}
+		var fn func() error
+		if i == chunks-1 {
+			fn = server // the final chunk commits
+		} else {
+			fn = func() error { return nil }
+		}
+		m.transact(size, fn, func(err error) {
+			if err != nil || i == chunks-1 {
+				done(err)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// Mkdir creates a directory (parents must exist).
+func (m *Mount) Mkdir(path string, done func(error)) {
+	m.transact(0, func() error {
+		segs, err := split(path)
+		if err != nil {
+			return err
+		}
+		if len(segs) == 0 {
+			return fmt.Errorf("virtfs: cannot mkdir root")
+		}
+		parent, err := m.fs.walk(strings.Join(segs[:len(segs)-1], "/"))
+		if err != nil {
+			return err
+		}
+		name := segs[len(segs)-1]
+		if _, dup := parent.children[name]; dup {
+			return fmt.Errorf("virtfs: %q exists", path)
+		}
+		parent.children[name] = &node{name: name, isDir: true, children: map[string]*node{}}
+		return nil
+	}, done)
+}
+
+// Write stores data at path, creating or truncating the file.
+func (m *Mount) Write(path string, data []byte, done func(error)) {
+	buf := append([]byte(nil), data...)
+	m.chunked(len(buf), func() error {
+		segs, err := split(path)
+		if err != nil {
+			return err
+		}
+		if len(segs) == 0 {
+			return fmt.Errorf("virtfs: cannot write root")
+		}
+		parent, err := m.fs.walk(strings.Join(segs[:len(segs)-1], "/"))
+		if err != nil {
+			return err
+		}
+		if !parent.isDir {
+			return fmt.Errorf("virtfs: parent of %q is a file", path)
+		}
+		name := segs[len(segs)-1]
+		n, ok := parent.children[name]
+		if !ok {
+			n = &node{name: name}
+			parent.children[name] = n
+		}
+		if n.isDir {
+			return fmt.Errorf("virtfs: %q is a directory", path)
+		}
+		n.data = buf
+		n.version++
+		return nil
+	}, done)
+}
+
+// Read returns a file's contents.
+func (m *Mount) Read(path string, done func([]byte, error)) {
+	var out []byte
+	// Resolve the size first (stat), then pay per-byte on the transfer.
+	m.transact(0, func() error {
+		n, err := m.fs.walk(path)
+		if err != nil {
+			return err
+		}
+		if n.isDir {
+			return fmt.Errorf("virtfs: %q is a directory", path)
+		}
+		out = append([]byte(nil), n.data...)
+		return nil
+	}, func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		m.chunked(len(out), func() error { return nil }, func(err error) {
+			done(out, err)
+		})
+	})
+}
+
+// List returns a directory's entries, sorted.
+func (m *Mount) List(path string, done func([]string, error)) {
+	var out []string
+	m.transact(0, func() error {
+		n, err := m.fs.walk(path)
+		if err != nil {
+			return err
+		}
+		if !n.isDir {
+			return fmt.Errorf("virtfs: %q is a file", path)
+		}
+		for name := range n.children {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		return nil
+	}, func(err error) { done(out, err) })
+}
+
+// Remove deletes a file or empty directory.
+func (m *Mount) Remove(path string, done func(error)) {
+	m.transact(0, func() error {
+		segs, err := split(path)
+		if err != nil {
+			return err
+		}
+		if len(segs) == 0 {
+			return fmt.Errorf("virtfs: cannot remove root")
+		}
+		parent, err := m.fs.walk(strings.Join(segs[:len(segs)-1], "/"))
+		if err != nil {
+			return err
+		}
+		name := segs[len(segs)-1]
+		n, ok := parent.children[name]
+		if !ok {
+			return fmt.Errorf("virtfs: %q not found", path)
+		}
+		if n.isDir && len(n.children) > 0 {
+			return fmt.Errorf("virtfs: %q not empty", path)
+		}
+		delete(parent.children, name)
+		return nil
+	}, done)
+}

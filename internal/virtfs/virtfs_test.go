@@ -1,0 +1,181 @@
+package virtfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	acct *netsim.Net
+	fs   *FS
+	a, b *Mount // two guests sharing the filesystem
+}
+
+func newRig() *rig {
+	eng := sim.New(1)
+	eng.MaxSteps = 20_000_000
+	w := netsim.NewNet(eng)
+	host := netsim.NewCPU(eng, "host", 1, netsim.BillTo(w.Acct, "host", ""))
+	fs := New("vol0", host)
+	a := fs.Mount("vm1", netsim.NewCPU(eng, "vm1", 1, netsim.BillTo(w.Acct, "guest/vm1", "vm/vm1")))
+	b := fs.Mount("vm2", netsim.NewCPU(eng, "vm2", 1, netsim.BillTo(w.Acct, "guest/vm2", "vm/vm2")))
+	return &rig{eng: eng, acct: w, fs: fs, a: a, b: b}
+}
+
+// must drives one async op to completion.
+func (r *rig) must(t *testing.T, op func(done func(error))) {
+	t.Helper()
+	var got error
+	ran := false
+	op(func(err error) { got, ran = err, true })
+	r.eng.Run()
+	if !ran {
+		t.Fatal("operation never completed")
+	}
+	if got != nil {
+		t.Fatal(got)
+	}
+}
+
+func TestCrossGuestConsistency(t *testing.T) {
+	r := newRig()
+	// Guest A writes; guest B must observe it (cache=none coherence).
+	r.must(t, func(done func(error)) { r.a.Mkdir("data", done) })
+	r.must(t, func(done func(error)) { r.a.Write("data/shared.txt", []byte("from-vm1"), done) })
+
+	var got []byte
+	r.b.Read("data/shared.txt", func(data []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = data
+	})
+	r.eng.Run()
+	if !bytes.Equal(got, []byte("from-vm1")) {
+		t.Fatalf("guest B read %q", got)
+	}
+
+	// B overwrites; A sees the new version.
+	r.must(t, func(done func(error)) { r.b.Write("data/shared.txt", []byte("from-vm2"), done) })
+	r.a.Read("data/shared.txt", func(data []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = data
+	})
+	r.eng.Run()
+	if !bytes.Equal(got, []byte("from-vm2")) {
+		t.Fatalf("guest A read %q after overwrite", got)
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	r := newRig()
+	r.must(t, func(done func(error)) { r.a.Mkdir("d", done) })
+	r.must(t, func(done func(error)) { r.a.Write("d/x", []byte("1"), done) })
+	r.must(t, func(done func(error)) { r.a.Write("d/y", []byte("2"), done) })
+
+	var names []string
+	r.b.List("d", func(n []string, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = n
+	})
+	r.eng.Run()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("List = %v", names)
+	}
+
+	// Non-empty directory cannot be removed.
+	var rmErr error
+	r.a.Remove("d", func(err error) { rmErr = err })
+	r.eng.Run()
+	if rmErr == nil {
+		t.Fatal("removed non-empty directory")
+	}
+	r.must(t, func(done func(error)) { r.a.Remove("d/x", done) })
+	r.must(t, func(done func(error)) { r.a.Remove("d/y", done) })
+	r.must(t, func(done func(error)) { r.a.Remove("d", done) })
+}
+
+func TestErrors(t *testing.T) {
+	r := newRig()
+	expectErr := func(op func(done func(error))) {
+		t.Helper()
+		var got error
+		op(func(err error) { got = err })
+		r.eng.Run()
+		if got == nil {
+			t.Error("expected error")
+		}
+	}
+	expectErr(func(done func(error)) { r.a.Write("missing-dir/f", []byte("x"), done) })
+	expectErr(func(done func(error)) { r.a.Mkdir("", done) })
+	expectErr(func(done func(error)) { r.a.Mkdir("a/../b", done) })
+	expectErr(func(done func(error)) { r.a.Remove("nope", done) })
+	r.must(t, func(done func(error)) { r.a.Write("f", []byte("x"), done) })
+	expectErr(func(done func(error)) { r.a.Write("f/child", []byte("x"), done) })
+	expectErr(func(done func(error)) { r.a.Mkdir("f", done) })
+	var rerr error
+	r.a.Read("nope", func(_ []byte, err error) { rerr = err })
+	r.eng.Run()
+	if rerr == nil {
+		t.Error("read of missing file succeeded")
+	}
+	var lerr error
+	r.a.List("f", func(_ []string, err error) { lerr = err })
+	r.eng.Run()
+	if lerr == nil {
+		t.Error("list of a file succeeded")
+	}
+}
+
+func TestOperationsTakeTimeAndBillBothSides(t *testing.T) {
+	r := newRig()
+	r.must(t, func(done func(error)) { r.a.Write("big", make([]byte, 256*1024), done) })
+	if r.eng.Now() == 0 {
+		t.Fatal("I/O consumed no virtual time")
+	}
+	if r.acct.Acct.Usage("guest/vm1").Of(cpuacct.Sys) == 0 {
+		t.Error("no guest-side cost billed")
+	}
+	if r.acct.Acct.Usage("host").Of(cpuacct.Sys) == 0 {
+		t.Error("no host-side cost billed")
+	}
+	// Large writes segment into multiple 9p messages.
+	if r.fs.Ops < 4 {
+		t.Errorf("Ops = %d, want several chunks", r.fs.Ops)
+	}
+}
+
+// Property: write-then-read round-trips arbitrary content through any
+// valid path.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	prop := func(data []byte, nameSel uint8) bool {
+		r := newRig()
+		name := []string{"a", "file.txt", "x-1_2", "UPPER"}[int(nameSel)%4]
+		ok := true
+		r.a.Write(name, data, func(err error) { ok = err == nil })
+		r.eng.Run()
+		if !ok {
+			return false
+		}
+		var got []byte
+		r.b.Read(name, func(d []byte, err error) {
+			ok = err == nil
+			got = d
+		})
+		r.eng.Run()
+		return ok && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package virtio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nestless/internal/cpuacct"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+// testHost builds a host namespace with a bridge and returns
+// (engine, world, hostNS, bridge).
+func testHost() (*sim.Engine, *netsim.Net, *netsim.NetNS, *netsim.Bridge) {
+	eng := sim.New(1)
+	eng.MaxSteps = 20_000_000
+	n := netsim.NewNet(eng)
+	hostCPU := netsim.NewCPU(eng, "host", 1, netsim.BillTo(n.Acct, "host", ""))
+	host := n.NewNS("host", hostCPU)
+	br := netsim.NewBridge(host, "virbr0")
+	br.Iface().SetAddr(netsim.IP(192, 168, 122, 1), netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24))
+	return eng, n, host, br
+}
+
+// attachGuest creates a guest namespace with a virtio NIC on the bridge.
+func attachGuest(n *netsim.Net, host *netsim.NetNS, br *netsim.Bridge, name string, addr netsim.IPv4) (*netsim.NetNS, *NIC) {
+	gCPU := netsim.NewCPU(n.Eng, name, 1, netsim.BillTo(n.Acct, "guest/"+name, "vm/"+name))
+	guest := n.NewNS(name, gCPU)
+	vhost := netsim.NewCPU(n.Eng, "vhost-"+name, 1, netsim.BillTo(n.Acct, "host", ""))
+	b := NewTAPBackend(host, "vnet-"+name)
+	nic := New(Config{Name: "eth0", MAC: n.NewMAC(), GuestNS: guest, Vhost: vhost, Backend: b})
+	b.Bind(nic)
+	br.AddPort(b.TAP)
+	nic.Guest.SetAddr(addr, netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24))
+	nic.Guest.Up = true
+	return guest, nic
+}
+
+func TestQueueSemantics(t *testing.T) {
+	q := NewQueue(2)
+	f := &netsim.Frame{}
+	if !q.Push(f) || !q.Push(f) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.Push(f) {
+		t.Fatal("push over capacity succeeded")
+	}
+	if q.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", q.Dropped)
+	}
+	if q.Len() != 2 || q.Cap() != 2 || q.MaxUsed != 2 {
+		t.Fatalf("Len/Cap/MaxUsed = %d/%d/%d", q.Len(), q.Cap(), q.MaxUsed)
+	}
+	if q.Pop() == nil || q.Pop() == nil || q.Pop() != nil {
+		t.Fatal("pop sequence wrong")
+	}
+}
+
+// Property: queue is FIFO and never exceeds capacity.
+func TestQueueFIFOProperty(t *testing.T) {
+	prop := func(ops []bool, capRaw uint8) bool {
+		capN := int(capRaw%16) + 1
+		q := NewQueue(capN)
+		next, expect := 0, 0
+		for _, push := range ops {
+			if push {
+				f := &netsim.Frame{Packet: &netsim.Packet{PayloadLen: next}}
+				if q.Push(f) {
+					next++
+				}
+			} else if f := q.Pop(); f != nil {
+				if f.Packet.PayloadLen != expect {
+					return false
+				}
+				expect++
+			}
+			if q.Len() > capN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuestToHostTraffic(t *testing.T) {
+	eng, n, host, br := testHost()
+	guest, _ := attachGuest(n, host, br, "vm1", netsim.IP(192, 168, 122, 10))
+
+	var got int
+	if _, err := host.BindUDP(6000, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := guest.BindUDP(0, nil)
+	s.SendTo(netsim.IP(192, 168, 122, 1), 6000, 512, nil)
+	eng.Run()
+	if got != 512 {
+		t.Fatalf("host received %d, want 512", got)
+	}
+	// vhost time lands on the host as sys.
+	if n.Acct.Usage("host").Of(cpuacct.Sys) == 0 {
+		t.Error("vhost work not billed to host sys")
+	}
+	// Guest vCPU work appears as vm guest time.
+	if n.Acct.Usage("vm/vm1").Of(cpuacct.Guest) == 0 {
+		t.Error("guest work not billed as guest time")
+	}
+}
+
+func TestHostToGuestTraffic(t *testing.T) {
+	eng, n, host, br := testHost()
+	guest, _ := attachGuest(n, host, br, "vm1", netsim.IP(192, 168, 122, 10))
+
+	var got int
+	if _, err := guest.BindUDP(7000, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := host.BindUDP(0, nil)
+	s.SendTo(netsim.IP(192, 168, 122, 10), 7000, 256, nil)
+	eng.Run()
+	if got != 256 {
+		t.Fatalf("guest received %d, want 256", got)
+	}
+}
+
+func TestVMToVMViaBridge(t *testing.T) {
+	eng, n, host, br := testHost()
+	g1, _ := attachGuest(n, host, br, "vm1", netsim.IP(192, 168, 122, 10))
+	g2, _ := attachGuest(n, host, br, "vm2", netsim.IP(192, 168, 122, 11))
+
+	var reply bool
+	if _, err := g2.BindUDP(5353, func(p *netsim.Packet) {
+		g2s, _ := g2.BindUDP(0, nil)
+		g2s.SendTo(p.Src, p.SrcPort, 100, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := g1.BindUDP(0, func(p *netsim.Packet) { reply = true })
+	s.SendTo(netsim.IP(192, 168, 122, 11), 5353, 100, nil)
+	eng.Run()
+	if !reply {
+		t.Fatal("VM-to-VM round trip failed")
+	}
+}
+
+func TestStreamOverVirtio(t *testing.T) {
+	eng, n, host, br := testHost()
+	guest, _ := attachGuest(n, host, br, "vm1", netsim.IP(192, 168, 122, 10))
+
+	const total = 512 * 1024
+	var got int
+	if _, err := guest.ListenStream(80, func(c *netsim.StreamConn) {
+		c.OnMessage = func(size int, _ interface{}, _ sim.Time) { got += size }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	host.DialStream(netsim.IP(192, 168, 122, 10), 80, func(c *netsim.StreamConn) {
+		for i := 0; i < 8; i++ {
+			c.SendMessage(total/8, nil)
+		}
+	})
+	eng.Run()
+	if got != total {
+		t.Fatalf("stream over virtio: got %d, want %d", got, total)
+	}
+}
+
+func TestRingOverflowDropsFrames(t *testing.T) {
+	eng := sim.New(1)
+	n := netsim.NewNet(eng)
+	// Make the vhost worker far slower than the guest TX path so the
+	// 2-descriptor ring genuinely backs up.
+	n.Costs.Vhost.PerPacket = 1000 * n.Costs.Vhost.PerPacket
+	hostCPU := netsim.NewCPU(eng, "host", 1, nil)
+	host := n.NewNS("host", hostCPU)
+	br := netsim.NewBridge(host, "virbr0")
+	br.Iface().SetAddr(netsim.IP(192, 168, 122, 1), netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24))
+
+	gCPU := netsim.NewCPU(eng, "vm1", 1, nil)
+	guest := n.NewNS("vm1", gCPU)
+	// Deliberately slow vhost and a tiny ring: TX bursts overflow.
+	vhost := netsim.NewCPU(eng, "vhost", 1, nil)
+	b := NewTAPBackend(host, "vnet0")
+	nic := New(Config{Name: "eth0", MAC: n.NewMAC(), GuestNS: guest, Vhost: vhost, Backend: b, Ring: 2})
+	b.Bind(nic)
+	br.AddPort(b.TAP)
+	nic.Guest.SetAddr(netsim.IP(192, 168, 122, 10), netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24))
+	nic.Guest.Up = true
+	guest.SetARP(netsim.IP(192, 168, 122, 1), br.Iface().MAC)
+
+	s, _ := guest.BindUDP(0, nil)
+	for i := 0; i < 64; i++ {
+		s.SendTo(netsim.IP(192, 168, 122, 1), 9, 1400, nil)
+	}
+	eng.Run()
+	if nic.TXDropped() == 0 {
+		t.Fatal("tiny ring under burst did not drop")
+	}
+}
+
+func TestNICDescribe(t *testing.T) {
+	_, _, host, _ := testHost()
+	b := NewTAPBackend(host, "vnetX")
+	if b.Describe() != "tap:vnetX" {
+		t.Fatalf("Describe = %q", b.Describe())
+	}
+}

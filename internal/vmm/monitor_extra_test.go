@@ -1,0 +1,106 @@
+package vmm
+
+import (
+	"testing"
+
+	"nestless/internal/netsim"
+)
+
+func TestQueryNetdev(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	m.Execute("netdev_add", map[string]string{"id": "nd1", "type": "bridge", "br": "virbr0"}, nil)
+	m.Execute("hostlo_create", map[string]string{"id": "h0"}, nil)
+	eng.Run()
+	m.Execute("netdev_add", map[string]string{"id": "nd2", "type": "hostlo", "dev": "h0"}, nil)
+	eng.Run()
+
+	var r Result
+	m.Execute("query-netdev", nil, func(res Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = res
+	})
+	eng.Run()
+	if r["nd1"] != "bridge" || r["nd2"] != "hostlo" {
+		t.Fatalf("query-netdev = %v", r)
+	}
+}
+
+func TestHotplugIfaceNamesSequential(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm.PlugBridgeNIC("virbr0", netsim.IP(192, 168, 122, 10), hostNet) // eth0
+	m := vm.Monitor()
+	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
+	eng.Run()
+	var names []string
+	for _, id := range []string{"d1", "d2"} {
+		m.Execute("device_add", map[string]string{"id": id, "netdev": "nd"}, func(r Result, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			names = append(names, r["iface"])
+		})
+		eng.Run()
+	}
+	if len(names) != 2 || names[0] != "eth1" || names[1] != "eth2" {
+		t.Fatalf("guest iface names = %v, want [eth1 eth2]", names)
+	}
+}
+
+func TestHotplugTimingJitterVaries(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
+	eng.Run()
+	var durations []int64
+	for i, id := range []string{"a", "b", "c", "d"} {
+		_ = i
+		start := eng.Now()
+		m.Execute("device_add", map[string]string{"id": id, "netdev": "nd"}, nil)
+		eng.Run()
+		durations = append(durations, int64(eng.Now()-start))
+	}
+	allSame := true
+	for _, d := range durations[1:] {
+		if d != durations[0] {
+			allSame = false
+		}
+		if d <= 0 {
+			t.Fatal("hot-plug took no time")
+		}
+	}
+	if allSame {
+		t.Fatal("hot-plug durations show no jitter")
+	}
+}
+
+func TestVMsListedInCreationOrder(t *testing.T) {
+	_, _, h := newTestHost()
+	for _, name := range []string{"c", "a", "b"} {
+		h.CreateVM(VMConfig{Name: name})
+	}
+	vms := h.VMs()
+	if len(vms) != 3 || vms[0].Name != "c" || vms[1].Name != "a" || vms[2].Name != "b" {
+		t.Fatalf("VMs order wrong: %v", []string{vms[0].Name, vms[1].Name, vms[2].Name})
+	}
+}
+
+func TestDeviceMACStable(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
+	eng.Run()
+	var mac string
+	m.Execute("device_add", map[string]string{"id": "d", "netdev": "nd"}, func(r Result, err error) { mac = r["mac"] })
+	eng.Run()
+	dev := vm.Devices()["d"]
+	if dev.MAC().String() != mac {
+		t.Fatalf("MAC drifted: %s vs %s", dev.MAC(), mac)
+	}
+}

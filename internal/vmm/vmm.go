@@ -1,0 +1,228 @@
+// Package vmm models the virtualization layer of the paper's testbed: a
+// physical host running a QEMU/KVM-like machine monitor. Each VM has a
+// guest namespace and a vCPU lane; the VMM exposes a QMP-like
+// side-channel monitor per VM (§3.2: "when QEMU creates a VM, it also
+// provides a side-channel management interface") through which the
+// orchestrator hot-plugs NICs — the mechanism both BrFusion and Hostlo
+// are built on.
+package vmm
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/hostlo"
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+	"nestless/internal/virtio"
+)
+
+// Host is the physical machine: host namespace, host CPUs, bridges, VMs
+// and Hostlo devices.
+type Host struct {
+	Net *netsim.Net
+	Eng *sim.Engine
+	NS  *netsim.NetNS
+	CPU *netsim.CPU
+
+	bridges map[string]*netsim.Bridge
+	vms     map[string]*VM
+	vmOrder []string
+	hostlos map[string]*hostlo.Device
+
+	tapSeq int
+}
+
+// NewHost creates the physical machine. Host network processing runs on
+// a single host-kernel lane billed to the "host" entity.
+func NewHost(n *netsim.Net) *Host {
+	cpu := netsim.NewCPU(n.Eng, "hostcpu", 1, netsim.BillTo(n.Acct, "host", ""))
+	h := &Host{
+		Net:     n,
+		Eng:     n.Eng,
+		CPU:     cpu,
+		bridges: make(map[string]*netsim.Bridge),
+		vms:     make(map[string]*VM),
+		hostlos: make(map[string]*hostlo.Device),
+	}
+	cpu.Station.SetWakeup(WorkerWakeMean, WorkerWakeJitter, WakeThreshold)
+	h.NS = n.NewNS("host", cpu)
+	h.NS.Forward = true
+	return h
+}
+
+// AddBridge creates a host bridge with the given gateway address.
+func (h *Host) AddBridge(name string, addr netsim.IPv4, subnet netsim.Prefix) *netsim.Bridge {
+	br := netsim.NewBridge(h.NS, name)
+	br.Iface().SetAddr(addr, subnet)
+	h.bridges[name] = br
+	return br
+}
+
+// Bridge returns a host bridge by name, or nil.
+func (h *Host) Bridge(name string) *netsim.Bridge { return h.bridges[name] }
+
+// Hostlo returns a Hostlo device by name, or nil.
+func (h *Host) Hostlo(name string) *hostlo.Device { return h.hostlos[name] }
+
+// VMs returns the host's VMs in creation order.
+func (h *Host) VMs() []*VM {
+	out := make([]*VM, 0, len(h.vmOrder))
+	for _, name := range h.vmOrder {
+		out = append(out, h.vms[name])
+	}
+	return out
+}
+
+// VM returns a VM by name, or nil.
+func (h *Host) VM(name string) *VM { return h.vms[name] }
+
+// nextTAP names a fresh host-side TAP.
+func (h *Host) nextTAP() string {
+	h.tapSeq++
+	return fmt.Sprintf("vnet%d", h.tapSeq)
+}
+
+// VMConfig sizes a virtual machine.
+type VMConfig struct {
+	Name     string
+	VCPUs    int
+	MemoryMB int
+}
+
+// VM is one guest: namespace, vCPU lane, attached devices, and the QMP
+// monitor. Guest network work is billed to "guest/<name>" (the in-guest
+// view) and mirrored as guest time of "vm/<name>" (the host view).
+type VM struct {
+	Host *Host
+	Name string
+	// VCPUs and MemoryMB size the VM for the schedulers and the cost
+	// simulation; the network lane itself is serial, as a single flow's
+	// kernel processing is on real guests.
+	VCPUs    int
+	MemoryMB int
+
+	NS  *netsim.NetNS
+	CPU *netsim.CPU
+
+	monitor *Monitor
+	devices map[string]*Device
+	netdevs map[string]*netdevSpec
+	ifSeq   int
+
+	// OnHotplug is the guest OS's device notification: the in-VM agent
+	// (kubelet) subscribes to learn about NICs the VMM inserted.
+	OnHotplug func(dev *Device)
+}
+
+// CreateVM provisions a VM on the host (no NICs yet).
+func (h *Host) CreateVM(cfg VMConfig) *VM {
+	if _, dup := h.vms[cfg.Name]; dup {
+		panic(fmt.Sprintf("vmm: duplicate VM %q", cfg.Name))
+	}
+	if cfg.VCPUs <= 0 {
+		cfg.VCPUs = 1
+	}
+	cpu := netsim.NewCPU(h.Eng, "vm-"+cfg.Name, 1,
+		netsim.BillTo(h.Net.Acct, "guest/"+cfg.Name, "vm/"+cfg.Name))
+	cpu.Station.SetWakeup(VCPUWakeMean, VCPUWakeJitter, WakeThreshold)
+	vm := &VM{
+		Host:     h,
+		Name:     cfg.Name,
+		VCPUs:    cfg.VCPUs,
+		MemoryMB: cfg.MemoryMB,
+		CPU:      cpu,
+		devices:  make(map[string]*Device),
+		netdevs:  make(map[string]*netdevSpec),
+	}
+	vm.NS = h.Net.NewNS("vm-"+cfg.Name, cpu)
+	vm.NS.Forward = true // guests route for their pods (vanilla nested setup)
+	vm.monitor = &Monitor{vm: vm}
+	h.vms[cfg.Name] = vm
+	h.vmOrder = append(h.vmOrder, cfg.Name)
+	return vm
+}
+
+// Monitor returns the VM's QMP side channel.
+func (vm *VM) Monitor() *Monitor { return vm.monitor }
+
+// Devices returns the VM's attached NIC devices by ID.
+func (vm *VM) Devices() map[string]*Device {
+	out := make(map[string]*Device, len(vm.devices))
+	for k, v := range vm.devices {
+		out[k] = v
+	}
+	return out
+}
+
+// EntityCPU returns a CPU view sharing this VM's vCPU lane but billing a
+// different in-guest entity (e.g. "app/<pod>") while still mirroring
+// guest time to the VM — how pod namespaces inside the VM account.
+func (vm *VM) EntityCPU(entity string) *netsim.CPU {
+	return &netsim.CPU{
+		Eng:     vm.Host.Eng,
+		Station: vm.CPU.Station,
+		Bill:    netsim.BillTo(vm.Host.Net.Acct, entity, "vm/"+vm.Name),
+	}
+}
+
+// nextIface names the next guest interface (eth0, eth1, ...).
+func (vm *VM) nextIface() string {
+	name := fmt.Sprintf("eth%d", vm.ifSeq)
+	vm.ifSeq++
+	return name
+}
+
+// Device is one attached virtio-net device.
+type Device struct {
+	ID     string
+	Netdev string
+	NIC    *virtio.NIC
+	// Hostlo is set when the device's backend is a Hostlo queue.
+	Hostlo *hostlo.Backend
+}
+
+// MAC returns the device's guest-visible MAC — the identifier the VMM
+// reports back to the orchestrator (§3.1 step 3).
+func (d *Device) MAC() netsim.MAC { return d.NIC.Guest.MAC }
+
+// netdevSpec is a registered host-side backend definition.
+type netdevSpec struct {
+	id      string
+	kind    string // "bridge" or "hostlo"
+	bridge  string
+	hostloD string
+}
+
+// Timing constants for management-plane operations. QEMU's QMP handling
+// plus guest PCI/ACPI probe and driver bring-up dominate; the jitter
+// reflects run-to-run variance observed on real hot-plugs.
+// Wake-up latencies: a halted vCPU pays halt-exit + IPI + VM-entry on
+// the next packet after an idle period (KVM halt-polls ~20 µs before
+// halting); host kernel workers (vhost, softirq threads) pay a scheduler
+// wake-up. Streaming traffic never idles long enough to pay these; sparse
+// request/response traffic pays them on nearly every transaction.
+const (
+	VCPUWakeMean     = 8 * time.Microsecond
+	VCPUWakeJitter   = 2 * time.Microsecond
+	WorkerWakeMean   = 3 * time.Microsecond
+	WorkerWakeJitter = 1 * time.Microsecond
+	WakeThreshold    = 20 * time.Microsecond
+)
+
+const (
+	qmpDispatchMean   = 80 * time.Microsecond
+	qmpDispatchJitter = 15 * time.Microsecond
+	qemuAttachMean    = 300 * time.Microsecond
+	qemuAttachJitter  = 60 * time.Microsecond
+	guestProbeMean    = 900 * time.Microsecond
+	guestProbeJitter  = 180 * time.Microsecond
+)
+
+func jittered(r *sim.Rand, mean, jitter time.Duration) time.Duration {
+	d := time.Duration(r.Normal(float64(mean), float64(jitter)))
+	if d < mean/4 {
+		d = mean / 4
+	}
+	return d
+}

@@ -1,0 +1,215 @@
+package vmm
+
+import (
+	"testing"
+
+	"nestless/internal/netsim"
+	"nestless/internal/sim"
+)
+
+var (
+	hostNet = netsim.MustPrefix(netsim.IP(192, 168, 122, 0), 24)
+	gateway = netsim.IP(192, 168, 122, 1)
+)
+
+func newTestHost() (*sim.Engine, *netsim.Net, *Host) {
+	eng := sim.New(1)
+	eng.MaxSteps = 20_000_000
+	n := netsim.NewNet(eng)
+	h := NewHost(n)
+	h.AddBridge("virbr0", gateway, hostNet)
+	return eng, n, h
+}
+
+func TestCreateVMAndBootNIC(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web", VCPUs: 5, MemoryMB: 4096})
+	vm.PlugBridgeNIC("virbr0", netsim.IP(192, 168, 122, 10), hostNet)
+
+	var got int
+	if _, err := vm.NS.BindUDP(80, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := h.NS.BindUDP(0, nil)
+	s.SendTo(netsim.IP(192, 168, 122, 10), 80, 64, nil)
+	eng.Run()
+	if got != 64 {
+		t.Fatalf("VM received %d, want 64", got)
+	}
+	if len(h.VMs()) != 1 || h.VM("web") != vm {
+		t.Fatal("VM registry wrong")
+	}
+}
+
+func TestDuplicateVMPanics(t *testing.T) {
+	_, _, h := newTestHost()
+	h.CreateVM(VMConfig{Name: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate VM did not panic")
+		}
+	}()
+	h.CreateVM(VMConfig{Name: "x"})
+}
+
+func TestMonitorHotplugBridgeNIC(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web", VCPUs: 5})
+	m := vm.Monitor()
+
+	var hotplugged *Device
+	vm.OnHotplug = func(d *Device) { hotplugged = d }
+
+	var mac, iface string
+	m.Execute("netdev_add", map[string]string{"id": "nd1", "type": "bridge", "br": "virbr0"}, func(r Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Execute("device_add", map[string]string{"id": "net1", "driver": "virtio-net", "netdev": "nd1"}, func(r Result, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			mac, iface = r["mac"], r["iface"]
+		})
+	})
+	eng.Run()
+
+	if hotplugged == nil {
+		t.Fatal("guest never saw the hot-plug event")
+	}
+	if mac == "" || mac != hotplugged.MAC().String() {
+		t.Fatalf("reply mac %q != device mac %q", mac, hotplugged.MAC())
+	}
+	if iface != "eth0" {
+		t.Fatalf("guest iface %q, want eth0", iface)
+	}
+	if eng.Now() == 0 {
+		t.Fatal("hot-plug consumed no management-plane time")
+	}
+	// The new NIC is usable: give it an address and pass traffic.
+	nic := hotplugged.NIC
+	nic.Guest.SetAddr(netsim.IP(192, 168, 122, 20), hostNet)
+	var got bool
+	if _, err := vm.NS.BindUDP(99, func(p *netsim.Packet) { got = true }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := h.NS.BindUDP(0, nil)
+	s.SendTo(netsim.IP(192, 168, 122, 20), 99, 10, nil)
+	eng.Run()
+	if !got {
+		t.Fatal("hot-plugged NIC passed no traffic")
+	}
+}
+
+func TestMonitorHostloLifecycle(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm1 := h.CreateVM(VMConfig{Name: "vm1"})
+	vm2 := h.CreateVM(VMConfig{Name: "vm2"})
+
+	plug := func(vm *VM, addr netsim.IPv4) {
+		m := vm.Monitor()
+		m.Execute("hostlo_create", map[string]string{"id": "hostlo0"}, nil) // idempotent across VMs? second errors, ignored
+		m.Execute("netdev_add", map[string]string{"id": "ndh", "type": "hostlo", "dev": "hostlo0"}, func(_ Result, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Execute("device_add", map[string]string{"id": "hlo", "netdev": "ndh"}, func(r Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				dev := vm.Devices()["hlo"]
+				dev.NIC.Guest.SetAddr(addr, netsim.MustPrefix(netsim.IP(169, 254, 77, 0), 24))
+			})
+		})
+	}
+	plug(vm1, netsim.IP(169, 254, 77, 10))
+	eng.Run()
+	plug(vm2, netsim.IP(169, 254, 77, 11))
+	eng.Run()
+
+	if h.Hostlo("hostlo0") == nil || h.Hostlo("hostlo0").Queues() != 2 {
+		t.Fatalf("hostlo device wrong: %+v", h.Hostlo("hostlo0"))
+	}
+	var got int
+	if _, err := vm2.NS.BindUDP(4000, func(p *netsim.Packet) { got = p.PayloadLen }); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := vm1.NS.BindUDP(0, nil)
+	s.SendTo(netsim.IP(169, 254, 77, 11), 4000, 300, nil)
+	eng.Run()
+	if got != 300 {
+		t.Fatalf("cross-VM hostlo datagram got %d, want 300", got)
+	}
+}
+
+func TestDeviceDelDetaches(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	m.Execute("netdev_add", map[string]string{"id": "nd1", "type": "bridge", "br": "virbr0"}, nil)
+	eng.Run()
+	m.Execute("device_add", map[string]string{"id": "net1", "netdev": "nd1"}, nil)
+	eng.Run()
+	if len(vm.Devices()) != 1 {
+		t.Fatal("device not attached")
+	}
+	var delErr error
+	m.Execute("device_del", map[string]string{"id": "net1"}, func(_ Result, err error) { delErr = err })
+	eng.Run()
+	if delErr != nil {
+		t.Fatal(delErr)
+	}
+	if len(vm.Devices()) != 0 {
+		t.Fatal("device still attached after device_del")
+	}
+	if vm.NS.Iface("eth0") != nil {
+		t.Fatal("guest iface not removed")
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	expectErr := func(cmd string, args map[string]string) {
+		t.Helper()
+		gotErr := false
+		m.Execute(cmd, args, func(_ Result, err error) { gotErr = err != nil })
+		eng.Run()
+		if !gotErr {
+			t.Errorf("%s %v: expected error", cmd, args)
+		}
+	}
+	expectErr("bogus", nil)
+	expectErr("netdev_add", map[string]string{"id": "", "type": "bridge"})
+	expectErr("netdev_add", map[string]string{"id": "a", "type": "bridge", "br": "missing"})
+	expectErr("netdev_add", map[string]string{"id": "a", "type": "hostlo", "dev": "missing"})
+	expectErr("netdev_add", map[string]string{"id": "a", "type": "weird"})
+	expectErr("device_add", map[string]string{"id": "d", "netdev": "missing"})
+	expectErr("device_add", map[string]string{"id": "", "netdev": "x"})
+	expectErr("device_del", map[string]string{"id": "missing"})
+	expectErr("hostlo_create", map[string]string{"id": ""})
+	// Duplicate netdev id.
+	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
+	eng.Run()
+	expectErr("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"})
+	// Unsupported driver.
+	expectErr("device_add", map[string]string{"id": "d", "driver": "e1000", "netdev": "nd"})
+}
+
+func TestEntityCPUSharesLaneButBillsSeparately(t *testing.T) {
+	_, n, h := newTestHost()
+	vm := h.CreateVM(VMConfig{Name: "web"})
+	pod := vm.EntityCPU("app/pod1")
+	if pod.Station != vm.CPU.Station {
+		t.Fatal("pod CPU must share the VM's vCPU lane")
+	}
+	pod.Run(0 /* Usr */, 1000, nil)
+	h.Eng.Run()
+	if n.Acct.Usage("app/pod1").Total() == 0 {
+		t.Fatal("pod entity not billed")
+	}
+	if n.Acct.Usage("vm/web").Total() == 0 {
+		t.Fatal("VM guest time not mirrored")
+	}
+}
