@@ -4,8 +4,9 @@
 //	benchnet -fig 4    # BrFusion vs NAT vs NoCont sweep (§5.2.1)
 //	benchnet -fig 10   # Hostlo vs NAT vs Overlay vs SameNode (§5.3.2)
 //
-// Use -csv for machine-readable output and -quick for a fast pass with
-// fewer message sizes.
+// Use -csv for machine-readable output, -quick for a fast pass with
+// fewer message sizes, -trace out.json for a Chrome trace of the runs
+// and -metrics for the telemetry tables.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"nestless/internal/cli"
 	"nestless/internal/figures"
 	"nestless/internal/report"
 )
@@ -22,9 +24,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	quick := flag.Bool("quick", false, "short measurement windows, fewer sizes")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	tf := cli.TelemetryFlags()
 	flag.Parse()
 
-	opts := figures.Opts{Seed: *seed, Quick: *quick}
+	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder()}
 	var tables []*report.Table
 	switch *fig {
 	case 2:
@@ -36,8 +39,7 @@ func main() {
 		tput, lat := figures.Fig10(opts)
 		tables = []*report.Table{tput, lat}
 	default:
-		fmt.Fprintf(os.Stderr, "benchnet: unknown figure %d (want 2, 4 or 10)\n", *fig)
-		os.Exit(2)
+		cli.BadFlag("benchnet: unknown figure %d (want 2, 4 or 10)", *fig)
 	}
 	for i, t := range tables {
 		if i > 0 {
@@ -49,4 +51,5 @@ func main() {
 			t.WriteText(os.Stdout)
 		}
 	}
+	tf.EmitOrDie("benchnet")
 }

@@ -2,6 +2,8 @@
 // (Fig. 8, §5.2.4): the distribution of the time between ordering the
 // container engine to create a container and the container speaking TCP,
 // under vanilla Docker NAT networking versus BrFusion's hot-plugged NIC.
+// Add -trace out.json for a Chrome trace of the boots and -metrics for
+// the telemetry tables.
 package main
 
 import (
@@ -9,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"nestless/internal/cli"
 	"nestless/internal/figures"
 )
 
@@ -16,16 +19,21 @@ func main() {
 	runs := flag.Int("runs", 100, "boots per solution (the paper uses 100)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	tf := cli.TelemetryFlags()
 	flag.Parse()
 
-	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed}, *runs)
+	if *runs <= 0 {
+		cli.BadFlag("bootbench: -runs must be positive, got %d", *runs)
+	}
+	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed, Rec: tf.Recorder()}, *runs)
 	if *csv {
 		stats.WriteCSV(os.Stdout)
 		fmt.Println()
 		cdf.WriteCSV(os.Stdout)
-		return
+	} else {
+		stats.WriteText(os.Stdout)
+		fmt.Println()
+		cdf.WriteText(os.Stdout)
 	}
-	stats.WriteText(os.Stdout)
-	fmt.Println()
-	cdf.WriteText(os.Stdout)
+	tf.EmitOrDie("bootbench")
 }

@@ -6,16 +6,23 @@
 //	costsim                # Fig. 9 histogram + headline statistics
 //	costsim -table 2       # the VM catalog (Table 2)
 //	costsim -users 1000    # a larger population
+//
+// Add -trace out.json for a per-user trace of the placement run and
+// -metrics for the telemetry tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"nestless/internal/cli"
 	"nestless/internal/cloudsim"
 	"nestless/internal/figures"
 	"nestless/internal/report"
+	"nestless/internal/sim"
+	"nestless/internal/telemetry"
 	"nestless/internal/trace"
 )
 
@@ -25,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	top := flag.Int("top", 0, "also list the top-N savers")
+	tf := cli.TelemetryFlags()
 	flag.Parse()
 
 	emit := func(t *report.Table) {
@@ -35,15 +43,23 @@ func main() {
 		}
 	}
 
-	if *table == 2 {
+	switch *table {
+	case 0:
+	case 2:
 		emit(figures.Table2())
 		return
+	default:
+		cli.BadFlag("costsim: unknown table %d (want 2)", *table)
+	}
+	if *users <= 0 {
+		cli.BadFlag("costsim: -users must be positive, got %d", *users)
 	}
 
 	cfg := trace.DefaultConfig(*seed)
 	cfg.Users = *users
 	pop := trace.Generate(cfg)
 	res := cloudsim.Simulate(pop, cloudsim.Catalog())
+	record(tf.Recorder(), res)
 
 	hist, stats := figures.Fig9(figures.Opts{Seed: *seed, Quick: *users != 492})
 	if *users == 492 {
@@ -73,4 +89,25 @@ func main() {
 		}
 		emit(tt)
 	}
+	tf.EmitOrDie("costsim")
+}
+
+// record instruments the (engine-less) placement run post hoc: one
+// instant event per user on a manual 1 ms-per-user clock, plus summary
+// metrics. rec may be nil.
+func record(rec *telemetry.Recorder, res cloudsim.PopulationResult) {
+	if rec == nil {
+		return
+	}
+	reg := rec.Metrics()
+	reg.Counter("costsim/users").Add(float64(len(res.Users)))
+	sav := reg.Series("costsim/savings_rel")
+	for i, u := range res.Users {
+		rec.SetNow(sim.Time(i) * sim.Time(time.Millisecond))
+		rec.Instant("costsim", fmt.Sprintf("user-%d", u.UserID), "savings_rel", u.SavingsRel())
+		sav.Add(u.SavingsRel())
+	}
+	kube, hostlo := res.TotalCosts()
+	reg.Gauge("costsim/kube_cost_per_h").Set(kube)
+	reg.Gauge("costsim/hostlo_cost_per_h").Set(hostlo)
 }

@@ -8,13 +8,16 @@
 //	macrobench -fig 14     # Memcached CPU usage (§5.3.4)
 //	macrobench -fig 15     # NGINX CPU usage (§5.3.4)
 //	macrobench -table 1    # macro-benchmark parameters (§5.1)
+//
+// Add -trace out.json to dump a Chrome trace of the runs and -metrics
+// for the telemetry tables.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
+	"nestless/internal/cli"
 	"nestless/internal/figures"
 	"nestless/internal/report"
 )
@@ -25,13 +28,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	quick := flag.Bool("quick", false, "short measurement windows")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	tf := cli.TelemetryFlags()
 	flag.Parse()
 
-	opts := figures.Opts{Seed: *seed, Quick: *quick}
+	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder()}
 	var t *report.Table
 	switch {
 	case *table == 1:
 		t = figures.Table1()
+	case *table != 0:
+		cli.BadFlag("macrobench: unknown table %d (want 1)", *table)
 	case *fig == 5:
 		t = figures.Fig5(opts)
 	case *fig == 6:
@@ -47,12 +53,12 @@ func main() {
 	case *fig == 15:
 		t = figures.Fig15(opts)
 	default:
-		fmt.Fprintf(os.Stderr, "macrobench: unknown figure %d\n", *fig)
-		os.Exit(2)
+		cli.BadFlag("macrobench: unknown figure %d (want 5, 6, 7, 11, 13, 14 or 15)", *fig)
 	}
 	if *csv {
 		t.WriteCSV(os.Stdout)
 	} else {
 		t.WriteText(os.Stdout)
 	}
+	tf.EmitOrDie("macrobench")
 }

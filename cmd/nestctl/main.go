@@ -10,15 +10,17 @@
 //
 // It also prints per-hop interface counters across the whole topology
 // (-counters) so the extra in-VM hops under NAT are visible as traffic
-// on docker0 and the veth pair.
+// on docker0 and the veth pair. Add -trace out.json for a Chrome trace
+// of the exchange (the per-packet flow events show every hop) and
+// -metrics for the telemetry tables.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"nestless/internal/cli"
 	"nestless/internal/netsim"
 	"nestless/internal/report"
 	"nestless/internal/scenario"
@@ -28,11 +30,17 @@ func main() {
 	mode := flag.String("mode", "nat", "networking mode: nat, brfusion or nocont")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	counters := flag.Bool("counters", true, "print per-interface counters")
+	tf := cli.TelemetryFlags()
 	flag.Parse()
 
-	sc, err := scenario.NewServerClient(*seed, scenario.Mode(*mode), 9000)
+	switch scenario.Mode(*mode) {
+	case scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont:
+	default:
+		cli.BadFlag("nestctl: unknown mode %q (want nat, brfusion or nocont)", *mode)
+	}
+	sc, err := scenario.NewServerClientWith(*seed, scenario.Mode(*mode), tf.Recorder(), 9000)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("nestctl", err)
 	}
 
 	// Capture on the interface the server's packets use.
@@ -46,20 +54,23 @@ func main() {
 		}
 	}
 	if target == nil {
-		log.Fatal("nestctl: no capturable interface in the server namespace")
+		cli.Fatal("nestctl", fmt.Errorf("no capturable interface in the server namespace"))
 	}
 	cap := netsim.AttachCapture(target, 64)
 
 	// One UDP request/response.
 	srv, err := sc.ServerNS.BindUDP(9000, nil)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal("nestctl", err)
 	}
 	srv.OnRecv = func(p *netsim.Packet) {
 		srv.SendTo(p.Src, p.SrcPort, 128, "pong")
 	}
-	cli, _ := sc.Client.BindUDP(0, nil)
-	cli.SendTo(sc.DialAddr, 9000, 128, "ping")
+	sock, err := sc.Client.BindUDP(0, nil)
+	if err != nil {
+		cli.Fatal("nestctl", err)
+	}
+	sock.SendTo(sc.DialAddr, 9000, 128, "ping")
 	sc.Eng.Run()
 
 	fmt.Printf("mode=%s  server=%v  captured on %s (%s namespace)\n\n",
@@ -82,4 +93,5 @@ func main() {
 		}
 		t.WriteText(os.Stdout)
 	}
+	tf.EmitOrDie("nestctl")
 }

@@ -50,6 +50,12 @@ func (p *Plugin) Name() string { return "brfusion" }
 // host bridge domain, with NAT only at the host level exactly as for a
 // VM — so they are ignored.
 func (p *Plugin) Provision(c *container.Container, _ []container.PortMap, done func(netsim.IPv4, error)) {
+	op := p.VM.Host.Net.Rec.OpBegin("cni/brfusion", "provision "+c.Name)
+	inner := done
+	done = func(ip netsim.IPv4, err error) {
+		op.End(err)
+		inner(ip, err)
+	}
 	p.Ctrl.ProvisionPodNIC(p.VM, p.Bridge, func(info core.NICInfo, err error) {
 		if err != nil {
 			done(netsim.IPv4{}, err)

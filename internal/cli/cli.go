@@ -1,0 +1,100 @@
+// Package cli holds the shared plumbing of the cmd/ tools: unified
+// bad-flag handling (message + usage to stderr, exit 2, matching what
+// the flag package does for unknown flags) and the -trace/-metrics
+// telemetry flags every tool offers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nestless/internal/telemetry"
+)
+
+// BadFlag reports an invalid flag value the way the flag package itself
+// reports an unknown flag: the message and the usage text go to stderr
+// and the process exits 2.
+func BadFlag(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// Fatal reports a runtime (post-flag-parsing) failure and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Telemetry carries the -trace/-metrics flag values of one tool.
+type Telemetry struct {
+	TracePath string
+	Metrics   bool
+	rec       *telemetry.Recorder
+}
+
+// TelemetryFlags registers -trace and -metrics on the default flag set;
+// call it before flag.Parse.
+func TelemetryFlags() *Telemetry {
+	t := &Telemetry{}
+	flag.StringVar(&t.TracePath, "trace", "",
+		"write the run's trace here (.txt = compact text, otherwise Chrome trace-event JSON for chrome://tracing)")
+	flag.BoolVar(&t.Metrics, "metrics", false,
+		"print telemetry metrics tables after the run")
+	return t
+}
+
+// Recorder returns the recorder backing the requested outputs, or nil
+// when neither -trace nor -metrics was given — the zero-overhead
+// telemetry-off path.
+func (t *Telemetry) Recorder() *telemetry.Recorder {
+	if t.TracePath == "" && !t.Metrics {
+		return nil
+	}
+	if t.rec == nil {
+		t.rec = telemetry.New()
+	}
+	return t.rec
+}
+
+// Emit writes whatever was requested: the trace file and/or the metrics
+// tables (stdout, each preceded by a blank line).
+func (t *Telemetry) Emit() error {
+	if t.rec == nil {
+		return nil
+	}
+	if t.TracePath != "" {
+		f, err := os.Create(t.TracePath)
+		if err != nil {
+			return err
+		}
+		var werr error
+		if strings.HasSuffix(t.TracePath, ".txt") {
+			werr = t.rec.WriteTextTrace(f)
+		} else {
+			werr = t.rec.WriteChromeTrace(f)
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	if t.Metrics {
+		for _, tb := range t.rec.MetricsTables() {
+			fmt.Println()
+			tb.WriteText(os.Stdout)
+		}
+	}
+	return nil
+}
+
+// EmitOrDie is Emit with Fatal error handling.
+func (t *Telemetry) EmitOrDie(tool string) {
+	if err := t.Emit(); err != nil {
+		Fatal(tool, err)
+	}
+}

@@ -20,11 +20,12 @@ func (p *bridgeNAT) Name() string { return "bridge-nat" }
 // namespace.
 func (p *bridgeNAT) Provision(c *Container, ports []PortMap, done func(netsim.IPv4, error)) {
 	e := p.e
-	steps := []bootStep{vethCreateStep, bridgeAttachStep, ifaceConfigStep}
+	op := e.cfg.Net.Rec.OpBegin("cni/bridge-nat", "provision "+c.Name)
+	steps := []namedStep{{"veth-create", vethCreateStep}, {"bridge-attach", bridgeAttachStep}, {"iface-config", ifaceConfigStep}}
 	// One iptables invocation for the per-container MASQUERADE return
 	// rule, plus one per published port.
 	for i := 0; i < 1+len(ports); i++ {
-		steps = append(steps, iptablesRuleStep)
+		steps = append(steps, namedStep{"iptables-rule", iptablesRuleStep})
 	}
 	e.stepRunner(c, steps, func() {
 		ip := e.allocIP()
@@ -44,6 +45,7 @@ func (p *bridgeNAT) Provision(c *Container, ports []PortMap, done func(netsim.IP
 				ToPort:  pm.CtrPort,
 			})
 		}
+		op.End(nil)
 		done(ip, nil)
 	})()
 }

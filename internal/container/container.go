@@ -283,10 +283,10 @@ func (e *Engine) Stop(name string) error {
 // namespace creation and entrypoint start — where the CNI call happens.
 func (e *Engine) bootSequence(c *Container, spec Spec, done func(*Container, error)) {
 	eng := e.cfg.Eng
-	steps := []bootStep{e.boot.DaemonPrep, e.boot.NamespaceSetup}
+	steps := []namedStep{{"daemon-prep", e.boot.DaemonPrep}, {"namespace-setup", e.boot.NamespaceSetup}}
 	if spec.JoinPod == nil {
 		// Joining a pod skips sandbox work.
-		steps = append(steps, e.boot.RootfsMount)
+		steps = append(steps, namedStep{"rootfs-mount", e.boot.RootfsMount})
 	}
 	run := e.stepRunner(c, steps, func() {
 		provision := func(next func()) {
@@ -305,7 +305,7 @@ func (e *Engine) bootSequence(c *Container, spec Spec, done func(*Container, err
 			})
 		}
 		provision(func() {
-			e.stepRunner(c, []bootStep{e.boot.ProcessStart}, func() {
+			e.stepRunner(c, []namedStep{{"process-start", e.boot.ProcessStart}}, func() {
 				c.State = Running
 				c.ReadyAt = eng.Now()
 				done(c, nil)
@@ -315,22 +315,36 @@ func (e *Engine) bootSequence(c *Container, spec Spec, done func(*Container, err
 	run()
 }
 
+// namedStep pairs a boot step with its telemetry span name.
+type namedStep struct {
+	name string
+	s    bootStep
+}
+
 // stepRunner chains boot steps: each occupies wall-clock time (mostly
-// I/O wait) and bills a fraction of it as node kernel CPU.
-func (e *Engine) stepRunner(c *Container, steps []bootStep, then func()) func() {
+// I/O wait), bills a fraction of it as node kernel CPU, and — when
+// telemetry is on — appears as one span on the node's boot timeline.
+func (e *Engine) stepRunner(c *Container, steps []namedStep, then func()) func() {
 	eng := e.cfg.Eng
+	rec := e.cfg.Net.Rec
 	var run func(i int)
 	run = func(i int) {
 		if i >= len(steps) {
 			then()
 			return
 		}
-		s := steps[i]
-		d := s.sample(e.rng)
-		if s.CPUFraction > 0 && e.cfg.CPU.Bill != nil {
-			e.cfg.CPU.Bill(cpuacct.Sys, time.Duration(float64(d)*s.CPUFraction))
+		st := steps[i]
+		d := st.s.sample(e.rng)
+		if st.s.CPUFraction > 0 {
+			// Charge (not Run): the step's wall time exceeds its CPU
+			// fraction, and the delay is modelled by the After below.
+			e.cfg.CPU.Charge(cpuacct.Sys, time.Duration(float64(d)*st.s.CPUFraction))
 		}
-		eng.After(d, func() { run(i + 1) })
+		op := rec.OpBegin("boot/"+e.cfg.Node, c.Name+"/"+st.name)
+		eng.After(d, func() {
+			op.End(nil)
+			run(i + 1)
+		})
 	}
 	return func() { run(0) }
 }

@@ -18,7 +18,8 @@ import (
 // node, dialing a host-side listener from inside the new pod, and
 // returns the per-run durations in seconds.
 func BootSamples(o Opts, mode scenario.Mode, runs int) *sim.Series {
-	sc, err := scenario.NewServerClient(o.Seed, scenario.ModeNoCont)
+	o.Rec.BeginRun("boot-" + string(mode))
+	sc, err := scenario.NewServerClientWith(o.Seed, scenario.ModeNoCont, o.Rec)
 	if err != nil {
 		panic(err)
 	}

@@ -7,11 +7,13 @@
 package figures
 
 import (
+	"fmt"
 	"time"
 
 	"nestless/internal/netperf"
 	"nestless/internal/report"
 	"nestless/internal/scenario"
+	"nestless/internal/telemetry"
 )
 
 // Opts tunes a figure run.
@@ -21,6 +23,10 @@ type Opts struct {
 	// Quick shrinks measurement windows (used by tests); the shapes
 	// survive, absolute precision drops.
 	Quick bool
+	// Rec collects telemetry across every scenario the figure builds
+	// (nil = telemetry off). Runs are labeled per (workload, mode) so a
+	// multi-scenario figure lays out on one trace timeline.
+	Rec *telemetry.Recorder
 }
 
 // DefaultOpts is the standard configuration.
@@ -90,7 +96,8 @@ func Fig4(o Opts) (throughput, latency *report.Table) {
 
 // measureServerClient runs both micro modes against one fresh scenario.
 func measureServerClient(o Opts, mode scenario.Mode, size int) (netperf.StreamResult, netperf.RRResult) {
-	sc, err := scenario.NewServerClient(o.Seed, mode, 5001, 7001)
+	o.Rec.BeginRun(fmt.Sprintf("micro-%s-%d", mode, size))
+	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, 5001, 7001)
 	if err != nil {
 		panic(err)
 	}
@@ -109,7 +116,8 @@ func measureServerClient(o Opts, mode scenario.Mode, size int) (netperf.StreamRe
 }
 
 func measureStreamOnly(o Opts, mode scenario.Mode, size int) (netperf.StreamResult, *scenario.ServerClient) {
-	sc, err := scenario.NewServerClient(o.Seed, mode, 5001)
+	o.Rec.BeginRun(fmt.Sprintf("stream-%s-%d", mode, size))
+	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, 5001)
 	if err != nil {
 		panic(err)
 	}
@@ -123,7 +131,8 @@ func measureStreamOnly(o Opts, mode scenario.Mode, size int) (netperf.StreamResu
 }
 
 func measureRROnly(o Opts, mode scenario.Mode, size int) netperf.RRResult {
-	sc, err := scenario.NewServerClient(o.Seed, mode, 7001)
+	o.Rec.BeginRun(fmt.Sprintf("rr-%s-%d", mode, size))
+	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, 7001)
 	if err != nil {
 		panic(err)
 	}
@@ -153,7 +162,8 @@ func Fig10(o Opts) (throughput, latency *report.Table) {
 	for _, size := range sizes {
 		row := []interface{}{size}
 		for _, m := range modes {
-			pp, err := scenario.NewPodPair(o.Seed, m, 5001)
+			o.Rec.BeginRun(fmt.Sprintf("cc-stream-%s-%d", m, size))
+			pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 5001)
 			if err != nil {
 				panic(err)
 			}
@@ -170,7 +180,8 @@ func Fig10(o Opts) (throughput, latency *report.Table) {
 	for _, size := range rrSizes {
 		row := []interface{}{size}
 		for _, m := range modes {
-			pp, err := scenario.NewPodPair(o.Seed, m, 7001)
+			o.Rec.BeginRun(fmt.Sprintf("cc-rr-%s-%d", m, size))
+			pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 7001)
 			if err != nil {
 				panic(err)
 			}

@@ -60,7 +60,8 @@ func runMacroServerClient(o Opts, mode scenario.Mode, app string) macroRun {
 	case "kafka":
 		port = kafkaPort
 	}
-	sc, err := scenario.NewServerClient(o.Seed, mode, port)
+	o.Rec.BeginRun(app + "-" + string(mode))
+	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, port)
 	if err != nil {
 		panic(err)
 	}
@@ -190,7 +191,8 @@ func runMacroPodPair(o Opts, mode scenario.CCMode, app string) ccRun {
 	case "nginx":
 		port = nginxPort
 	}
-	pp, err := scenario.NewPodPair(o.Seed, mode, port)
+	o.Rec.BeginRun(app + "-cc-" + string(mode))
+	pp, err := scenario.NewPodPairWith(o.Seed, mode, o.Rec, port)
 	if err != nil {
 		panic(err)
 	}

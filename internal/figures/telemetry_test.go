@@ -1,0 +1,48 @@
+package figures
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nestless/internal/telemetry"
+)
+
+// TestFig6TraceDeterministic is the acceptance check for the telemetry
+// subsystem: the Kafka CPU-breakdown figure (three scenarios on one
+// recorder) exports byte-identical, valid Chrome JSON across two
+// same-seed runs.
+func TestFig6TraceDeterministic(t *testing.T) {
+	run := func() []byte {
+		rec := telemetry.New()
+		Fig6(Opts{Seed: 42, Quick: true, Rec: rec})
+		var buf bytes.Buffer
+		if err := rec.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two same-seed Fig6 runs exported different traces")
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+}
+
+// TestFig2UnchangedByTelemetry: a figure's numbers must not move when a
+// recorder rides along.
+func TestFig2UnchangedByTelemetry(t *testing.T) {
+	off := Fig2(Opts{Seed: 7, Quick: true}).String()
+	on := Fig2(Opts{Seed: 7, Quick: true, Rec: telemetry.New()}).String()
+	if off != on {
+		t.Fatalf("telemetry changed Fig2:\noff:\n%s\non:\n%s", off, on)
+	}
+}

@@ -158,6 +158,12 @@ func (q *Queue) Receive(f *netsim.Frame) {
 	if len(targets) == 0 {
 		return
 	}
+	if rec := d.hostCPU.Rec; rec != nil {
+		rec.Instant("hostlo/"+d.name, "reflect", "fanout", float64(len(targets)))
+		if f.Packet != nil && f.Packet.Flow != 0 {
+			rec.FlowHop(f.Packet.Flow, "hostlo/"+d.name)
+		}
+	}
 	// One copy per queue, charged incrementally: early queues receive
 	// their frame without waiting for the rest of the fan-out.
 	per := d.costs.HostloReflect.For(size)

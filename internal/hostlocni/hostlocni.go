@@ -46,6 +46,12 @@ func (a *Attachment) Name() string { return "hostlo" }
 // Provision moves the endpoint interface into the sandbox namespace and
 // addresses it on the pod-local segment (§4.1 step 4).
 func (a *Attachment) Provision(c *container.Container, _ []container.PortMap, done func(netsim.IPv4, error)) {
+	op := a.VM.Host.Net.Rec.OpBegin("cni/hostlo", "provision "+c.Name)
+	inner := done
+	done = func(ip netsim.IPv4, err error) {
+		op.End(err)
+		inner(ip, err)
+	}
 	dev := a.VM.Devices()[a.Endpoint.DeviceID]
 	if dev == nil {
 		done(netsim.IPv4{}, fmt.Errorf("hostlocni: endpoint device %s missing on %s", a.Endpoint.DeviceID, a.VM.Name))

@@ -5,6 +5,7 @@ import (
 
 	"nestless/internal/cpuacct"
 	"nestless/internal/sim"
+	"nestless/internal/telemetry"
 )
 
 // CPU binds a sim.Station (the serial compute resource) to a billing
@@ -12,10 +13,20 @@ import (
 // billing function decides which cpuacct entities the time lands on —
 // e.g. guest-side work bills both "app/<name>" (guest view) and
 // "vm/<name>" as guest time (host view).
+//
+// When Rec is set, every billed charge also emits one telemetry span
+// attributed to Entity (mirrored to GuestOf as guest time). Because Run,
+// RunCosts and Charge are the only billing choke points, the trace's
+// summed span durations reconcile with the accountant's breakdown by
+// construction.
 type CPU struct {
 	Eng     *sim.Engine
 	Station *sim.Station
 	Bill    func(cat cpuacct.Category, d time.Duration)
+
+	Rec     *telemetry.Recorder
+	Entity  string
+	GuestOf string
 }
 
 // NewCPU builds a CPU around a fresh single-server station. The bill
@@ -27,8 +38,13 @@ func NewCPU(eng *sim.Engine, name string, servers int, bill func(cpuacct.Categor
 // Run executes work of duration d on the CPU, billing it to cat, and
 // calls then when it completes. then may be nil.
 func (c *CPU) Run(cat cpuacct.Category, d time.Duration, then func()) {
-	if c.Bill != nil && d > 0 {
-		c.Bill(cat, d)
+	if d > 0 {
+		if c.Bill != nil {
+			c.Bill(cat, d)
+		}
+		if c.Rec != nil {
+			c.Rec.ChargeSpan(c.Entity, c.GuestOf, cat, c.Station.Name(), d)
+		}
 	}
 	c.Station.Process(d, then)
 }
@@ -47,8 +63,27 @@ func (c *CPU) RunCosts(charges []Charge, then func()) {
 		if c.Bill != nil {
 			c.Bill(ch.Cat, ch.D)
 		}
+		if c.Rec != nil {
+			c.Rec.ChargeSpan(c.Entity, c.GuestOf, ch.Cat, c.Station.Name(), ch.D)
+		}
 	}
 	c.Station.Process(total, then)
+}
+
+// Charge bills work that consumes CPU time without occupying the station
+// (callers that model their own delays, e.g. container boot steps whose
+// wall time exceeds their CPU fraction). It keeps the accountant and the
+// telemetry rollup in lockstep with Run/RunCosts.
+func (c *CPU) Charge(cat cpuacct.Category, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.Bill != nil {
+		c.Bill(cat, d)
+	}
+	if c.Rec != nil {
+		c.Rec.ChargeSpan(c.Entity, c.GuestOf, cat, c.Station.Name(), d)
+	}
 }
 
 // Charge is one (category, duration) billing item.

@@ -88,6 +88,11 @@ func (i *Iface) Deliver(f *Frame) {
 		i.probe(DirRX, f)
 	}
 	ns := i.NS
+	if f.Packet != nil && f.Packet.Flow != 0 {
+		if rec := ns.Net.Rec; rec != nil {
+			rec.FlowHop(f.Packet.Flow, ns.Name+"/"+i.Name)
+		}
+	}
 	ns.CPU.RunCosts([]Charge{{cpuacct.Soft, ns.Costs.SoftirqRX.For(f.PayloadLen())}}, func() {
 		if i.rxHook != nil {
 			i.rxHook(i, f)

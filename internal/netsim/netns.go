@@ -7,6 +7,7 @@ import (
 
 	"nestless/internal/cpuacct"
 	"nestless/internal/sim"
+	"nestless/internal/telemetry"
 )
 
 // Net is the root of one simulated network world: the event engine, the
@@ -15,6 +16,10 @@ type Net struct {
 	Eng   *sim.Engine
 	Costs *CostModel
 	Acct  *cpuacct.Accountant
+	// Rec, when set, receives telemetry from every CPU created through
+	// NewCPU/CPUView and per-frame flow events from the datapath. Nil
+	// disables telemetry at zero cost.
+	Rec *telemetry.Recorder
 
 	macs   MACAllocator
 	connID uint64
@@ -29,6 +34,38 @@ func NewNet(eng *sim.Engine) *Net {
 
 // NewMAC allocates a globally unique MAC address.
 func (n *Net) NewMAC() MAC { return n.macs.Next() }
+
+// NewCPU builds a CPU billing to entity (mirrored to guestOf as guest
+// time), wired to the world's accountant and — when telemetry is on —
+// to its recorder, with the station registered for instrumentation.
+func (n *Net) NewCPU(name string, servers int, entity, guestOf string) *CPU {
+	c := &CPU{
+		Eng:     n.Eng,
+		Station: sim.NewStation(n.Eng, name, servers),
+		Bill:    BillTo(n.Acct, entity, guestOf),
+		Rec:     n.Rec,
+		Entity:  entity,
+		GuestOf: guestOf,
+	}
+	if n.Rec != nil {
+		n.Rec.WatchStation(c.Station, entity)
+	}
+	return c
+}
+
+// CPUView returns a CPU sharing base's station but billing to a different
+// entity — the guest-view lane of a vCPU (e.g. "app/<name>" work running
+// on the "vm-<name>" station).
+func (n *Net) CPUView(base *CPU, entity, guestOf string) *CPU {
+	return &CPU{
+		Eng:     base.Eng,
+		Station: base.Station,
+		Bill:    BillTo(n.Acct, entity, guestOf),
+		Rec:     n.Rec,
+		Entity:  entity,
+		GuestOf: guestOf,
+	}
+}
 
 // nextConnID allocates a globally unique stream connection ID.
 func (n *Net) nextConnID() uint64 {
@@ -359,6 +396,11 @@ func (ns *NetNS) Output(p *Packet, extra []Charge) {
 			charge(cpuacct.Soft, ns.Costs.NATRewrite)
 		}
 	}
+	if rec := ns.Net.Rec; rec != nil && p.Flow == 0 {
+		// Open the per-frame flow context here, where the packet enters
+		// the datapath; retransmissions of the same packet keep their id.
+		p.Flow = rec.FlowBegin(ns.Name, p.Tuple().String())
+	}
 	ns.CPU.RunCosts(charges, func() { ns.sendVia(out, nexthop, p) })
 }
 
@@ -386,6 +428,11 @@ func (ns *NetNS) sendVia(out *Iface, nexthop IPv4, p *Packet) {
 // deliverLocal hands a packet to the owning socket (or the kernel's
 // ICMP handling).
 func (ns *NetNS) deliverLocal(p *Packet) {
+	if p.Flow != 0 {
+		if rec := ns.Net.Rec; rec != nil {
+			rec.FlowEnd(p.Flow, ns.Name)
+		}
+	}
 	switch p.Proto {
 	case ProtoUDP:
 		if s, ok := ns.udp[p.DstPort]; ok {

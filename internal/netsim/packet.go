@@ -71,6 +71,11 @@ type Packet struct {
 	// SentAt is the instant the packet left the sending socket; receivers
 	// use it for one-way delay measurements.
 	SentAt sim.Time
+
+	// Flow is the telemetry flow-context id threading this packet's path
+	// through the trace (0 = untraced). It survives forwarding and frame
+	// cloning but is not part of the wire encoding.
+	Flow uint64
 }
 
 // TotalLen returns the L3 length: IP header + L4 header + payload.

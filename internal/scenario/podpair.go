@@ -7,6 +7,7 @@ import (
 	"nestless/internal/kube"
 	"nestless/internal/netsim"
 	"nestless/internal/overlay"
+	"nestless/internal/telemetry"
 )
 
 // CCMode selects the intra-pod container-to-container transport (§5.3).
@@ -55,7 +56,13 @@ type PodPair struct {
 // NewPodPair builds a §5.3 topology. ports lists B's server ports
 // (published 1:1 under CCNAT).
 func NewPodPair(seed int64, mode CCMode, ports ...uint16) (*PodPair, error) {
-	b := newBase(seed)
+	return NewPodPairWith(seed, mode, nil, ports...)
+}
+
+// NewPodPairWith is NewPodPair with a telemetry recorder (nil = telemetry
+// off) installed before the topology is built.
+func NewPodPairWith(seed int64, mode CCMode, rec *telemetry.Recorder, ports ...uint16) (*PodPair, error) {
+	b := newBase(seed, rec)
 	n1 := b.addNode("vm1", HostBridgeNet.Host(10))
 	pp := &PodPair{Base: b, Mode: mode}
 

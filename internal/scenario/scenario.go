@@ -16,6 +16,7 @@ import (
 	"nestless/internal/kube"
 	"nestless/internal/netsim"
 	"nestless/internal/sim"
+	"nestless/internal/telemetry"
 	"nestless/internal/vmm"
 )
 
@@ -56,18 +57,25 @@ type Base struct {
 	// Client is the load generator's namespace, on dedicated CPUs,
 	// linked to the host bridge via NAT (§2, Fig. 2 methodology).
 	Client *netsim.NetNS
+
+	// Rec is the scenario's telemetry recorder (nil = telemetry off).
+	Rec *telemetry.Recorder
 }
 
-// newBase builds the host + client substrate.
-func newBase(seed int64) *Base {
+// newBase builds the host + client substrate. rec may be nil.
+func newBase(seed int64, rec *telemetry.Recorder) *Base {
 	eng := sim.New(seed)
 	eng.MaxSteps = 2_000_000_000
 	w := netsim.NewNet(eng)
+	// Telemetry attaches before any CPU or namespace exists, so every
+	// station created below is instrumented.
+	w.Rec = rec
+	rec.BindEngine(eng)
 	h := vmm.NewHost(w)
 	h.AddBridge("virbr0", HostGateway, HostBridgeNet)
 	ctrl := core.NewController(h)
 
-	clientCPU := netsim.NewCPU(eng, "client", 1, netsim.BillTo(w.Acct, "client", ""))
+	clientCPU := w.NewCPU("client", 1, "client", "")
 	clientCPU.Station.SetWakeup(vmm.WorkerWakeMean, vmm.WorkerWakeJitter, vmm.WakeThreshold)
 	client := w.NewNS("client", clientCPU)
 	ci := client.AddIface("eth0", w.NewMAC(), w.Costs.EthMTU)
@@ -79,7 +87,7 @@ func newBase(seed int64) *Base {
 	// The client is NAT-ed to the host's bridge domain.
 	h.NS.Filter.AddMasquerade(netsim.SNATRule{SrcNet: ClientNet, OutDev: "virbr0"})
 
-	return &Base{Eng: eng, Net: w, Host: h, Ctrl: ctrl, Cluster: kube.NewCluster(ctrl), Client: client}
+	return &Base{Eng: eng, Net: w, Host: h, Ctrl: ctrl, Cluster: kube.NewCluster(ctrl), Client: client, Rec: rec}
 }
 
 // addNode provisions a VM (the paper's size: 5 vCPUs, 4 GB) with a
@@ -119,7 +127,14 @@ type ServerClient struct {
 // NewServerClient builds a §5.2 topology. ports lists the server ports
 // to expose; under ModeNAT they are published 1:1 on the VM.
 func NewServerClient(seed int64, mode Mode, ports ...uint16) (*ServerClient, error) {
-	b := newBase(seed)
+	return NewServerClientWith(seed, mode, nil, ports...)
+}
+
+// NewServerClientWith is NewServerClient with a telemetry recorder (nil =
+// telemetry off) installed before the topology is built, so boot-time
+// control-plane operations appear in the trace too.
+func NewServerClientWith(seed int64, mode Mode, rec *telemetry.Recorder, ports ...uint16) (*ServerClient, error) {
+	b := newBase(seed, rec)
 	vmAddr := HostBridgeNet.Host(10)
 	node := b.addNode("server-vm", vmAddr)
 	sc := &ServerClient{

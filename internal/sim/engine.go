@@ -62,6 +62,8 @@ type Engine struct {
 	// MaxSteps aborts Run with a panic when exceeded (0 = unlimited).
 	// It is a safety net against accidental event loops.
 	MaxSteps uint64
+	// Probe, when set, observes clock advances (telemetry sampling).
+	Probe EngineProbe
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -102,10 +104,14 @@ func (e *Engine) step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(*event)
+	advanced := ev.at != e.now
 	e.now = ev.at
 	e.Steps++
 	if e.MaxSteps != 0 && e.Steps > e.MaxSteps {
 		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
+	}
+	if advanced && e.Probe != nil {
+		e.Probe.EngineAdvance(ev.at)
 	}
 	ev.fn()
 	return true

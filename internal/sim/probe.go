@@ -1,0 +1,28 @@
+package sim
+
+import "time"
+
+// EngineProbe observes the engine's virtual clock. Advance notifications
+// fire from step() whenever executing the next event moves the clock
+// forward, before the event's callback runs. Implementations must not
+// schedule events: doing so would shift event sequence numbers and break
+// the bit-identical determinism guarantee.
+type EngineProbe interface {
+	EngineAdvance(now Time)
+}
+
+// StationProbe observes one station's scheduling transitions. All hooks
+// run synchronously inside the simulation; implementations must not
+// schedule events. A nil probe costs a single pointer check per
+// transition and allocates nothing.
+type StationProbe interface {
+	// StationQueue fires after the queue length changes (enqueue or
+	// dequeue), with the new depth.
+	StationQueue(s *Station, depth int)
+	// StationBusy fires on the idle→busy transition (first server claimed).
+	StationBusy(s *Station)
+	// StationIdle fires on the busy→idle transition (last server released).
+	StationIdle(s *Station)
+	// StationWake fires when a job pays the idle wake-up penalty.
+	StationWake(s *Station, penalty time.Duration)
+}

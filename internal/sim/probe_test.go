@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty Series
+	if got := empty.Percentile(50); got != 0 {
+		t.Fatalf("empty Percentile(50) = %v, want 0", got)
+	}
+
+	var one Series
+	one.Add(7)
+	for _, p := range []float64{0, 50, 100, -5, 200, math.NaN()} {
+		if got := one.Percentile(p); got != 7 {
+			t.Fatalf("single-sample Percentile(%v) = %v, want 7", p, got)
+		}
+	}
+
+	var s Series
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 4}, {-10, 1}, {1000, 4}, {math.NaN(), 1}, {50, 2.5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestStationUtilizationAtTimeZero(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	if u := s.Utilization(); u != 0 {
+		t.Fatalf("Utilization before any event = %v, want 0", u)
+	}
+}
+
+func TestStationUtilizationMidRun(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	s.Process(10*time.Microsecond, nil)
+	var mid float64
+	e.After(20*time.Microsecond, func() { mid = s.Utilization() })
+	e.Run()
+	if mid != 0.5 {
+		t.Fatalf("Utilization at 20µs after 10µs of work = %v, want 0.5", mid)
+	}
+}
+
+func TestStationWakeupPenalty(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	// Zero jitter makes the penalty exactly the mean; zero threshold makes
+	// every idle→busy transition pay it.
+	s.SetWakeup(4*time.Microsecond, 0, 0)
+	var first, second Time
+	s.Process(10*time.Microsecond, func() { first = e.Now() })
+	s.Process(10*time.Microsecond, func() { second = e.Now() })
+	e.Run()
+	if first != Time(14*time.Microsecond) {
+		t.Fatalf("first completion at %v, want 14µs (10µs + 4µs wake)", first)
+	}
+	// The second job was queued behind a busy station: no penalty.
+	if second != Time(24*time.Microsecond) {
+		t.Fatalf("second completion at %v, want 24µs", second)
+	}
+	if s.Wakeups != 1 {
+		t.Fatalf("Wakeups = %d, want 1", s.Wakeups)
+	}
+}
+
+func TestStationWakeupThreshold(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	s.SetWakeup(4*time.Microsecond, 0, 100*time.Microsecond)
+	// t=0: the station has not idled past the threshold — no penalty.
+	s.Process(10*time.Microsecond, nil)
+	// t=50µs: only 40µs idle — still no penalty.
+	e.After(50*time.Microsecond, func() { s.Process(10*time.Microsecond, nil) })
+	// t=300µs: idle since 60µs — pays the wake-up.
+	var late Time
+	e.After(300*time.Microsecond, func() { s.Process(10*time.Microsecond, func() { late = e.Now() }) })
+	e.Run()
+	if s.Wakeups != 1 {
+		t.Fatalf("Wakeups = %d, want 1 (only the long-idle job)", s.Wakeups)
+	}
+	if late != Time(314*time.Microsecond) {
+		t.Fatalf("late completion at %v, want 314µs", late)
+	}
+}
+
+func TestStationCallbackSubmissionsQueueBehindExistingWork(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	var order []string
+	s.Process(10*time.Microsecond, func() {
+		order = append(order, "A")
+		// Submitted from A's completion callback: must line up behind the
+		// already-queued B, not cut ahead.
+		s.Process(10*time.Microsecond, func() { order = append(order, "C") })
+	})
+	s.Process(10*time.Microsecond, func() { order = append(order, "B") })
+	e.Run()
+	want := []string{"A", "B", "C"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// recordingProbe captures every probe callback for inspection.
+type recordingProbe struct {
+	depths     []int
+	busy, idle int
+	wakes      []time.Duration
+}
+
+func (p *recordingProbe) StationQueue(s *Station, depth int)      { p.depths = append(p.depths, depth) }
+func (p *recordingProbe) StationBusy(s *Station)                  { p.busy++ }
+func (p *recordingProbe) StationIdle(s *Station)                  { p.idle++ }
+func (p *recordingProbe) StationWake(s *Station, w time.Duration) { p.wakes = append(p.wakes, w) }
+
+func TestStationProbeObservesTransitions(t *testing.T) {
+	e := New(1)
+	s := NewStation(e, "cpu", 1)
+	p := &recordingProbe{}
+	s.Probe = p
+	for i := 0; i < 3; i++ {
+		s.Process(10*time.Microsecond, nil)
+	}
+	e.Run()
+	// Serial station: every completion empties the server before the next
+	// queued job starts, so busy/idle transitions pair up per job.
+	if p.busy != 3 || p.idle != 3 {
+		t.Fatalf("busy=%d idle=%d, want 3/3", p.busy, p.idle)
+	}
+	wantDepths := []int{1, 2, 1, 0}
+	if len(p.depths) != len(wantDepths) {
+		t.Fatalf("queue depths = %v, want %v", p.depths, wantDepths)
+	}
+	for i := range wantDepths {
+		if p.depths[i] != wantDepths[i] {
+			t.Fatalf("queue depths = %v, want %v", p.depths, wantDepths)
+		}
+	}
+}
+
+// advanceProbe records every clock advance the engine reports.
+type advanceProbe struct{ ticks []Time }
+
+func (p *advanceProbe) EngineAdvance(now Time) { p.ticks = append(p.ticks, now) }
+
+func TestEngineProbeFiresOncePerClockAdvance(t *testing.T) {
+	e := New(1)
+	p := &advanceProbe{}
+	e.Probe = p
+	e.After(0, func() {}) // same instant as the start: no advance
+	e.After(10*time.Microsecond, func() {})
+	e.After(10*time.Microsecond, func() {}) // same instant: no second advance
+	e.After(20*time.Microsecond, func() {})
+	e.Run()
+	want := []Time{Time(10 * time.Microsecond), Time(20 * time.Microsecond)}
+	if len(p.ticks) != len(want) {
+		t.Fatalf("advances = %v, want %v", p.ticks, want)
+	}
+	for i := range want {
+		if p.ticks[i] != want[i] {
+			t.Fatalf("advances = %v, want %v", p.ticks, want)
+		}
+	}
+}

@@ -36,6 +36,11 @@ type Station struct {
 	// is what gives RR latencies their floor and their variance.
 	wakeMean, wakeJitter, wakeThreshold time.Duration
 	idleSince                           Time
+
+	// Probe, when set, observes queueing and busy/idle transitions
+	// (telemetry instruments). Nil-checked on every path: disabled
+	// stations pay one pointer compare and zero allocations.
+	Probe StationProbe
 }
 
 type stationJob struct {
@@ -89,6 +94,9 @@ func (s *Station) Process(service time.Duration, done func()) {
 			}
 			service += w
 			s.Wakeups++
+			if s.Probe != nil {
+				s.Probe.StationWake(s, w)
+			}
 		}
 		s.start(stationJob{service: service, done: done})
 		return
@@ -97,16 +105,25 @@ func (s *Station) Process(service time.Duration, done func()) {
 	if len(s.queue) > s.MaxQueue {
 		s.MaxQueue = len(s.queue)
 	}
+	if s.Probe != nil {
+		s.Probe.StationQueue(s, len(s.queue))
+	}
 }
 
 func (s *Station) start(j stationJob) {
 	s.busy++
+	if s.busy == 1 && s.Probe != nil {
+		s.Probe.StationBusy(s)
+	}
 	s.BusyTime += j.service
 	s.eng.After(j.service, func() {
 		s.busy--
 		s.Completed++
 		if s.busy == 0 {
 			s.idleSince = s.eng.now
+			if s.Probe != nil {
+				s.Probe.StationIdle(s)
+			}
 		}
 		// Claim the next queued job before running the completion
 		// callback: work the callback submits must line up behind it.
@@ -114,6 +131,9 @@ func (s *Station) start(j stationJob) {
 			next := s.queue[0]
 			copy(s.queue, s.queue[1:])
 			s.queue = s.queue[:len(s.queue)-1]
+			if s.Probe != nil {
+				s.Probe.StationQueue(s, len(s.queue))
+			}
 			s.start(next)
 		}
 		if j.done != nil {

@@ -72,15 +72,16 @@ func (s *Series) Max() float64 {
 	return s.samples[len(s.samples)-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks. With no samples it returns 0.
+// Percentile returns the p-th percentile using linear interpolation
+// between closest ranks. Out-of-range p is clamped: p <= 0 (and NaN)
+// yields the minimum, p >= 100 the maximum. With no samples it returns 0.
 func (s *Series) Percentile(p float64) float64 {
 	n := len(s.samples)
 	if n == 0 {
 		return 0
 	}
 	s.ensureSorted()
-	if p <= 0 {
+	if p <= 0 || math.IsNaN(p) {
 		return s.samples[0]
 	}
 	if p >= 100 {

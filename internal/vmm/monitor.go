@@ -34,13 +34,17 @@ type Result map[string]string
 
 // Execute dispatches one management command. reply may be nil.
 func (m *Monitor) Execute(cmd string, args map[string]string, reply func(Result, error)) {
+	vm := m.vm
+	h := vm.Host
+	// Control-plane telemetry: one span per QMP command, from dispatch to
+	// reply (OpBegin is nil-safe when telemetry is off).
+	op := h.Net.Rec.OpBegin("vmm/"+vm.Name, cmd)
 	done := func(r Result, err error) {
+		op.End(err)
 		if reply != nil {
 			reply(r, err)
 		}
 	}
-	vm := m.vm
-	h := vm.Host
 	rng := h.Eng.Rand()
 	// QMP dispatch costs a little host CPU before the command runs.
 	h.CPU.Run(cpuacct.Sys, jittered(rng, qmpDispatchMean, qmpDispatchJitter), func() {
@@ -133,8 +137,7 @@ func (m *Monitor) deviceAdd(args map[string]string, done func(Result, error)) {
 
 	rng := h.Eng.Rand()
 	h.CPU.Run(cpuacct.Sys, jittered(rng, qemuAttachMean, qemuAttachJitter), func() {
-		vhost := netsim.NewCPU(h.Eng, "vhost-"+vm.Name+"-"+id, 1,
-			netsim.BillTo(h.Net.Acct, "host", ""))
+		vhost := h.Net.NewCPU("vhost-"+vm.Name+"-"+id, 1, "host", "")
 		vhost.Station.SetWakeup(WorkerWakeMean, WorkerWakeJitter, WakeThreshold)
 		dev := &Device{ID: id, Netdev: nd.id}
 		cfg := virtio.Config{
@@ -206,8 +209,7 @@ func (vm *VM) PlugBridgeNIC(bridgeName string, addr netsim.IPv4, subnet netsim.P
 		panic(fmt.Sprintf("vmm: no bridge %q", bridgeName))
 	}
 	id := fmt.Sprintf("boot-%s", vm.nextBootID())
-	vhost := netsim.NewCPU(h.Eng, "vhost-"+vm.Name+"-"+id, 1,
-		netsim.BillTo(h.Net.Acct, "host", ""))
+	vhost := h.Net.NewCPU("vhost-"+vm.Name+"-"+id, 1, "host", "")
 	vhost.Station.SetWakeup(WorkerWakeMean, WorkerWakeJitter, WakeThreshold)
 	b := virtio.NewTAPBackend(h.NS, h.nextTAP())
 	nic := virtio.New(virtio.Config{

@@ -36,7 +36,7 @@ type Host struct {
 // NewHost creates the physical machine. Host network processing runs on
 // a single host-kernel lane billed to the "host" entity.
 func NewHost(n *netsim.Net) *Host {
-	cpu := netsim.NewCPU(n.Eng, "hostcpu", 1, netsim.BillTo(n.Acct, "host", ""))
+	cpu := n.NewCPU("hostcpu", 1, "host", "")
 	h := &Host{
 		Net:     n,
 		Eng:     n.Eng,
@@ -123,8 +123,7 @@ func (h *Host) CreateVM(cfg VMConfig) *VM {
 	if cfg.VCPUs <= 0 {
 		cfg.VCPUs = 1
 	}
-	cpu := netsim.NewCPU(h.Eng, "vm-"+cfg.Name, 1,
-		netsim.BillTo(h.Net.Acct, "guest/"+cfg.Name, "vm/"+cfg.Name))
+	cpu := h.Net.NewCPU("vm-"+cfg.Name, 1, "guest/"+cfg.Name, "vm/"+cfg.Name)
 	cpu.Station.SetWakeup(VCPUWakeMean, VCPUWakeJitter, WakeThreshold)
 	vm := &VM{
 		Host:     h,
@@ -159,11 +158,7 @@ func (vm *VM) Devices() map[string]*Device {
 // different in-guest entity (e.g. "app/<pod>") while still mirroring
 // guest time to the VM — how pod namespaces inside the VM account.
 func (vm *VM) EntityCPU(entity string) *netsim.CPU {
-	return &netsim.CPU{
-		Eng:     vm.Host.Eng,
-		Station: vm.CPU.Station,
-		Bill:    netsim.BillTo(vm.Host.Net.Acct, entity, "vm/"+vm.Name),
-	}
+	return vm.Host.Net.CPUView(vm.CPU, entity, "vm/"+vm.Name)
 }
 
 // nextIface names the next guest interface (eth0, eth1, ...).
