@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, one record per benchmark with its
+// iteration count and every reported metric (ns/op, B/op, allocs/op and
+// custom units like Mbps or rtt-µs). It is how the repository's
+// BENCH_core.json performance trajectory is produced:
+//
+//	go test -run NONE -bench . -benchtime 1x -benchmem ./... | benchjson > BENCH_core.json
+//
+// Parsing from text (rather than re-running benchmarks in-process)
+// keeps the tool composable: any benchmark selection, count or
+// benchtime works, and CI captures exactly what the log shows.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nestless/internal/cli"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := parse(bufio.NewScanner(os.Stdin))
+	if len(out.Benchmarks) == 0 {
+		cli.Fatal("benchjson", fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		cli.Fatal("benchjson", err)
+	}
+}
+
+func parse(sc *bufio.Scanner) Doc {
+	var doc Doc
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				r.Package = pkg
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	return doc
+}
+
+// parseBench parses one result line: name, iterations, then
+// (value, unit) pairs.
+func parseBench(line string) (Record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	r := Record{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

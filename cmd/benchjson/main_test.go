@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: nestless/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineSchedule  	  200000	        20.03 ns/op	       0 B/op	       0 allocs/op
+pkg: nestless
+BenchmarkFig4BrFusionMicro/nat         	       3	  20108521 ns/op	       304.4 Mbps	       126.0 rtt-µs	 2327234 B/op	   66160 allocs/op
+PASS
+ok  	nestless	0.345s
+`
+	doc := parse(bufio.NewScanner(strings.NewReader(in)))
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Fatalf("header = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkEngineSchedule" || b0.Package != "nestless/internal/sim" {
+		t.Fatalf("bench 0 = %q in %q", b0.Name, b0.Package)
+	}
+	if b0.Iterations != 200000 || b0.Metrics["ns/op"] != 20.03 || b0.Metrics["allocs/op"] != 0 {
+		t.Fatalf("bench 0 metrics wrong: %+v", b0)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Package != "nestless" || b1.Metrics["Mbps"] != 304.4 || b1.Metrics["rtt-µs"] != 126 {
+		t.Fatalf("bench 1 metrics wrong: %+v", b1)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	doc := parse(bufio.NewScanner(strings.NewReader("hello\nBenchmarkBroken abc\nok\n")))
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(doc.Benchmarks))
+	}
+}

@@ -19,13 +19,15 @@ func main() {
 	runs := flag.Int("runs", 100, "boots per solution (the paper uses 100)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := cli.ParallelFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 
+	cli.CheckParallel(*workers)
 	if *runs <= 0 {
 		cli.BadFlag("bootbench: -runs must be positive, got %d", *runs)
 	}
-	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed, Rec: tf.Recorder()}, *runs)
+	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed, Rec: tf.Recorder(), Workers: *workers}, *runs)
 	if *csv {
 		stats.WriteCSV(os.Stdout)
 		fmt.Println()

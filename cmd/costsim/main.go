@@ -32,8 +32,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	top := flag.Int("top", 0, "also list the top-N savers")
+	workers := cli.ParallelFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
+	cli.CheckParallel(*workers)
 
 	emit := func(t *report.Table) {
 		if *csv {
@@ -55,13 +57,19 @@ func main() {
 		cli.BadFlag("costsim: -users must be positive, got %d", *users)
 	}
 
+	// Telemetry records per-user events in trace order, so the fan-out
+	// stays serial when a recorder is active (same rule as the figures).
+	simWorkers := *workers
+	if tf.Recorder() != nil {
+		simWorkers = 1
+	}
 	cfg := trace.DefaultConfig(*seed)
 	cfg.Users = *users
 	pop := trace.Generate(cfg)
-	res := cloudsim.Simulate(pop, cloudsim.Catalog())
+	res := cloudsim.SimulateParallel(pop, cloudsim.Catalog(), simWorkers)
 	record(tf.Recorder(), res)
 
-	hist, stats := figures.Fig9(figures.Opts{Seed: *seed, Quick: *users != 492})
+	hist, stats := figures.Fig9(figures.Opts{Seed: *seed, Quick: *users != 492, Workers: *workers})
 	if *users == 492 {
 		emit(hist)
 		fmt.Println()

@@ -28,10 +28,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	quick := flag.Bool("quick", false, "short measurement windows")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := cli.ParallelFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 
-	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder()}
+	cli.CheckParallel(*workers)
+	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder(), Workers: *workers}
 	var t *report.Table
 	switch {
 	case *table == 1:

@@ -30,8 +30,12 @@ func main() {
 	mode := flag.String("mode", "nat", "networking mode: nat, brfusion or nocont")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	counters := flag.Bool("counters", true, "print per-interface counters")
+	// nestctl runs a single exchange, so -parallel has nothing to fan
+	// out; the flag exists for command-line uniformity with the sweeps.
+	workers := cli.ParallelFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
+	cli.CheckParallel(*workers)
 
 	switch scenario.Mode(*mode) {
 	case scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont:

@@ -28,6 +28,21 @@ func Fatal(tool string, err error) {
 	os.Exit(1)
 }
 
+// ParallelFlag registers -parallel on the default flag set; call it
+// before flag.Parse. The returned pointer holds the requested worker
+// count after parsing. Every tool validates it with CheckParallel.
+func ParallelFlag() *int {
+	return flag.Int("parallel", 1,
+		"fan independent simulation runs out across N workers (results are byte-identical to -parallel 1; telemetry runs force 1)")
+}
+
+// CheckParallel rejects nonsensical worker counts via BadFlag.
+func CheckParallel(n int) {
+	if n < 1 {
+		BadFlag("-parallel must be >= 1 (got %d)", n)
+	}
+}
+
 // Telemetry carries the -trace/-metrics flag values of one tool.
 type Telemetry struct {
 	TracePath string

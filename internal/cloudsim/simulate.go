@@ -3,6 +3,7 @@ package cloudsim
 import (
 	"sort"
 
+	"nestless/internal/parallel"
 	"nestless/internal/sim"
 	"nestless/internal/trace"
 )
@@ -57,13 +58,28 @@ type PopulationResult struct {
 // Simulate prices every user; users whose pods exceed the largest VM are
 // skipped (cannot exist under whole-pod placement).
 func Simulate(users []trace.User, catalog []VMType) PopulationResult {
-	out := PopulationResult{}
-	for _, u := range users {
-		r, err := SimulateUser(u, catalog)
-		if err != nil {
-			continue
+	return SimulateParallel(users, catalog, 1)
+}
+
+// SimulateParallel is Simulate fanned out across workers. Users are
+// fully independent, so each is priced in its own job; merging keeps
+// trace order and drops errored users exactly like the serial loop,
+// making the result identical for any worker count.
+func SimulateParallel(users []trace.User, catalog []VMType, workers int) PopulationResult {
+	type slot struct {
+		r  UserResult
+		ok bool
+	}
+	slots := make([]slot, len(users))
+	parallel.Run(len(users), workers, func(i int) {
+		r, err := SimulateUser(users[i], catalog)
+		slots[i] = slot{r: r, ok: err == nil}
+	})
+	out := PopulationResult{Users: make([]UserResult, 0, len(users))}
+	for _, s := range slots {
+		if s.ok {
+			out.Users = append(out.Users, s.r)
 		}
-		out.Users = append(out.Users, r)
 	}
 	return out
 }

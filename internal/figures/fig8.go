@@ -6,20 +6,52 @@ import (
 	"nestless/internal/container"
 	"nestless/internal/kube"
 	"nestless/internal/netsim"
+	"nestless/internal/parallel"
 	"nestless/internal/report"
 	"nestless/internal/scenario"
 	"nestless/internal/sim"
 )
 
+// bootChunk is the number of boots sharing one node scenario. The boot
+// experiment is partitioned into fixed-size chunks regardless of worker
+// count: chunk c always covers runs [c*bootChunk, ...) on a scenario
+// seeded seed+c, so the sample set is a pure function of (seed, runs)
+// and parallel execution cannot change it.
+const bootChunk = 10
+
 // BootSamples measures container start-up the way the paper defines it
 // (§5.2.4): "the duration between ordering Docker to create the
 // container, and the container sending a message through a TCP socket".
-// It runs `runs` boots per solution (the paper uses 100) on a fresh
-// node, dialing a host-side listener from inside the new pod, and
-// returns the per-run durations in seconds.
+// It runs `runs` boots per solution (the paper uses 100), dialing a
+// host-side listener from inside each new pod, and returns the per-run
+// durations in seconds. Boots are grouped into bootChunk-sized chunks,
+// each on a fresh node; chunks fan out under o.Workers and merge in
+// chunk order.
 func BootSamples(o Opts, mode scenario.Mode, runs int) *sim.Series {
-	o.Rec.BeginRun("boot-" + string(mode))
-	sc, err := scenario.NewServerClientWith(o.Seed, scenario.ModeNoCont, o.Rec)
+	nChunks := (runs + bootChunk - 1) / bootChunk
+	chunks := make([]*sim.Series, nChunks)
+	parallel.Run(nChunks, o.pool(), func(c int) {
+		n := bootChunk
+		if rem := runs - c*bootChunk; rem < n {
+			n = rem
+		}
+		chunks[c] = bootChunkSamples(o, mode, c, n)
+	})
+	var samples sim.Series
+	for _, ch := range chunks {
+		for _, v := range ch.Samples() {
+			samples.Add(v)
+		}
+	}
+	return &samples
+}
+
+// bootChunkSamples boots n pods back-to-back on one fresh node and
+// times each. The chunk index salts the seed so chunks differ the way
+// back-to-back runs on one long-lived node used to.
+func bootChunkSamples(o Opts, mode scenario.Mode, chunk, n int) *sim.Series {
+	o.Rec.BeginRun(fmt.Sprintf("boot-%s-c%d", mode, chunk))
+	sc, err := scenario.NewServerClientWith(o.Seed+int64(chunk), scenario.ModeNoCont, o.Rec)
 	if err != nil {
 		panic(err)
 	}
@@ -42,8 +74,8 @@ func BootSamples(o Opts, mode scenario.Mode, runs int) *sim.Series {
 	}
 
 	var samples sim.Series
-	for run := 0; run < runs; run++ {
-		name := fmt.Sprintf("boot-%s-%d", mode, run)
+	for run := 0; run < n; run++ {
+		name := fmt.Sprintf("boot-%s-%d-%d", mode, chunk, run)
 		started := sc.Eng.Now()
 		id := uint64(run + 1)
 
@@ -90,8 +122,20 @@ func Fig8(o Opts, runs int) (stats, cdf *report.Table) {
 	if o.Quick {
 		runs = 20
 	}
-	nat := BootSamples(o, scenario.ModeNAT, runs)
-	brf := BootSamples(o, scenario.ModeBrFusion, runs)
+	var nat, brf *sim.Series
+	// The two solutions are themselves independent; split the worker
+	// budget rather than serializing one whole solution after the other.
+	parallel.Run(2, min(o.pool(), 2), func(i int) {
+		sub := o
+		if o.pool() > 1 {
+			sub.Workers = (o.pool() + 1) / 2
+		}
+		if i == 0 {
+			nat = BootSamples(sub, scenario.ModeNAT, runs)
+		} else {
+			brf = BootSamples(sub, scenario.ModeBrFusion, runs)
+		}
+	})
 
 	stats = report.New("Fig. 8b — container start-up statistics (ms)",
 		"solution", "min", "p25", "median", "p75", "max", "mean", "stddev")

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nestless/internal/netperf"
+	"nestless/internal/parallel"
 	"nestless/internal/report"
 	"nestless/internal/scenario"
 	"nestless/internal/telemetry"
@@ -27,6 +28,21 @@ type Opts struct {
 	// (nil = telemetry off). Runs are labeled per (workload, mode) so a
 	// multi-scenario figure lays out on one trace timeline.
 	Rec *telemetry.Recorder
+	// Workers caps how many scenario runs of a figure sweep execute
+	// concurrently (each run owns a private engine; results merge in
+	// index order, so tables are byte-identical for any value). <= 1
+	// means serial.
+	Workers int
+}
+
+// pool returns the effective worker count for a sweep. Telemetry runs
+// are forced serial: a Recorder lays all runs on one shared timeline,
+// which only makes sense (and is only safe) when runs execute in order.
+func (o Opts) pool() int {
+	if o.Rec != nil || o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultOpts is the standard configuration.
@@ -51,10 +67,18 @@ func (o Opts) rrWindow() time.Duration {
 func Fig2(o Opts) *report.Table {
 	t := report.New("Fig. 2 — nested vs single-level virtualization (1280 B)",
 		"solution", "throughput_mbps", "rr_latency_us", "rr_stddev_us")
-	for _, mode := range []scenario.Mode{scenario.ModeNAT, scenario.ModeNoCont} {
-		tp, rr := measureServerClient(o, mode, 1280)
-		t.AddRow(string(mode), tp.ThroughputMbps,
-			float64(rr.MeanRTT)/1e3, float64(rr.StddevRTT)/1e3)
+	modes := []scenario.Mode{scenario.ModeNAT, scenario.ModeNoCont}
+	type cell struct {
+		tp netperf.StreamResult
+		rr netperf.RRResult
+	}
+	cells := make([]cell, len(modes))
+	parallel.Run(len(modes), o.pool(), func(i int) {
+		cells[i].tp, cells[i].rr = measureServerClient(o, modes[i], 1280)
+	})
+	for i, mode := range modes {
+		t.AddRow(string(mode), cells[i].tp.ThroughputMbps,
+			float64(cells[i].rr.MeanRTT)/1e3, float64(cells[i].rr.StddevRTT)/1e3)
 	}
 	return t
 }
@@ -75,18 +99,34 @@ func Fig4(o Opts) (throughput, latency *report.Table) {
 		sizes = []int{256, 1280, 8192}
 		rrSizes = []int{256, 1280}
 	}
-	for _, size := range sizes {
-		row := []interface{}{size}
-		for _, m := range modes {
-			tp, _ := measureStreamOnly(o, m, size)
-			row = append(row, tp.ThroughputMbps)
+	// One job per (size, mode) cell across both sweeps; each job builds
+	// its own scenario, so the whole grid fans out at once. Rows are
+	// assembled afterwards in index order — identical tables at any
+	// worker count.
+	nm := len(modes)
+	tps := make([]netperf.StreamResult, len(sizes)*nm)
+	rrs := make([]netperf.RRResult, len(rrSizes)*nm)
+	parallel.Run(len(tps)+len(rrs), o.pool(), func(i int) {
+		if i < len(tps) {
+			tps[i], _ = measureStreamOnly(o, modes[i%nm], sizes[i/nm])
+			return
+		}
+		j := i - len(tps)
+		rrs[j] = measureRROnly(o, modes[j%nm], rrSizes[j/nm])
+	})
+	for si, size := range sizes {
+		row := make([]interface{}, 0, 1+nm)
+		row = append(row, size)
+		for mi := range modes {
+			row = append(row, tps[si*nm+mi].ThroughputMbps)
 		}
 		throughput.AddRow(row...)
 	}
-	for _, size := range rrSizes {
-		row := []interface{}{size}
-		for _, m := range modes {
-			rr := measureRROnly(o, m, size)
+	for si, size := range rrSizes {
+		row := make([]interface{}, 0, 1+2*nm)
+		row = append(row, size)
+		for mi := range modes {
+			rr := rrs[si*nm+mi]
 			row = append(row, float64(rr.MeanRTT)/1e3, float64(rr.StddevRTT)/1e3)
 		}
 		latency.AddRow(row...)
@@ -159,40 +199,62 @@ func Fig10(o Opts) (throughput, latency *report.Table) {
 		sizes = []int{256, 1024, 8192}
 		rrSizes = []int{256, 1024}
 	}
-	for _, size := range sizes {
-		row := []interface{}{size}
-		for _, m := range modes {
-			o.Rec.BeginRun(fmt.Sprintf("cc-stream-%s-%d", m, size))
-			pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 5001)
-			if err != nil {
-				panic(err)
-			}
-			warm, dur := o.streamWindow()
-			tp := netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
-				Client: pp.ANS, Server: pp.BNS,
-				DialAddr: pp.DialAddr, Port: 5001, MsgSize: size,
-				Warmup: warm, Duration: dur,
-			})
-			row = append(row, tp.ThroughputMbps)
+	nm := len(modes)
+	tps := make([]netperf.StreamResult, len(sizes)*nm)
+	rrs := make([]netperf.RRResult, len(rrSizes)*nm)
+	parallel.Run(len(tps)+len(rrs), o.pool(), func(i int) {
+		if i < len(tps) {
+			tps[i] = measureCCStream(o, modes[i%nm], sizes[i/nm])
+			return
+		}
+		j := i - len(tps)
+		rrs[j] = measureCCRR(o, modes[j%nm], rrSizes[j/nm])
+	})
+	for si, size := range sizes {
+		row := make([]interface{}, 0, 1+nm)
+		row = append(row, size)
+		for mi := range modes {
+			row = append(row, tps[si*nm+mi].ThroughputMbps)
 		}
 		throughput.AddRow(row...)
 	}
-	for _, size := range rrSizes {
-		row := []interface{}{size}
-		for _, m := range modes {
-			o.Rec.BeginRun(fmt.Sprintf("cc-rr-%s-%d", m, size))
-			pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 7001)
-			if err != nil {
-				panic(err)
-			}
-			rr := netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
-				Client: pp.ANS, Server: pp.BNS,
-				DialAddr: pp.DialAddr, Port: 7001, MsgSize: size,
-				Duration: o.rrWindow(),
-			})
+	for si, size := range rrSizes {
+		row := make([]interface{}, 0, 1+2*nm)
+		row = append(row, size)
+		for mi := range modes {
+			rr := rrs[si*nm+mi]
 			row = append(row, float64(rr.MeanRTT)/1e3, float64(rr.StddevRTT)/1e3)
 		}
 		latency.AddRow(row...)
 	}
 	return throughput, latency
+}
+
+// measureCCStream runs one intra-pod TCP_STREAM cell on a fresh pod pair.
+func measureCCStream(o Opts, m scenario.CCMode, size int) netperf.StreamResult {
+	o.Rec.BeginRun(fmt.Sprintf("cc-stream-%s-%d", m, size))
+	pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 5001)
+	if err != nil {
+		panic(err)
+	}
+	warm, dur := o.streamWindow()
+	return netperf.RunTCPStream(pp.Eng, netperf.StreamConfig{
+		Client: pp.ANS, Server: pp.BNS,
+		DialAddr: pp.DialAddr, Port: 5001, MsgSize: size,
+		Warmup: warm, Duration: dur,
+	})
+}
+
+// measureCCRR runs one intra-pod UDP_RR cell on a fresh pod pair.
+func measureCCRR(o Opts, m scenario.CCMode, size int) netperf.RRResult {
+	o.Rec.BeginRun(fmt.Sprintf("cc-rr-%s-%d", m, size))
+	pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 7001)
+	if err != nil {
+		panic(err)
+	}
+	return netperf.RunUDPRR(pp.Eng, netperf.RRConfig{
+		Client: pp.ANS, Server: pp.BNS,
+		DialAddr: pp.DialAddr, Port: 7001, MsgSize: size,
+		Duration: o.rrWindow(),
+	})
 }

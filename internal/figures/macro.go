@@ -8,6 +8,7 @@ import (
 	"nestless/internal/apps/memcached"
 	"nestless/internal/apps/nginx"
 	"nestless/internal/cpuacct"
+	"nestless/internal/parallel"
 	"nestless/internal/report"
 	"nestless/internal/scenario"
 )
@@ -123,20 +124,26 @@ func Fig5(o Opts) *report.Table {
 	t := report.New("Fig. 5 — macro-benchmarks (NAT / BrFusion / NoCont)",
 		"app", "solution", "throughput", "unit", "latency_us", "stddev_us")
 	modes := []scenario.Mode{scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont}
-	for _, mode := range modes {
-		r := runMacroServerClient(o, mode, "memcached")
-		t.AddRow("memcached", string(mode), r.memcached.ResponsesPerSec, "resp/s",
-			float64(r.memcached.MeanLatency)/1e3, float64(r.memcached.StddevLatency)/1e3)
-	}
-	for _, mode := range modes {
-		r := runMacroServerClient(o, mode, "nginx")
-		t.AddRow("nginx", string(mode), r.nginx.Achieved, "req/s",
-			float64(r.nginx.MeanLatency)/1e3, float64(r.nginx.StddevLatency)/1e3)
-	}
-	for _, mode := range modes {
-		r := runMacroServerClient(o, mode, "kafka")
-		t.AddRow("kafka", string(mode), r.kafka.PerSec, "msg/s",
-			float64(r.kafka.MeanLatency)/1e3, float64(r.kafka.StddevLatency)/1e3)
+	apps := []string{"memcached", "nginx", "kafka"}
+	runs := make([]macroRun, len(apps)*len(modes))
+	parallel.Run(len(runs), o.pool(), func(i int) {
+		runs[i] = runMacroServerClient(o, modes[i%len(modes)], apps[i/len(modes)])
+	})
+	for ai, app := range apps {
+		for mi, mode := range modes {
+			r := runs[ai*len(modes)+mi]
+			switch app {
+			case "memcached":
+				t.AddRow(app, string(mode), r.memcached.ResponsesPerSec, "resp/s",
+					float64(r.memcached.MeanLatency)/1e3, float64(r.memcached.StddevLatency)/1e3)
+			case "nginx":
+				t.AddRow(app, string(mode), r.nginx.Achieved, "req/s",
+					float64(r.nginx.MeanLatency)/1e3, float64(r.nginx.StddevLatency)/1e3)
+			case "kafka":
+				t.AddRow(app, string(mode), r.kafka.PerSec, "msg/s",
+					float64(r.kafka.MeanLatency)/1e3, float64(r.kafka.StddevLatency)/1e3)
+			}
+		}
 	}
 	return t
 }
@@ -147,8 +154,13 @@ func Fig5(o Opts) *report.Table {
 func cpuBreakdownTable(o Opts, app, title string) *report.Table {
 	t := report.New(title,
 		"solution", "app_usr_cores", "app_sys_cores", "app_soft_cores", "app_total_cores", "vm_guest_cores")
-	for _, mode := range []scenario.Mode{scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont} {
-		r := runMacroServerClient(o, mode, app)
+	modes := []scenario.Mode{scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont}
+	runs := make([]macroRun, len(modes))
+	parallel.Run(len(modes), o.pool(), func(i int) {
+		runs[i] = runMacroServerClient(o, modes[i], app)
+	})
+	for i, mode := range modes {
+		r := runs[i]
 		el := float64(r.elapsed)
 		t.AddRow(string(mode),
 			float64(r.appUsage.Of(cpuacct.Usr))/el,
@@ -235,13 +247,24 @@ func runMacroPodPair(o Opts, mode scenario.CCMode, app string) ccRun {
 
 var ccModes = []scenario.CCMode{scenario.CCSameNode, scenario.CCHostlo, scenario.CCNAT, scenario.CCOverlay}
 
+// runCCModes executes one app across all intra-pod transports, fanning
+// out under o.Workers; results come back in ccModes order.
+func runCCModes(o Opts, app string) []ccRun {
+	runs := make([]ccRun, len(ccModes))
+	parallel.Run(len(ccModes), o.pool(), func(i int) {
+		runs[i] = runMacroPodPair(o, ccModes[i], app)
+	})
+	return runs
+}
+
 // Fig11 reproduces Memcached throughput over the intra-pod transports
 // (§5.3.3) and Fig12 the corresponding latencies; one table covers both.
 func Fig11(o Opts) *report.Table {
 	t := report.New("Figs. 11–12 — Memcached over intra-pod transports",
 		"solution", "responses_per_s", "latency_us", "stddev_us", "p99_us")
-	for _, m := range ccModes {
-		r := runMacroPodPair(o, m, "memcached")
+	runs := runCCModes(o, "memcached")
+	for i, m := range ccModes {
+		r := runs[i]
 		t.AddRow(string(m), r.memcached.ResponsesPerSec,
 			float64(r.memcached.MeanLatency)/1e3,
 			float64(r.memcached.StddevLatency)/1e3,
@@ -254,8 +277,9 @@ func Fig11(o Opts) *report.Table {
 func Fig13(o Opts) *report.Table {
 	t := report.New("Fig. 13 — NGINX over intra-pod transports",
 		"solution", "req_per_s", "latency_us", "stddev_us", "p99_us")
-	for _, m := range ccModes {
-		r := runMacroPodPair(o, m, "nginx")
+	runs := runCCModes(o, "nginx")
+	for i, m := range ccModes {
+		r := runs[i]
 		t.AddRow(string(m), r.nginx.Achieved,
 			float64(r.nginx.MeanLatency)/1e3,
 			float64(r.nginx.StddevLatency)/1e3,
@@ -269,8 +293,9 @@ func Fig13(o Opts) *report.Table {
 func ccCPUTable(o Opts, app, title string) *report.Table {
 	t := report.New(title,
 		"solution", "client_cores", "server_cores", "cs_total_cores", "guest_cores", "host_sys_cores")
-	for _, m := range ccModes {
-		r := runMacroPodPair(o, m, app)
+	runs := runCCModes(o, app)
+	for i, m := range ccModes {
+		r := runs[i]
 		el := float64(r.elapsed)
 		a := float64(r.aUsage.Total()) / el
 		b := float64(r.bUsage.Total()) / el

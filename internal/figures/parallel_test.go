@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"testing"
+)
+
+// The parallel harness contract: any figure regenerated with Workers: 8
+// is byte-identical to the serial run at the same seed. Each subtest
+// renders both tables to text and compares the strings — the strongest
+// form of "the tables don't change", covering row order, formatting and
+// every numeric digit.
+
+func quickOpts(workers int) Opts {
+	return Opts{Seed: 42, Quick: true, Workers: workers}
+}
+
+func TestFig2ParallelMatchesSerial(t *testing.T) {
+	serial := Fig2(quickOpts(1)).String()
+	par := Fig2(quickOpts(8)).String()
+	if serial != par {
+		t.Fatalf("Fig2 diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
+func TestFig4ParallelMatchesSerial(t *testing.T) {
+	st, sl := Fig4(quickOpts(1))
+	pt, pl := Fig4(quickOpts(8))
+	if st.String() != pt.String() {
+		t.Fatalf("Fig4 throughput diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", st, pt)
+	}
+	if sl.String() != pl.String() {
+		t.Fatalf("Fig4 latency diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", sl, pl)
+	}
+}
+
+func TestFig10ParallelMatchesSerial(t *testing.T) {
+	st, sl := Fig10(quickOpts(1))
+	pt, pl := Fig10(quickOpts(8))
+	if st.String() != pt.String() {
+		t.Fatalf("Fig10 throughput diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", st, pt)
+	}
+	if sl.String() != pl.String() {
+		t.Fatalf("Fig10 latency diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", sl, pl)
+	}
+}
+
+func TestFig5ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro sweep in -short mode")
+	}
+	serial := Fig5(quickOpts(1)).String()
+	par := Fig5(quickOpts(8)).String()
+	if serial != par {
+		t.Fatalf("Fig5 diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	sStats, sCDF := Fig8(quickOpts(1), 20)
+	pStats, pCDF := Fig8(quickOpts(8), 20)
+	if sStats.String() != pStats.String() {
+		t.Fatalf("Fig8 stats diverge under -parallel 8:\nserial:\n%s\nparallel:\n%s", sStats, pStats)
+	}
+	if sCDF.String() != pCDF.String() {
+		t.Fatalf("Fig8 CDF diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", sCDF, pCDF)
+	}
+}
+
+func TestFig9ParallelMatchesSerial(t *testing.T) {
+	sHist, sStats := Fig9(quickOpts(1))
+	pHist, pStats := Fig9(quickOpts(8))
+	if sHist.String() != pHist.String() {
+		t.Fatalf("Fig9 histogram diverges under -parallel 8:\nserial:\n%s\nparallel:\n%s", sHist, pHist)
+	}
+	if sStats.String() != pStats.String() {
+		t.Fatalf("Fig9 stats diverge under -parallel 8:\nserial:\n%s\nparallel:\n%s", sStats, pStats)
+	}
+}

@@ -25,6 +25,11 @@ type Net struct {
 	connID uint64
 
 	namespaces []*NetNS
+
+	// Free lists for datapath objects (see pool.go). Per-Net and
+	// unlocked: each Net runs on exactly one goroutine.
+	pktPool   []*Packet
+	framePool []*Frame
 }
 
 // NewNet builds a world around an engine with the default cost model.
@@ -267,30 +272,38 @@ func (ns *NetNS) isLocalAddr(addr IPv4) bool {
 func (ns *NetNS) SetARP(ip IPv4, mac MAC) { ns.arp[ip] = mac }
 
 // input processes a frame delivered to iface in, after the softirq charge.
+// The frame's life ends here: it is recycled on return (the packet may
+// continue through the forwarding path and is detached, not released).
 func (ns *NetNS) input(in *Iface, f *Frame) {
 	switch f.Type {
 	case EtherARP:
 		ns.arpInput(in, f)
 	case EtherIPv4:
-		if f.Packet == nil {
-			return
+		p := f.Packet
+		if p == nil {
+			break
 		}
 		if !f.Dst.IsBroadcast() && f.Dst != in.MAC {
 			ns.Drops.BadMAC++
-			return
+			break
 		}
 		// Opportunistic ARP learning from traffic.
-		if f.Packet.Src != (IPv4{}) && !f.Src.IsZero() {
-			ns.arp[f.Packet.Src] = f.Src
+		if p.Src != (IPv4{}) && !f.Src.IsZero() {
+			ns.arp[p.Src] = f.Src
 		}
-		ns.ipInput(in, f.Packet)
+		ns.ipInput(in, p)
 	}
+	ns.Net.putFrame(f)
 }
 
 // ipInput runs the receive side of the IP stack: PREROUTING, then local
 // delivery (INPUT) or forwarding (FORWARD + POSTROUTING).
 func (ns *NetNS) ipInput(in *Iface, p *Packet) {
-	var charges []Charge
+	// The charge list lives on the stack: RunCosts consumes it
+	// synchronously, and 8 slots cover the longest chain (forwarding
+	// with both NAT rewrites).
+	var chargeBuf [8]Charge
+	charges := chargeBuf[:0]
 	fwScale := ns.ForwardChainScale
 	if fwScale <= 0 {
 		fwScale = 1
@@ -366,7 +379,10 @@ func wouldDNAT(ns *NetNS, p *Packet) bool {
 // POSTROUTING, then transmission. extra lets the caller prepend
 // app/syscall charges so the whole send is one CPU occupancy.
 func (ns *NetNS) Output(p *Packet, extra []Charge) {
-	charges := append([]Charge{}, extra...)
+	// Stack-backed charge list (see ipInput): extra is at most the
+	// app+syscall pair, the output path adds at most four more.
+	var chargeBuf [8]Charge
+	charges := append(chargeBuf[:0], extra...)
 	charge := func(cat cpuacct.Category, c StageCost) {
 		charges = append(charges, Charge{cat, c.For(p.PayloadLen)})
 	}
@@ -410,13 +426,15 @@ func (ns *NetNS) sendVia(out *Iface, nexthop IPv4, p *Packet) {
 	if out == ns.lo {
 		// Loopback turnaround: pay the lo transmit cost, then the frame
 		// re-enters the same namespace.
-		f := &Frame{Dst: out.MAC, Src: out.MAC, Type: EtherIPv4, Packet: p}
+		f := ns.Net.getFrame()
+		f.Dst, f.Src, f.Type, f.Packet = out.MAC, out.MAC, EtherIPv4, p
 		ns.CPU.RunCosts([]Charge{{cpuacct.Sys, ns.Costs.Loopback.For(p.PayloadLen)}}, func() {
 			out.Transmit(f)
 		})
 		return
 	}
-	f := &Frame{Src: out.MAC, Type: EtherIPv4, Packet: p}
+	f := ns.Net.getFrame()
+	f.Src, f.Type, f.Packet = out.MAC, EtherIPv4, p
 	if mac, ok := ns.arp[nexthop]; ok {
 		f.Dst = mac
 		out.Transmit(f)

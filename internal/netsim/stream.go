@@ -127,10 +127,9 @@ func (ns *NetNS) DialStream(dst IPv4, dport uint16, onConnected func(*StreamConn
 	}
 	c.mss = ns.pathMSS(dst)
 	ns.conns[connKey{port: lport, id: c.id}] = c
-	syn := &Packet{
-		Dst: dst, Proto: ProtoTCP, SrcPort: lport, DstPort: dport, TTL: 64,
-		Seg: Seg{Kind: SegConnect, ConnID: c.id},
-	}
+	syn := ns.Net.getPacket()
+	syn.Dst, syn.Proto, syn.SrcPort, syn.DstPort, syn.TTL = dst, ProtoTCP, lport, dport, 64
+	syn.Seg = Seg{Kind: SegConnect, ConnID: c.id}
 	ns.Output(syn, []Charge{{cpuacct.Sys, ns.Costs.SyscallTX.For(0)}})
 	return c
 }
@@ -245,13 +244,12 @@ func (c *StreamConn) pump() {
 			c.headSent = h0
 			break
 		}
-		p := &Packet{
-			Dst: c.remoteAddr, Proto: ProtoTCP,
-			SrcPort: c.localPort, DstPort: c.remotePort, TTL: 64,
-			PayloadLen: n,
-			Seg:        Seg{Kind: SegData, Seq: c.seq, ConnID: c.id},
-			SentAt:     sentAt,
-		}
+		p := c.ns.Net.getPacket()
+		p.Dst, p.Proto = c.remoteAddr, ProtoTCP
+		p.SrcPort, p.DstPort, p.TTL = c.localPort, c.remotePort, 64
+		p.PayloadLen = n
+		p.Seg = Seg{Kind: SegData, Seq: c.seq, ConnID: c.id}
+		p.SentAt = sentAt
 		if len(completes) > 0 {
 			p.App = segMeta{completes: completes}
 		}
@@ -268,8 +266,16 @@ func (c *StreamConn) pump() {
 	}
 }
 
-// streamInput demultiplexes a ProtoTCP packet inside deliverLocal.
+// streamInput demultiplexes a ProtoTCP packet inside deliverLocal. It
+// is the end of every stream packet's life: the transport hands
+// applications message metadata (size/app/sentAt), never the *Packet,
+// so the packet is recycled here on every path — including drops.
 func (ns *NetNS) streamInput(p *Packet) {
+	ns.streamDemux(p)
+	ns.Net.putPacket(p)
+}
+
+func (ns *NetNS) streamDemux(p *Packet) {
 	switch p.Seg.Kind {
 	case SegConnect:
 		l, ok := ns.listeners[p.DstPort]
@@ -295,10 +301,9 @@ func (ns *NetNS) streamInput(p *Packet) {
 		if l.OnAccept != nil {
 			l.OnAccept(c)
 		}
-		ack := &Packet{
-			Dst: p.Src, Proto: ProtoTCP, SrcPort: p.DstPort, DstPort: p.SrcPort, TTL: 64,
-			Seg: Seg{Kind: SegAccept, ConnID: c.id},
-		}
+		ack := ns.Net.getPacket()
+		ack.Dst, ack.Proto, ack.SrcPort, ack.DstPort, ack.TTL = p.Src, ProtoTCP, p.DstPort, p.SrcPort, 64
+		ack.Seg = Seg{Kind: SegAccept, ConnID: c.id}
 		ns.Output(ack, []Charge{{cpuacct.Sys, ns.Costs.SyscallTX.For(0)}})
 
 	case SegAccept:
@@ -327,11 +332,10 @@ func (ns *NetNS) streamInput(p *Packet) {
 		meta, final := p.App.(segMeta)
 		if c.segsSinceAck >= ns.Costs.AckEvery || final {
 			c.segsSinceAck = 0
-			ack := &Packet{
-				Dst: c.remoteAddr, Proto: ProtoTCP,
-				SrcPort: c.localPort, DstPort: c.remotePort, TTL: 64,
-				Seg: Seg{Kind: SegAck, AckSeq: c.rcvd, ConnID: c.id},
-			}
+			ack := ns.Net.getPacket()
+			ack.Dst, ack.Proto = c.remoteAddr, ProtoTCP
+			ack.SrcPort, ack.DstPort, ack.TTL = c.localPort, c.remotePort, 64
+			ack.Seg = Seg{Kind: SegAck, AckSeq: c.rcvd, ConnID: c.id}
 			c.ns.Output(ack, nil)
 		}
 		if final {

@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		n := 37
+		hits := make([]int32, n)
+		Run(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	ran := false
+	Run(0, 4, func(i int) { ran = true })
+	Run(-3, 4, func(i int) { ran = true })
+	if ran {
+		t.Fatal("job ran for n <= 0")
+	}
+}
+
+func TestRunSerialOrder(t *testing.T) {
+	var order []int
+	Run(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+// TestRunDeterministicMerge is the core contract: each job writes its
+// own slot, and the merged result is identical for any worker count.
+func TestRunDeterministicMerge(t *testing.T) {
+	n := 64
+	ref := make([]int, n)
+	Run(n, 1, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 3, 8, 16} {
+		got := make([]int, n)
+		Run(n, workers, func(i int) { got[i] = i * i })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

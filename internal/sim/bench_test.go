@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSchedule measures the raw At/pop cycle: one pre-built
+// callback rescheduled through a deep heap. This is the engine's hot
+// path under every figure workload, so its ns/op is the core trajectory
+// metric (see BENCH_core.json).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New(1)
+	// Keep a realistic backlog in the heap so push/pop exercise real
+	// sift depth, not the empty-heap fast path.
+	var fn func()
+	n := 0
+	fn = func() {
+		if n < b.N {
+			n++
+			e.After(time.Duration(n%64)*time.Microsecond, fn)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	e.After(0, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineFanout measures batch scheduling: many events pushed at
+// once, then drained — the pattern of parallel sweeps front-loading work.
+func BenchmarkEngineFanout(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		e.Reserve(4096)
+		nop := func() {}
+		for k := 0; k < 4096; k++ {
+			e.At(time.Duration(k%997)*time.Microsecond, nop)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkStationPipeline pushes jobs through a station chain, the
+// shape of every simulated CPU stage.
+func BenchmarkStationPipeline(b *testing.B) {
+	e := New(1)
+	s := NewStation(e, "bench", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(time.Microsecond, nil)
+		if i%1024 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

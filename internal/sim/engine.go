@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -21,36 +20,95 @@ import (
 // and formatting ergonomic (Time and durations add directly).
 type Time = time.Duration
 
-// event is one scheduled callback.
+// event is one scheduled callback, stored by value in the heap: scheduling
+// an event costs no allocation beyond the caller's closure (and amortized
+// heap growth).
+//
+// Station completions are the single heaviest event source in every
+// workload (one per simulated CPU job), so they get a dedicated
+// representation: when st is non-nil the dispatcher calls
+// st.complete(fn) directly instead of fn(), and no per-job closure ever
+// exists. Two extra words per event buy away ~half the datapath's
+// allocations.
 type event struct {
 	at  Time
 	seq uint64 // FIFO tie-break for simultaneous events
 	fn  func()
+	st  *Station // non-nil: station job completion, fn is the done callback
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// eventHeap is a value-typed 4-ary min-heap ordered by (at, seq). A 4-ary
+// layout halves the tree depth of a binary heap, which matters on the
+// engine's hottest path: sift-downs on pop touch fewer cache lines, and
+// there is no container/heap interface dispatch or boxing anywhere.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq).
+func (a *event) before(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push appends ev and restores the heap invariant (hole-based sift-up:
+// the moving element is copied once, parents shift down into the hole).
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	q[i] = ev
+	*h = q
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // release the closure reference
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return top
+	}
+	// Sift the former tail down from the root (hole-based).
+	i := 0
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		// Smallest of up to four children.
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if q[k].before(&q[m]) {
+				m = k
+			}
+		}
+		if !q[m].before(&last) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = last
+	return top
 }
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent
 // use: the whole simulation is single-threaded by design (determinism).
+// Independent simulations — each with its own Engine — may run on
+// concurrent goroutines; engines share no state.
 type Engine struct {
 	now    Time
 	seq    uint64
@@ -66,9 +124,13 @@ type Engine struct {
 	Probe EngineProbe
 }
 
+// initialHeapCap pre-sizes the event heap so typical scenarios never pay
+// growth reallocations on the hot path.
+const initialHeapCap = 1024
+
 // New returns an engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: NewRand(seed)}
+	return &Engine{rng: NewRand(seed), events: make(eventHeap, 0, initialHeapCap)}
 }
 
 // Now returns the current virtual time.
@@ -77,6 +139,18 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 
+// Reserve grows the event heap's capacity to hold at least n pending
+// events without reallocation — a capacity hint for workloads that front-
+// load large batches of scheduled work.
+func (e *Engine) Reserve(n int) {
+	if cap(e.events) >= n {
+		return
+	}
+	grown := make(eventHeap, len(e.events), n)
+	copy(grown, e.events)
+	e.events = grown
+}
+
 // At schedules fn to run at instant t. Scheduling in the past panics:
 // it would silently corrupt causality.
 func (e *Engine) At(t Time, fn func()) {
@@ -84,7 +158,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -103,7 +177,7 @@ func (e *Engine) step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	advanced := ev.at != e.now
 	e.now = ev.at
 	e.Steps++
@@ -113,8 +187,23 @@ func (e *Engine) step() bool {
 	if advanced && e.Probe != nil {
 		e.Probe.EngineAdvance(ev.at)
 	}
-	ev.fn()
+	if ev.st != nil {
+		ev.st.complete(ev.fn)
+	} else {
+		ev.fn()
+	}
 	return true
+}
+
+// afterJob schedules a station job completion d from now without
+// allocating a closure: the event carries the station and the done
+// callback directly.
+func (e *Engine) afterJob(d time.Duration, st *Station, done func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.events.push(event{at: e.now + d, seq: e.seq, fn: done, st: st})
 }
 
 // Run executes events until none remain.

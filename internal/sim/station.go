@@ -116,30 +116,36 @@ func (s *Station) start(j stationJob) {
 		s.Probe.StationBusy(s)
 	}
 	s.BusyTime += j.service
-	s.eng.After(j.service, func() {
-		s.busy--
-		s.Completed++
-		if s.busy == 0 {
-			s.idleSince = s.eng.now
-			if s.Probe != nil {
-				s.Probe.StationIdle(s)
-			}
+	// Completion is dispatched through the event's station field, not a
+	// closure — this is the engine's hottest allocation site otherwise.
+	s.eng.afterJob(j.service, s, j.done)
+}
+
+// complete finishes one in-service job: it is invoked by the engine
+// dispatcher for events scheduled via afterJob.
+func (s *Station) complete(done func()) {
+	s.busy--
+	s.Completed++
+	if s.busy == 0 {
+		s.idleSince = s.eng.now
+		if s.Probe != nil {
+			s.Probe.StationIdle(s)
 		}
-		// Claim the next queued job before running the completion
-		// callback: work the callback submits must line up behind it.
-		if len(s.queue) > 0 && s.busy < s.servers {
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
-			s.queue = s.queue[:len(s.queue)-1]
-			if s.Probe != nil {
-				s.Probe.StationQueue(s, len(s.queue))
-			}
-			s.start(next)
+	}
+	// Claim the next queued job before running the completion
+	// callback: work the callback submits must line up behind it.
+	if len(s.queue) > 0 && s.busy < s.servers {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		if s.Probe != nil {
+			s.Probe.StationQueue(s, len(s.queue))
 		}
-		if j.done != nil {
-			j.done()
-		}
-	})
+		s.start(next)
+	}
+	if done != nil {
+		done()
+	}
 }
 
 // Utilization returns BusyTime divided by (elapsed × servers), the mean

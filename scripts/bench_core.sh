@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate BENCH_core.json, the repository's performance trajectory:
+# every Benchmark* in the tree, one iteration each (-benchtime 1x keeps
+# the whole sweep fast and the numbers comparable run-to-run on the same
+# box), with allocation stats, converted to JSON by cmd/benchjson.
+#
+# Usage, from the repository root:
+#
+#   sh scripts/bench_core.sh            # writes BENCH_core.json
+#   sh scripts/bench_core.sh out.json   # custom destination
+set -e
+
+out="${1:-BENCH_core.json}"
+go test -run NONE -bench . -benchtime 1x -benchmem ./... | go run ./cmd/benchjson > "$out"
+echo "wrote $out" >&2
