@@ -20,6 +20,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := cli.ParallelFlag()
+	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 
@@ -27,7 +28,8 @@ func main() {
 	if *runs <= 0 {
 		cli.BadFlag("bootbench: -runs must be positive, got %d", *runs)
 	}
-	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed, Rec: tf.Recorder(), Workers: *workers}, *runs)
+	stats, cdf := figures.Fig8(figures.Opts{Seed: *seed, Rec: tf.Recorder(), Workers: *workers,
+		Faults: cli.ParseFaults(*faultSpec)}, *runs)
 	if *csv {
 		stats.WriteCSV(os.Stdout)
 		fmt.Println()

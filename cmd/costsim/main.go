@@ -33,9 +33,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	top := flag.Int("top", 0, "also list the top-N savers")
 	workers := cli.ParallelFlag()
+	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 	cli.CheckParallel(*workers)
+	// costsim's placement run is engine-less: the spec is validated for
+	// command-line uniformity, but there is no datapath to fault.
+	if cli.ParseFaults(*faultSpec) != nil {
+		fmt.Fprintln(os.Stderr, "costsim: note: -faults validated but ignored (the placement run has no simulated datapath)")
+	}
 
 	emit := func(t *report.Table) {
 		if *csv {

@@ -29,11 +29,13 @@ func main() {
 	quick := flag.Bool("quick", false, "short measurement windows")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := cli.ParallelFlag()
+	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 
 	cli.CheckParallel(*workers)
-	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder(), Workers: *workers}
+	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder(), Workers: *workers,
+		Faults: cli.ParseFaults(*faultSpec)}
 	var t *report.Table
 	switch {
 	case *table == 1:

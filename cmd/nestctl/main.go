@@ -33,16 +33,20 @@ func main() {
 	// nestctl runs a single exchange, so -parallel has nothing to fan
 	// out; the flag exists for command-line uniformity with the sweeps.
 	workers := cli.ParallelFlag()
+	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 	cli.CheckParallel(*workers)
+	schedule := cli.ParseFaults(*faultSpec)
 
 	switch scenario.Mode(*mode) {
 	case scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont:
 	default:
 		cli.BadFlag("nestctl: unknown mode %q (want nat, brfusion or nocont)", *mode)
 	}
-	sc, err := scenario.NewServerClientWith(*seed, scenario.Mode(*mode), tf.Recorder(), 9000)
+	sc, err := scenario.NewServerClientCfg(
+		scenario.Config{Seed: *seed, Rec: tf.Recorder(), Faults: schedule},
+		scenario.Mode(*mode), 9000)
 	if err != nil {
 		cli.Fatal("nestctl", err)
 	}

@@ -30,7 +30,7 @@ func newRig(t *testing.T) *rig {
 	h := vmm.NewHost(w)
 	h.AddBridge("virbr0", netsim.IP(192, 168, 122, 1), hostNet)
 	ctrl := core.NewController(h)
-	vm := h.CreateVM(vmm.VMConfig{Name: "node", VCPUs: 5, MemoryMB: 4096})
+	vm, _ := h.CreateVM(vmm.VMConfig{Name: "node", VCPUs: 5, MemoryMB: 4096})
 	vm.PlugBridgeNIC("virbr0", hostNet.Host(10), hostNet)
 	e := container.NewEngine(container.Config{
 		Node: "node", Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,
@@ -131,13 +131,17 @@ func TestReleaseUnplugsNIC(t *testing.T) {
 	r := newRig(t)
 	ctr := r.runContainer(t, "pod1")
 	devices := len(r.vm.Devices())
-	r.plugin.Release(ctr)
+	if err := r.plugin.Release(ctr); err != nil {
+		t.Fatalf("Release = %v", err)
+	}
 	r.eng.Run()
 	if len(r.vm.Devices()) != devices-1 {
 		t.Fatalf("device count %d, want %d", len(r.vm.Devices()), devices-1)
 	}
-	// Double release is a no-op.
-	r.plugin.Release(ctr)
+	// Double release is a caller bug and reports one.
+	if err := r.plugin.Release(ctr); err == nil {
+		t.Fatal("double release not rejected")
+	}
 	r.eng.Run()
 }
 

@@ -1,7 +1,7 @@
 // Package cli holds the shared plumbing of the cmd/ tools: unified
 // bad-flag handling (message + usage to stderr, exit 2, matching what
-// the flag package does for unknown flags) and the -trace/-metrics
-// telemetry flags every tool offers.
+// the flag package does for unknown flags), the -trace/-metrics
+// telemetry flags and the -faults injection flag every tool offers.
 package cli
 
 import (
@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 
+	"nestless/internal/faults"
 	"nestless/internal/telemetry"
 )
 
@@ -41,6 +42,27 @@ func CheckParallel(n int) {
 	if n < 1 {
 		BadFlag("-parallel must be >= 1 (got %d)", n)
 	}
+}
+
+// FaultsFlag registers -faults on the default flag set; call it before
+// flag.Parse. The returned pointer holds the raw spec after parsing;
+// resolve it with ParseFaults.
+func FaultsFlag() *string {
+	return flag.String("faults", "",
+		"inject deterministic faults, e.g. 'qmp/device_add:fail:n=2;frame/*:drop:p=0.01' (see internal/faults for the grammar)")
+}
+
+// ParseFaults resolves a -faults value: empty means injection off
+// (nil schedule), an invalid spec is a flag error (exit 2).
+func ParseFaults(spec string) *faults.Schedule {
+	if spec == "" {
+		return nil
+	}
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		BadFlag("-faults: %v", err)
+	}
+	return s
 }
 
 // Telemetry carries the -trace/-metrics flag values of one tool.

@@ -10,6 +10,7 @@
 package cni
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -73,7 +74,9 @@ func (c *Chain) Name() string {
 	return n + ")"
 }
 
-// Provision runs every plugin in order.
+// Provision runs every plugin in order. When plugin i fails, plugins
+// 0..i-1 are released (in reverse) before the error is reported, so a
+// half-provisioned chain never leaks attachments.
 func (c *Chain) Provision(ctr *container.Container, ports []container.PortMap, done func(netsim.IPv4, error)) {
 	if len(c.Plugins) == 0 {
 		done(netsim.IPv4{}, fmt.Errorf("cni: empty chain"))
@@ -88,6 +91,9 @@ func (c *Chain) Provision(ctr *container.Container, ports []container.PortMap, d
 		}
 		c.Plugins[i].Provision(ctr, ports, func(ip netsim.IPv4, err error) {
 			if err != nil {
+				for j := i - 1; j >= 0; j-- {
+					_ = c.Plugins[j].Release(ctr)
+				}
 				done(netsim.IPv4{}, fmt.Errorf("cni: plugin %s: %w", c.Plugins[i].Name(), err))
 				return
 			}
@@ -100,9 +106,14 @@ func (c *Chain) Provision(ctr *container.Container, ports []container.PortMap, d
 	step(0)
 }
 
-// Release tears down in reverse order.
-func (c *Chain) Release(ctr *container.Container) {
+// Release tears down in reverse order. Every plugin is asked to release
+// even when earlier ones error; the errors are joined.
+func (c *Chain) Release(ctr *container.Container) error {
+	var errs []error
 	for i := len(c.Plugins) - 1; i >= 0; i-- {
-		c.Plugins[i].Release(ctr)
+		if err := c.Plugins[i].Release(ctr); err != nil {
+			errs = append(errs, fmt.Errorf("cni: plugin %s: %w", c.Plugins[i].Name(), err))
+		}
 	}
+	return errors.Join(errs...)
 }

@@ -10,11 +10,12 @@ import (
 
 // fakePlugin records calls.
 type fakePlugin struct {
-	name     string
-	ip       netsim.IPv4
-	err      error
-	adds     int
-	releases int
+	name       string
+	ip         netsim.IPv4
+	err        error
+	releaseErr error
+	adds       int
+	releases   int
 }
 
 func (f *fakePlugin) Name() string { return f.name }
@@ -22,7 +23,10 @@ func (f *fakePlugin) Provision(_ *container.Container, _ []container.PortMap, do
 	f.adds++
 	done(f.ip, f.err)
 }
-func (f *fakePlugin) Release(_ *container.Container) { f.releases++ }
+func (f *fakePlugin) Release(_ *container.Container) error {
+	f.releases++
+	return f.releaseErr
+}
 
 func TestRegistryLookup(t *testing.T) {
 	r := NewRegistry()
@@ -63,7 +67,9 @@ func TestChainRunsInOrderAndReturnsPrimaryIP(t *testing.T) {
 	if c.Name() != "chain(primary,secondary)" {
 		t.Fatalf("Name = %q", c.Name())
 	}
-	c.Release(nil)
+	if err := c.Release(nil); err != nil {
+		t.Fatalf("Release = %v", err)
+	}
 	if primary.releases != 1 || secondary.releases != 1 {
 		t.Fatal("release did not reach all plugins")
 	}
@@ -80,6 +86,33 @@ func TestChainStopsOnError(t *testing.T) {
 	}
 	if after.adds != 0 {
 		t.Fatal("chain continued past the failure")
+	}
+}
+
+func TestChainRollsBackOnMidFailure(t *testing.T) {
+	first := &fakePlugin{name: "first", ip: netsim.IP(10, 0, 0, 1)}
+	bad := &fakePlugin{name: "bad", err: errors.New("boom")}
+	c := &Chain{Plugins: []Plugin{first, bad}}
+	var gotErr error
+	c.Provision(nil, nil, func(_ netsim.IPv4, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Fatal("chain swallowed the error")
+	}
+	if first.releases != 1 {
+		t.Fatalf("earlier plugin not rolled back: releases = %d", first.releases)
+	}
+}
+
+func TestChainReleaseJoinsErrors(t *testing.T) {
+	ok := &fakePlugin{name: "ok"}
+	bad := &fakePlugin{name: "bad", releaseErr: errors.New("stuck")}
+	c := &Chain{Plugins: []Plugin{ok, bad}}
+	err := c.Release(nil)
+	if err == nil {
+		t.Fatal("release error swallowed")
+	}
+	if ok.releases != 1 {
+		t.Fatal("release stopped at the failing plugin")
 	}
 }
 

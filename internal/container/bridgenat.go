@@ -1,6 +1,8 @@
 package container
 
 import (
+	"fmt"
+
 	"nestless/internal/netsim"
 )
 
@@ -27,7 +29,14 @@ func (p *bridgeNAT) Provision(c *Container, ports []PortMap, done func(netsim.IP
 	for i := 0; i < 1+len(ports); i++ {
 		steps = append(steps, namedStep{"iptables-rule", iptablesRuleStep})
 	}
-	e.stepRunner(c, steps, func() {
+	e.stepRunner(c, steps, func(err error) {
+		if err != nil {
+			// Nothing was wired yet: the failing step is always before
+			// the veth/bridge work below, so there is nothing to undo.
+			op.End(err)
+			done(netsim.IPv4{}, err)
+			return
+		}
 		ip := e.allocIP()
 		ctrEnd, nodeEnd := netsim.NewVethPair(c.NS, "eth0", e.cfg.NS, "veth-"+c.Name)
 		ctrEnd.SetAddr(ip, e.briNet)
@@ -50,14 +59,23 @@ func (p *bridgeNAT) Provision(c *Container, ports []PortMap, done func(netsim.IP
 	})()
 }
 
-// Release detaches the container's veth from the bridge.
-func (p *bridgeNAT) Release(c *Container) {
+// Release detaches the container's veth from the bridge. Releasing a
+// container that holds no attachment (never provisioned, or released
+// twice) is an error.
+func (p *bridgeNAT) Release(c *Container) error {
 	e := p.e
+	removed := false
 	if nodeEnd := e.cfg.NS.Iface("veth-" + c.Name); nodeEnd != nil {
 		e.bridge.RemovePort(nodeEnd)
 		e.cfg.NS.RemoveIface(nodeEnd.Name)
+		removed = true
 	}
 	if ctrEnd := c.NS.Iface("eth0"); ctrEnd != nil {
 		c.NS.RemoveIface("eth0")
+		removed = true
 	}
+	if !removed {
+		return fmt.Errorf("container: bridge-nat has no attachment for %q", c.Name)
+	}
+	return nil
 }

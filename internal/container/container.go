@@ -64,8 +64,10 @@ type Provisioner interface {
 	// requests (bridge NAT honours them; BrFusion doesn't need them —
 	// the pod has a first-class address).
 	Provision(c *Container, ports []PortMap, done func(netsim.IPv4, error))
-	// Release tears the attachment down.
-	Release(c *Container)
+	// Release tears the attachment down. Releasing a container that was
+	// never provisioned (or releasing twice) is an error: silent
+	// tolerance here hid real double-free bugs in callers.
+	Release(c *Container) error
 	// Name identifies the provisioner in diagnostics.
 	Name() string
 }
@@ -265,17 +267,19 @@ func (e *Engine) RunSandbox(name, entity string, prov Provisioner, ports []PortM
 	})
 }
 
-// Stop tears a container down and releases its network.
+// Stop tears a container down and releases its network. The container
+// is removed from the engine even when the release errors — the error
+// reports residue (visible to vmm.Host.Leaks), not a retryable state.
 func (e *Engine) Stop(name string) error {
 	c, ok := e.containers[name]
 	if !ok {
 		return fmt.Errorf("container: no container %q", name)
 	}
 	c.State = Stopped
-	if c.prov != nil {
-		c.prov.Release(c)
-	}
 	delete(e.containers, name)
+	if c.prov != nil {
+		return c.prov.Release(c)
+	}
 	return nil
 }
 
@@ -283,12 +287,27 @@ func (e *Engine) Stop(name string) error {
 // namespace creation and entrypoint start — where the CNI call happens.
 func (e *Engine) bootSequence(c *Container, spec Spec, done func(*Container, error)) {
 	eng := e.cfg.Eng
+	// fail abandons the boot: the container leaves the engine's table so
+	// its name is reusable, and a network provisioned before the failing
+	// step is released — a dead entrypoint must not strand its veth/NIC.
+	fail := func(err error, provisioned bool) {
+		c.State = Stopped
+		delete(e.containers, c.Name)
+		if provisioned && c.prov != nil {
+			_ = c.prov.Release(c)
+		}
+		done(nil, err)
+	}
 	steps := []namedStep{{"daemon-prep", e.boot.DaemonPrep}, {"namespace-setup", e.boot.NamespaceSetup}}
 	if spec.JoinPod == nil {
 		// Joining a pod skips sandbox work.
 		steps = append(steps, namedStep{"rootfs-mount", e.boot.RootfsMount})
 	}
-	run := e.stepRunner(c, steps, func() {
+	run := e.stepRunner(c, steps, func(err error) {
+		if err != nil {
+			fail(err, false)
+			return
+		}
 		provision := func(next func()) {
 			if c.prov == nil {
 				next()
@@ -296,8 +315,9 @@ func (e *Engine) bootSequence(c *Container, spec Spec, done func(*Container, err
 			}
 			c.prov.Provision(c, spec.Ports, func(ip netsim.IPv4, err error) {
 				if err != nil {
-					c.State = Stopped
-					done(nil, err)
+					// A failed provisioner rolls its own work back; there
+					// is nothing for the engine to release.
+					fail(err, false)
 					return
 				}
 				c.IP = ip
@@ -305,7 +325,11 @@ func (e *Engine) bootSequence(c *Container, spec Spec, done func(*Container, err
 			})
 		}
 		provision(func() {
-			e.stepRunner(c, []namedStep{{"process-start", e.boot.ProcessStart}}, func() {
+			e.stepRunner(c, []namedStep{{"process-start", e.boot.ProcessStart}}, func(err error) {
+				if err != nil {
+					fail(err, true)
+					return
+				}
 				c.State = Running
 				c.ReadyAt = eng.Now()
 				done(c, nil)
@@ -323,17 +347,23 @@ type namedStep struct {
 
 // stepRunner chains boot steps: each occupies wall-clock time (mostly
 // I/O wait), bills a fraction of it as node kernel CPU, and — when
-// telemetry is on — appears as one span on the node's boot timeline.
-func (e *Engine) stepRunner(c *Container, steps []namedStep, then func()) func() {
+// telemetry is on — appears as one span on the node's boot timeline. A
+// step error aborts the chain and reaches then(err).
+func (e *Engine) stepRunner(c *Container, steps []namedStep, then func(error)) func() {
 	eng := e.cfg.Eng
 	rec := e.cfg.Net.Rec
+	inj := e.cfg.Net.Faults
 	var run func(i int)
 	run = func(i int) {
 		if i >= len(steps) {
-			then()
+			then(nil)
 			return
 		}
 		st := steps[i]
+		// A boot fault ("boot/<step>") is decided when the step starts
+		// but surfaces when its wall time elapses — a failing runc or
+		// iptables invocation burns its time before erroring out.
+		ferr := inj.OpFail("boot/" + st.name)
 		d := st.s.sample(e.rng)
 		if st.s.CPUFraction > 0 {
 			// Charge (not Run): the step's wall time exceeds its CPU
@@ -342,7 +372,11 @@ func (e *Engine) stepRunner(c *Container, steps []namedStep, then func()) func()
 		}
 		op := rec.OpBegin("boot/"+e.cfg.Node, c.Name+"/"+st.name)
 		eng.After(d, func() {
-			op.End(nil)
+			op.End(ferr)
+			if ferr != nil {
+				then(ferr)
+				return
+			}
 			run(i + 1)
 		})
 	}

@@ -26,7 +26,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"nestless/internal/faults"
 	"nestless/internal/netsim"
 	"nestless/internal/vmm"
 )
@@ -100,6 +102,8 @@ func (c *Controller) AllocPodIP(bridge string) (netsim.IPv4, netsim.Prefix, erro
 
 // ProvisionPodNIC runs BrFusion protocol steps 1–3: hot-plug a new NIC
 // on vm, attached to the named host bridge, and report its identity.
+// A device_add failure rolls the netdev registration back, so a failed
+// provision leaves nothing behind for the retry to trip over.
 func (c *Controller) ProvisionPodNIC(vm *vmm.VM, bridge string, done func(NICInfo, error)) {
 	if c.host.Bridge(bridge) == nil {
 		done(NICInfo{}, fmt.Errorf("core: no host bridge %q", bridge))
@@ -115,10 +119,11 @@ func (c *Controller) ProvisionPodNIC(vm *vmm.VM, bridge string, done func(NICInf
 		}
 		m.Execute("device_add", map[string]string{"id": devID, "driver": "virtio-net", "netdev": ndID}, func(r vmm.Result, err error) {
 			if err != nil {
+				c.releaseNetdev(vm, ndID)
 				done(NICInfo{}, err)
 				return
 			}
-			dev := vm.Devices()[devID]
+			dev := vm.Device(devID)
 			done(NICInfo{
 				VM:         vm.Name,
 				DeviceID:   devID,
@@ -130,7 +135,8 @@ func (c *Controller) ProvisionPodNIC(vm *vmm.VM, bridge string, done func(NICInf
 	})
 }
 
-// ReleasePodNIC detaches a BrFusion pod NIC.
+// ReleasePodNIC detaches a BrFusion pod NIC with a single device_del
+// (no retries — see ReleaseDevice for the fault-hardened variant).
 func (c *Controller) ReleasePodNIC(vm *vmm.VM, deviceID string, done func(error)) {
 	vm.Monitor().Execute("device_del", map[string]string{"id": deviceID}, func(_ vmm.Result, err error) {
 		if done != nil {
@@ -139,9 +145,109 @@ func (c *Controller) ReleasePodNIC(vm *vmm.VM, deviceID string, done func(error)
 	})
 }
 
+// releasePolicy is the teardown retry loop: more attempts than the
+// provision side, because a wedged release is a leak while a wedged
+// provision merely falls back. The watchdog arms only in faulted
+// worlds — a fault-free monitor cannot stall, and the dead timer events
+// would perturb nothing but still cost heap.
+func (c *Controller) releasePolicy(attempts int) faults.RetryPolicy {
+	pol := faults.DefaultRetryPolicy()
+	pol.MaxAttempts = attempts
+	pol.BackoffMax = 200 * time.Millisecond
+	if c.host.Net.Faults == nil {
+		pol.Timeout = 0
+	}
+	return pol
+}
+
+// retryCounter surfaces a retry loop's activity as a telemetry counter
+// ("retry/<site>" in the instruments table). Nil when telemetry is off.
+func (c *Controller) retryCounter(site string) func(int, error) {
+	rec := c.host.Net.Rec
+	if rec == nil {
+		return nil
+	}
+	return func(int, error) { rec.Metrics().Counter("retry/" + site).Inc() }
+}
+
+// ReleaseDevice detaches a managed NIC with bounded retries. Delete is
+// idempotent at the orchestrator level: if a retried device_del finds
+// the device already gone (an earlier, timed-out attempt won the race),
+// the release has converged and reports success.
+func (c *Controller) ReleaseDevice(vm *vmm.VM, deviceID string, done func(error)) {
+	pol := c.releasePolicy(4)
+	pol.OnRetry = c.retryCounter("device_del")
+	faults.Retry(c.host.Eng, pol,
+		func(_ int, complete func(struct{}, error)) {
+			vm.Monitor().Execute("device_del", map[string]string{"id": deviceID}, func(_ vmm.Result, err error) {
+				complete(struct{}{}, err)
+			})
+		},
+		nil,
+		func(_ struct{}, _ int, err error) {
+			if err != nil && vm.Device(deviceID) == nil {
+				err = nil
+			}
+			if done != nil {
+				done(err)
+			}
+		})
+}
+
+// releaseNetdev retires an orphaned netdev spec (a device_add that
+// never produced a device), retrying through transient faults.
+func (c *Controller) releaseNetdev(vm *vmm.VM, ndID string) {
+	pol := c.releasePolicy(4)
+	pol.OnRetry = c.retryCounter("netdev_del")
+	faults.Retry(c.host.Eng, pol,
+		func(_ int, complete func(struct{}, error)) {
+			vm.Monitor().Execute("netdev_del", map[string]string{"id": ndID}, func(_ vmm.Result, err error) {
+				complete(struct{}{}, err)
+			})
+		},
+		nil,
+		func(_ struct{}, _ int, err error) {},
+	)
+}
+
+// ReleaseHostlo deletes a pod's Hostlo device once its queues are gone.
+// The endpoint device_dels race this on the monitor, so the loop is
+// generous with attempts; "already gone" counts as success.
+func (c *Controller) ReleaseHostlo(hostloID string, done func(error)) {
+	h := c.host
+	vms := h.VMs()
+	if len(vms) == 0 {
+		if done != nil {
+			done(fmt.Errorf("core: no VM monitor to reach the VMM through"))
+		}
+		return
+	}
+	m := vms[0].Monitor()
+	pol := c.releasePolicy(8)
+	pol.OnRetry = c.retryCounter("hostlo_delete")
+	faults.Retry(h.Eng, pol,
+		func(_ int, complete func(struct{}, error)) {
+			m.Execute("hostlo_delete", map[string]string{"id": hostloID}, func(_ vmm.Result, err error) {
+				complete(struct{}{}, err)
+			})
+		},
+		nil,
+		func(_ struct{}, _ int, err error) {
+			if err != nil && h.Hostlo(hostloID) == nil {
+				err = nil
+			}
+			if done != nil {
+				done(err)
+			}
+		})
+}
+
 // ProvisionHostlo runs Hostlo protocol steps 1–3: create a fresh Hostlo
 // device for a pod and multiplex it into every target VM. The callback
-// receives one endpoint per VM, in the given order.
+// receives one endpoint per VM, in the given order. A mid-sequence
+// failure rolls the whole provision back — already-attached endpoints
+// are unplugged and the device deleted — before the error is reported,
+// so the caller never inherits a half-multiplexed pod.
 func (c *Controller) ProvisionHostlo(vms []*vmm.VM, done func(hostloID string, eps []EndpointInfo, err error)) {
 	if len(vms) == 0 {
 		done("", nil, fmt.Errorf("core: hostlo needs at least one VM"))
@@ -150,6 +256,21 @@ func (c *Controller) ProvisionHostlo(vms []*vmm.VM, done func(hostloID string, e
 	c.hostloSeq++
 	hid := fmt.Sprintf("hostlo%d", c.hostloSeq)
 	eps := make([]EndpointInfo, 0, len(vms))
+
+	// rollback unwinds eps (reverse order) and then the device itself;
+	// each step retries internally, and the original error wins.
+	rollback := func(cause error) {
+		var unwind func(i int)
+		unwind = func(i int) {
+			if i < 0 {
+				c.ReleaseHostlo(hid, func(error) { done(hid, nil, cause) })
+				return
+			}
+			ep := eps[i]
+			c.ReleaseDevice(c.host.VM(ep.VM), ep.DeviceID, func(error) { unwind(i - 1) })
+		}
+		unwind(len(eps) - 1)
+	}
 
 	var attach func(i int)
 	attach = func(i int) {
@@ -163,15 +284,16 @@ func (c *Controller) ProvisionHostlo(vms []*vmm.VM, done func(hostloID string, e
 		devID := c.nextDeviceID("hlo")
 		m.Execute("netdev_add", map[string]string{"id": ndID, "type": "hostlo", "dev": hid}, func(_ vmm.Result, err error) {
 			if err != nil {
-				done(hid, eps, err)
+				rollback(err)
 				return
 			}
 			m.Execute("device_add", map[string]string{"id": devID, "driver": "virtio-net", "netdev": ndID}, func(r vmm.Result, err error) {
 				if err != nil {
-					done(hid, eps, err)
+					c.releaseNetdev(vm, ndID)
+					rollback(err)
 					return
 				}
-				dev := vm.Devices()[devID]
+				dev := vm.Device(devID)
 				eps = append(eps, EndpointInfo{
 					VM:         vm.Name,
 					DeviceID:   devID,

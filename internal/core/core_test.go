@@ -21,7 +21,7 @@ func newHost() (*sim.Engine, *vmm.Host, *Controller) {
 
 func TestProvisionPodNICProtocol(t *testing.T) {
 	eng, h, ctrl := newHost()
-	vm := h.CreateVM(vmm.VMConfig{Name: "web", VCPUs: 5})
+	vm, _ := h.CreateVM(vmm.VMConfig{Name: "web", VCPUs: 5})
 
 	var info NICInfo
 	var perr error
@@ -52,7 +52,7 @@ func TestProvisionPodNICProtocol(t *testing.T) {
 
 func TestProvisionPodNICUnknownBridge(t *testing.T) {
 	eng, h, ctrl := newHost()
-	vm := h.CreateVM(vmm.VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(vmm.VMConfig{Name: "web"})
 	var perr error
 	ctrl.ProvisionPodNIC(vm, "missing", func(_ NICInfo, err error) { perr = err })
 	eng.Run()
@@ -63,7 +63,7 @@ func TestProvisionPodNICUnknownBridge(t *testing.T) {
 
 func TestReleasePodNIC(t *testing.T) {
 	eng, h, ctrl := newHost()
-	vm := h.CreateVM(vmm.VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(vmm.VMConfig{Name: "web"})
 	var id string
 	ctrl.ProvisionPodNIC(vm, "virbr0", func(i NICInfo, err error) { id = i.DeviceID })
 	eng.Run()
@@ -80,8 +80,8 @@ func TestReleasePodNIC(t *testing.T) {
 
 func TestProvisionHostloProtocol(t *testing.T) {
 	eng, h, ctrl := newHost()
-	vm1 := h.CreateVM(vmm.VMConfig{Name: "vm1"})
-	vm2 := h.CreateVM(vmm.VMConfig{Name: "vm2"})
+	vm1, _ := h.CreateVM(vmm.VMConfig{Name: "vm1"})
+	vm2, _ := h.CreateVM(vmm.VMConfig{Name: "vm2"})
 
 	var hid string
 	var eps []EndpointInfo

@@ -1,0 +1,291 @@
+package faults_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nestless/internal/faults"
+	"nestless/internal/hostlocni"
+	"nestless/internal/kube"
+	"nestless/internal/netsim"
+	"nestless/internal/scenario"
+	"nestless/internal/telemetry"
+)
+
+// The chaos suite deploys real scenario topologies under seeded random
+// fault schedules and checks the paper's operational invariants:
+//
+//  1. Every run terminates in a legal outcome — converged, degraded to
+//     the fallback network, or a clean error. No hangs, no panics.
+//  2. Teardown is leak-free in every outcome (vmm.Host.Leaks()).
+//  3. Same seed + same schedule ⇒ byte-identical telemetry and
+//     identical injection counts — faults are as deterministic as the
+//     rest of the simulator.
+//
+// The rule menu is bounded so that outcomes stay decidable: release
+// fail budgets sit below the release retry attempts (device_del ≤ 3 of
+// 4, hostlo_delete ≤ 4 of 8, agent crashes ≤ 4 of 5 restarts), so a run
+// that injects them must still tear down cleanly. Provision failures
+// carry no such bound — exhausting those retries legally degrades
+// (BrFusion) or fails cleanly (Hostlo), and both paths must be
+// leak-free too.
+
+// brfusionMenu generates rules for the §5.2 server-pod topology.
+var brfusionMenu = []func(r *rand.Rand) string{
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/device_add:fail:n=%d", 1+r.Intn(4)) },
+	func(r *rand.Rand) string { return "qmp/device_add:delay:n=2:d=20ms" },
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/netdev_add:fail:n=%d", 1+r.Intn(2)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/device_del:fail:n=%d", 1+r.Intn(3)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/netdev_del:fail:n=%d", 1+r.Intn(3)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("agent/*:crash:n=%d", 1+r.Intn(4)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("frame/*:drop:p=%g", 0.01*float64(1+r.Intn(5))) },
+	func(r *rand.Rand) string { return "frame/*:dup:p=0.02" },
+	func(r *rand.Rand) string { return "boot/*:fail:n=1" },
+}
+
+// hostloMenu generates rules for the §5.3 split-pod topology.
+var hostloMenu = []func(r *rand.Rand) string{
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/hostlo_create:fail:n=%d", 1+r.Intn(3)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/hostlo_delete:fail:n=%d", 1+r.Intn(4)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/device_add:fail:n=%d", 1+r.Intn(2)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("qmp/device_del:fail:n=%d", 1+r.Intn(3)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("agent/*:crash:n=%d", 1+r.Intn(4)) },
+	func(r *rand.Rand) string { return "hostlo/*:stall:p=0.2:d=5ms" },
+	func(r *rand.Rand) string { return fmt.Sprintf("frame/*:drop:p=%g", 0.01*float64(1+r.Intn(3))) },
+	func(r *rand.Rand) string { return "qmp/hostlo_create:delay:n=1:d=30ms" },
+}
+
+// randomSpec draws 1–3 distinct rules from a menu. The generator RNG is
+// separate from the simulation seed so the schedule is a pure function
+// of the chaos seed.
+func randomSpec(seed int64, menu []func(r *rand.Rand) string) string {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 + r.Intn(3)
+	seen := make(map[string]bool)
+	var rules []string
+	for len(rules) < n {
+		rule := menu[r.Intn(len(menu))](r)
+		point := rule[:strings.Index(rule, ":")]
+		if seen[point] {
+			// One rule per point: stacked budgets on a single release
+			// path could exceed its retry allowance.
+			continue
+		}
+		seen[point] = true
+		rules = append(rules, rule)
+	}
+	return strings.Join(rules, ";")
+}
+
+type chaosResult struct {
+	outcome string // "converged", "fallback" or "failed: <err>"
+	counts  map[string]uint64
+	leaks   []string
+	trace   string
+}
+
+// deployPod deploys one pod spec on a prepared base and drains the
+// engine.
+func deployPod(b *scenario.Base, spec kube.PodSpec) (*kube.Pod, error) {
+	var pod *kube.Pod
+	var derr error
+	b.Cluster.Deploy(spec, func(p *kube.Pod, err error) { pod, derr = p, err })
+	b.Eng.Run()
+	return pod, derr
+}
+
+// runBrfusionChaos deploys a BrFusion server pod under a fault spec,
+// deletes it, and reports outcome + leak audit.
+func runBrfusionChaos(t *testing.T, seed int64, spec string, rec *telemetry.Recorder) chaosResult {
+	t.Helper()
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	b := scenario.NewBaseCfg(scenario.Config{Seed: seed, Rec: rec, Faults: s})
+	b.AddNode("server-vm", scenario.HostBridgeNet.Host(10))
+	pod, derr := deployPod(b, kube.PodSpec{
+		Name:    "server",
+		Network: "brfusion",
+		Containers: []kube.ContainerSpec{
+			{Name: "srv", Image: "app", CPU: 1, MemMB: 512},
+		},
+	})
+	var res chaosResult
+	switch {
+	case derr != nil:
+		res.outcome = "failed: " + derr.Error()
+	case scenario.HostBridgeNet.Contains(pod.Parts[0].PodIP):
+		res.outcome = "converged"
+	default:
+		res.outcome = "fallback"
+		if !netsim.MustPrefix(netsim.IP(172, 17, 0, 0), 16).Contains(pod.Parts[0].PodIP) {
+			t.Errorf("seed %d spec %q: fallback pod IP %v is on neither network", seed, spec, pod.Parts[0].PodIP)
+		}
+	}
+	if derr == nil {
+		if err := b.Cluster.Delete("server"); err != nil {
+			t.Errorf("seed %d spec %q: delete after %s: %v", seed, spec, res.outcome, err)
+		}
+		b.Eng.Run()
+	}
+	res.counts = b.Faults.Counts()
+	res.leaks = b.Host.Leaks()
+	if rec != nil {
+		var buf bytes.Buffer
+		if err := rec.WriteTextTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		res.trace = buf.String()
+	}
+	return res
+}
+
+// runHostloChaos deploys a forced-split pod under a fault spec, deletes
+// it, and reports outcome + leak audit.
+func runHostloChaos(t *testing.T, seed int64, spec string, rec *telemetry.Recorder) chaosResult {
+	t.Helper()
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("spec %q: %v", spec, err)
+	}
+	b := scenario.NewBaseCfg(scenario.Config{Seed: seed, Rec: rec, Faults: s})
+	b.AddNode("vm1", scenario.HostBridgeNet.Host(10))
+	b.AddNode("vm2", scenario.HostBridgeNet.Host(11))
+	pod, derr := deployPod(b, kube.PodSpec{
+		Name:       "pod",
+		AllowSplit: true,
+		Containers: []kube.ContainerSpec{
+			{Name: "a", Image: "app", CPU: 4, MemMB: 1024},
+			{Name: "b", Image: "app", CPU: 4, MemMB: 1024},
+		},
+	})
+	var res chaosResult
+	switch {
+	case derr != nil:
+		res.outcome = "failed: " + derr.Error()
+	default:
+		res.outcome = "converged"
+		if !pod.Split() {
+			t.Errorf("seed %d spec %q: two 4-core containers fit one 5-core VM", seed, spec)
+		}
+		for i, part := range pod.Parts {
+			if !hostlocni.PodLocalNet.Contains(part.LocalAddr) {
+				t.Errorf("seed %d spec %q: part %d local addr %v outside %v",
+					seed, spec, i, part.LocalAddr, hostlocni.PodLocalNet)
+			}
+		}
+	}
+	if derr == nil {
+		if err := b.Cluster.Delete("pod"); err != nil {
+			t.Errorf("seed %d spec %q: delete: %v", seed, spec, err)
+		}
+		b.Eng.Run()
+	}
+	res.counts = b.Faults.Counts()
+	res.leaks = b.Host.Leaks()
+	if rec != nil {
+		var buf bytes.Buffer
+		if err := rec.WriteTextTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		res.trace = buf.String()
+	}
+	return res
+}
+
+func TestChaosBrFusion(t *testing.T) {
+	outcomes := make(map[string]int)
+	for seed := int64(1); seed <= 12; seed++ {
+		spec := randomSpec(seed, brfusionMenu)
+		res := runBrfusionChaos(t, seed, spec, nil)
+		key := res.outcome
+		if i := strings.Index(key, ":"); i > 0 {
+			key = key[:i]
+		}
+		outcomes[key]++
+		if len(res.leaks) != 0 {
+			t.Errorf("seed %d spec %q (%s): leaks:\n  %s",
+				seed, spec, res.outcome, strings.Join(res.leaks, "\n  "))
+		}
+		t.Logf("seed %d spec %q: %s, %d faults injected", seed, spec, res.outcome, total(res.counts))
+	}
+	// The menu mixes benign and fatal rules; a sweep where nothing ever
+	// converges (or faults never bite) means the harness is miswired.
+	if outcomes["converged"] == 0 {
+		t.Errorf("no seed converged: %v", outcomes)
+	}
+	if outcomes["converged"] == 12 {
+		t.Errorf("no seed degraded or failed — faults never engaged: %v", outcomes)
+	}
+}
+
+func TestChaosHostlo(t *testing.T) {
+	outcomes := make(map[string]int)
+	for seed := int64(1); seed <= 10; seed++ {
+		spec := randomSpec(seed, hostloMenu)
+		res := runHostloChaos(t, seed, spec, nil)
+		key := res.outcome
+		if i := strings.Index(key, ":"); i > 0 {
+			key = key[:i]
+		}
+		outcomes[key]++
+		if len(res.leaks) != 0 {
+			t.Errorf("seed %d spec %q (%s): leaks:\n  %s",
+				seed, spec, res.outcome, strings.Join(res.leaks, "\n  "))
+		}
+		t.Logf("seed %d spec %q: %s, %d faults injected", seed, spec, res.outcome, total(res.counts))
+	}
+	if outcomes["converged"] == 0 {
+		t.Errorf("no seed converged: %v", outcomes)
+	}
+}
+
+// TestChaosDeterminism replays one faulted run and requires the replay
+// to be byte-identical: same telemetry trace, same injection counts,
+// same outcome. This is the repo's determinism guarantee extended to
+// the fault path.
+func TestChaosDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, rec *telemetry.Recorder) chaosResult
+	}{
+		{"brfusion", func(t *testing.T, rec *telemetry.Recorder) chaosResult {
+			return runBrfusionChaos(t, 42, "qmp/device_add:fail:p=0.5;frame/*:drop:p=0.02;agent/*:crash:n=1", rec)
+		}},
+		{"hostlo", func(t *testing.T, rec *telemetry.Recorder) chaosResult {
+			return runHostloChaos(t, 42, "qmp/hostlo_create:fail:n=1;hostlo/*:stall:p=0.2:d=5ms;qmp/device_del:fail:n=2", rec)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := c.run(t, telemetry.New())
+			b := c.run(t, telemetry.New())
+			if a.outcome != b.outcome {
+				t.Fatalf("outcome diverged: %q vs %q", a.outcome, b.outcome)
+			}
+			if !reflect.DeepEqual(a.counts, b.counts) {
+				t.Fatalf("injection counts diverged:\n%v\n%v", a.counts, b.counts)
+			}
+			if a.trace != b.trace {
+				t.Fatalf("telemetry traces diverged (%d vs %d bytes)", len(a.trace), len(b.trace))
+			}
+			if a.trace == "" {
+				t.Fatal("empty trace — recorder not wired")
+			}
+			t.Logf("%s: outcome %s, %d faults, trace %d bytes", c.name, a.outcome, total(a.counts), len(a.trace))
+		})
+	}
+}
+
+func total(counts map[string]uint64) uint64 {
+	var t uint64
+	for _, v := range counts {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"nestless/internal/sim"
+)
+
+// FuzzParseSpec drives the fault-spec parser with arbitrary input. The
+// parser is the -faults flag's front door, so it must never panic, and
+// whatever it accepts must satisfy the canonicalization contract:
+// String() output reparses to the same String() (a fixed point), and
+// every accepted schedule builds an injector whose consultation paths
+// are panic-free.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"qmp/device_add:fail",
+		"qmp/device_add:fail:p=0.5:n=2:after=1",
+		"frame/*:drop:p=0.01;agent/*:crash:n=1",
+		"hostlo/h0:stall:d=10ms",
+		"qmp/netdev_add:delay:d=1h30m",
+		"*:fail",
+		"a:fail,b:dup;c:corrupt",
+		"",
+		";;,",
+		"qmp/device_add",
+		"qmp/device_add:explode",
+		"qmp/device_add:fail:p=2",
+		"qmp/device_add:fail:d=5ms",
+		"x:delay",
+		":fail",
+		"q*p/x:fail",
+		"p/x:fail:p=0.0000000001",
+		"p/x:fail:n=99999999999999999999",
+		strings.Repeat("a/b:fail;", 64),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("ParseSpec(%q) returned both a schedule and %v", spec, err)
+			}
+			return
+		}
+		if len(s.Rules) == 0 {
+			t.Fatalf("ParseSpec(%q) accepted an empty schedule", spec)
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, spec, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q -> %q", spec, canon, got)
+		}
+		// Every accepted schedule must build a consultable injector.
+		inj := New(sim.New(1), s, nil)
+		if inj == nil {
+			t.Fatalf("accepted schedule %q built no injector", canon)
+		}
+		for _, r := range s.Rules {
+			point := strings.TrimSuffix(r.Point, "*")
+			if point == "" {
+				point = "any/site"
+			}
+			_ = inj.OpFail(point)
+			_ = inj.OpDelay(point)
+			_ = inj.FrameFate(point)
+			_ = inj.Stall(point)
+			_ = inj.Crash(point)
+		}
+		_ = inj.Counts()
+		_ = inj.CountKeys()
+	})
+}

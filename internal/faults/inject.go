@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/sim"
+	"nestless/internal/telemetry"
+)
+
+// Fate is the injector's verdict on one transmitted frame.
+type Fate int
+
+// Frame fates.
+const (
+	FatePass Fate = iota
+	FateDrop
+	FateDup
+	FateCorrupt
+)
+
+// Injector is the per-world fault state. It is created once per engine
+// (New) and consulted by the instrumented layers at their fault points.
+// A nil *Injector is the fault-free world: every method short-circuits,
+// so the hot path costs one nil check.
+//
+// Determinism: probability rolls draw from an RNG forked off the engine
+// stream at construction, so injection decisions neither consume nor
+// perturb the draws the rest of the simulation makes — the same seed
+// and spec always produce the same fault sequence.
+type Injector struct {
+	rng *sim.Rand
+	rec *telemetry.Recorder
+
+	rules  []*ruleState
+	counts map[string]uint64
+	total  uint64
+}
+
+// ruleState pairs a rule with its per-world accounting.
+type ruleState struct {
+	Rule
+	hits  uint64 // times a matching point consulted this rule
+	fires uint64 // times the rule actually injected
+}
+
+// New builds an Injector for one engine. A nil or empty schedule yields
+// a nil Injector — the zero-cost fault-free path. rec may be nil.
+func New(eng *sim.Engine, s *Schedule, rec *telemetry.Recorder) *Injector {
+	if s == nil || len(s.Rules) == 0 {
+		return nil
+	}
+	inj := &Injector{
+		rng:    eng.Rand().Fork(),
+		rec:    rec,
+		counts: make(map[string]uint64),
+	}
+	for _, r := range s.Rules {
+		inj.rules = append(inj.rules, &ruleState{Rule: r})
+	}
+	return inj
+}
+
+// fire runs one rule's arming logic for a hit at point and records the
+// injection if it triggers.
+func (i *Injector) fire(r *ruleState, point string) bool {
+	r.hits++
+	if r.After > 0 && r.hits <= uint64(r.After) {
+		return false
+	}
+	if r.Count > 0 && r.fires >= uint64(r.Count) {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 && i.rng.Float64() >= r.Prob {
+		return false
+	}
+	r.fires++
+	i.total++
+	key := point + ":" + r.Act.String()
+	i.counts[key]++
+	if i.rec != nil {
+		i.rec.Instant("faults", key, "count", float64(i.counts[key]))
+		i.rec.Metrics().Counter("faults/" + key).Inc()
+	}
+	return true
+}
+
+// OpFail consults the fail rules for a control-plane operation; a
+// non-nil error means the operation must fail with it.
+func (i *Injector) OpFail(point string) error {
+	if i == nil {
+		return nil
+	}
+	for _, r := range i.rules {
+		if r.Act == ActFail && matches(r.Point, point) && i.fire(r, point) {
+			return fmt.Errorf("faults: injected failure at %s", point)
+		}
+	}
+	return nil
+}
+
+// OpDelay consults the delay rules for a control-plane operation and
+// returns the extra wall-clock stall to apply (0 = none).
+func (i *Injector) OpDelay(point string) time.Duration {
+	if i == nil {
+		return 0
+	}
+	for _, r := range i.rules {
+		if r.Act == ActDelay && matches(r.Point, point) && i.fire(r, point) {
+			return r.Delay
+		}
+	}
+	return 0
+}
+
+// FrameFate consults the drop/dup/corrupt rules for one frame at a
+// datapath point. The first rule that fires decides the fate.
+func (i *Injector) FrameFate(point string) Fate {
+	if i == nil {
+		return FatePass
+	}
+	for _, r := range i.rules {
+		switch r.Act {
+		case ActDrop, ActDup, ActCorrupt:
+		default:
+			continue
+		}
+		if !matches(r.Point, point) || !i.fire(r, point) {
+			continue
+		}
+		switch r.Act {
+		case ActDrop:
+			return FateDrop
+		case ActDup:
+			return FateDup
+		default:
+			return FateCorrupt
+		}
+	}
+	return FatePass
+}
+
+// Stall consults the stall rules for a queueing point and returns how
+// long the queue freezes (0 = live).
+func (i *Injector) Stall(point string) time.Duration {
+	if i == nil {
+		return 0
+	}
+	for _, r := range i.rules {
+		if r.Act == ActStall && matches(r.Point, point) && i.fire(r, point) {
+			return r.Delay
+		}
+	}
+	return 0
+}
+
+// Crash consults the crash rules for an agent/process point; true means
+// the process dies there and its supervisor must restart it.
+func (i *Injector) Crash(point string) bool {
+	if i == nil {
+		return false
+	}
+	for _, r := range i.rules {
+		if r.Act == ActCrash && matches(r.Point, point) && i.fire(r, point) {
+			return true
+		}
+	}
+	return false
+}
+
+// Total returns the number of faults injected so far.
+func (i *Injector) Total() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.total
+}
+
+// Counts returns a copy of the per-point:action injection counts.
+func (i *Injector) Counts() map[string]uint64 {
+	if i == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CountKeys returns the injected point:action keys in sorted order (for
+// deterministic dumps).
+func (i *Injector) CountKeys() []string {
+	if i == nil {
+		return nil
+	}
+	return sortedKeys(i.counts)
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/sim"
+)
+
+// RetryPolicy tunes the control plane's retry loops: bounded attempts,
+// a per-attempt sim-clock watchdog, and deterministic exponential
+// backoff (no jitter — retries must replay identically).
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries (first attempt included).
+	MaxAttempts int
+	// Timeout is the per-attempt watchdog. Zero disarms it: in a
+	// fault-free world nothing can stall an operation, so callers leave
+	// the watchdog off there to avoid scheduling dead timer events.
+	Timeout time.Duration
+	// BackoffBase doubles per retry up to BackoffMax.
+	BackoffBase, BackoffMax time.Duration
+	// OnRetry observes each retry decision (telemetry counters).
+	OnRetry func(attempt int, err error)
+}
+
+// DefaultRetryPolicy is the control plane's standard loop: 3 attempts,
+// 50 ms watchdog, 5→80 ms backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		Timeout:     50 * time.Millisecond,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  80 * time.Millisecond,
+	}
+}
+
+// backoff returns the pause before the attempt following attempt n.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	b := p.BackoffBase
+	for i := 1; i < n; i++ {
+		b *= 2
+		if b >= p.BackoffMax {
+			return p.BackoffMax
+		}
+	}
+	if b <= 0 {
+		b = time.Millisecond
+	}
+	return b
+}
+
+// Retry drives an asynchronous operation to completion under a policy.
+// op starts attempt n and must eventually call complete exactly once.
+// A completion that arrives after the attempt's watchdog fired is
+// routed to late (for rollback of a success that the loop already gave
+// up on); late may be nil. done receives the final result, the number
+// of attempts consumed and the terminal error (nil on success).
+//
+// Everything runs on the sim clock: same seed, same outcome, same
+// timing — retries are as deterministic as the rest of the simulator.
+func Retry[T any](eng *sim.Engine, p RetryPolicy, op func(attempt int, complete func(T, error)), late func(T, error), done func(T, int, error)) {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy().MaxAttempts
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = DefaultRetryPolicy().BackoffBase
+	}
+	if p.BackoffMax < p.BackoffBase {
+		p.BackoffMax = p.BackoffBase
+	}
+	var start func(attempt int)
+	fail := func(attempt int, err error) {
+		if attempt >= p.MaxAttempts {
+			var zero T
+			done(zero, attempt, err)
+			return
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		eng.After(p.backoff(attempt), func() { start(attempt + 1) })
+	}
+	start = func(attempt int) {
+		settled := false
+		timedOut := false
+		if p.Timeout > 0 {
+			eng.After(p.Timeout, func() {
+				if settled {
+					return
+				}
+				settled, timedOut = true, true
+				fail(attempt, fmt.Errorf("faults: attempt %d timed out after %v", attempt, p.Timeout))
+			})
+		}
+		op(attempt, func(v T, err error) {
+			if timedOut {
+				// The attempt already lost the race against its
+				// watchdog; hand the stray result to the caller's
+				// rollback hook.
+				if late != nil {
+					late(v, err)
+				}
+				return
+			}
+			if settled {
+				return
+			}
+			settled = true
+			if err != nil {
+				fail(attempt, err)
+				return
+			}
+			done(v, attempt, nil)
+		})
+	}
+	start(1)
+}

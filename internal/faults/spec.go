@@ -1,0 +1,272 @@
+// Package faults is the simulator's deterministic fault injector: a
+// seeded, schedule-driven layer that makes control-plane operations
+// fail, delay or crash and datapath frames drop, duplicate, corrupt or
+// stall — without giving up the simulator's hard determinism guarantee.
+//
+// A Schedule is the parsed, immutable form of a fault spec (the -faults
+// flag). An Injector is the per-world mutable state: it owns an RNG
+// forked from the engine's stream, per-rule hit/fire accounting, and an
+// optional telemetry recorder. Worlds without faults carry a nil
+// *Injector; every Injector method is nil-safe and free on that path,
+// so fault-free runs stay byte-identical to a build without this
+// package.
+//
+// Spec grammar (rules separated by ';' or ','):
+//
+//	rule   := point ':' action (':' param)*
+//	action := fail | delay | drop | dup | corrupt | stall | crash
+//	param  := p=<prob> | n=<max fires> | after=<skip hits> | d=<duration>
+//
+// A point names an instrumented site ("qmp/device_add", "frame/<ns>/
+// <iface>", "boot/rootfs-mount", "agent/<vm>", "hostlo/<dev>"); a
+// trailing '*' makes it a prefix pattern and a bare '*' matches every
+// site. delay and stall require d=; the other actions reject it.
+//
+//	qmp/device_add:fail:p=0.5;frame/*:drop:p=0.01;agent/*:crash:n=1
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is what an armed rule does to its fault point.
+type Action int
+
+// Actions. Fail/Delay/Crash apply to control-plane operations;
+// Drop/Dup/Corrupt to frames; Stall to queues (frames and hostlo).
+const (
+	ActFail Action = iota
+	ActDelay
+	ActDrop
+	ActDup
+	ActCorrupt
+	ActStall
+	ActCrash
+)
+
+// String returns the spec keyword for the action.
+func (a Action) String() string {
+	switch a {
+	case ActFail:
+		return "fail"
+	case ActDelay:
+		return "delay"
+	case ActDrop:
+		return "drop"
+	case ActDup:
+		return "dup"
+	case ActCorrupt:
+		return "corrupt"
+	case ActStall:
+		return "stall"
+	case ActCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+func parseAction(s string) (Action, error) {
+	switch s {
+	case "fail":
+		return ActFail, nil
+	case "delay":
+		return ActDelay, nil
+	case "drop":
+		return ActDrop, nil
+	case "dup":
+		return ActDup, nil
+	case "corrupt":
+		return ActCorrupt, nil
+	case "stall":
+		return ActStall, nil
+	case "crash":
+		return ActCrash, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown action %q (want fail, delay, drop, dup, corrupt, stall or crash)", s)
+	}
+}
+
+// Rule arms one action at one fault point. The zero probability means
+// "always" (p=1); Count 0 means unlimited fires; After skips the first
+// N hits before the rule arms.
+type Rule struct {
+	Point string // exact site, "prefix*" or "*"
+	Act   Action
+	Prob  float64       // firing probability per hit, (0,1]; 0 = 1
+	Count int           // maximum fires; 0 = unlimited
+	After int           // hits to skip before arming
+	Delay time.Duration // duration for delay/stall
+}
+
+// String renders the rule in canonical spec form (defaults omitted).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Point)
+	b.WriteByte(':')
+	b.WriteString(r.Act.String())
+	if r.Prob > 0 && r.Prob != 1 {
+		b.WriteString(":p=")
+		b.WriteString(strconv.FormatFloat(r.Prob, 'g', -1, 64))
+	}
+	if r.Count > 0 {
+		fmt.Fprintf(&b, ":n=%d", r.Count)
+	}
+	if r.After > 0 {
+		fmt.Fprintf(&b, ":after=%d", r.After)
+	}
+	if r.Delay > 0 {
+		fmt.Fprintf(&b, ":d=%s", r.Delay)
+	}
+	return b.String()
+}
+
+// Schedule is a parsed fault spec: an ordered, immutable rule list. One
+// Schedule may back many Injectors (the parallel harness shares it
+// read-only across workers).
+type Schedule struct {
+	Rules []Rule
+}
+
+// String renders the schedule in canonical form; ParseSpec(s.String())
+// round-trips.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// validPoint restricts point patterns to path-ish tokens with at most a
+// trailing '*' wildcard.
+func validPoint(p string) error {
+	if p == "" {
+		return fmt.Errorf("faults: empty fault point")
+	}
+	body := p
+	if strings.HasSuffix(p, "*") {
+		body = p[:len(p)-1]
+	}
+	if strings.Contains(body, "*") {
+		return fmt.Errorf("faults: point %q: '*' is only valid as a trailing wildcard", p)
+	}
+	for _, c := range body {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '/', c == '_', c == '.', c == '-':
+		default:
+			return fmt.Errorf("faults: point %q: invalid character %q", p, c)
+		}
+	}
+	return nil
+}
+
+// ParseSpec parses a fault spec into a Schedule. An empty spec is an
+// error; use a nil *Schedule for "no faults".
+func ParseSpec(spec string) (*Schedule, error) {
+	split := func(r rune) bool { return r == ';' || r == ',' }
+	var rules []Rule
+	for _, raw := range strings.FieldsFunc(spec, split) {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: empty fault spec")
+	}
+	return &Schedule{Rules: rules}, nil
+}
+
+func parseRule(raw string) (Rule, error) {
+	fields := strings.Split(raw, ":")
+	if len(fields) < 2 {
+		return Rule{}, fmt.Errorf("faults: rule %q: want point:action[:param...]", raw)
+	}
+	r := Rule{Point: strings.TrimSpace(fields[0])}
+	if err := validPoint(r.Point); err != nil {
+		return Rule{}, err
+	}
+	act, err := parseAction(strings.TrimSpace(fields[1]))
+	if err != nil {
+		return Rule{}, fmt.Errorf("faults: rule %q: %w", raw, err)
+	}
+	r.Act = act
+	for _, f := range fields[2:] {
+		f = strings.TrimSpace(f)
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("faults: rule %q: parameter %q is not key=value", raw, f)
+		}
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Rule{}, fmt.Errorf("faults: rule %q: p=%q must be a probability in (0,1]", raw, val)
+			}
+			r.Prob = p
+		case "n":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Rule{}, fmt.Errorf("faults: rule %q: n=%q must be a positive count", raw, val)
+			}
+			r.Count = n
+		case "after":
+			a, err := strconv.Atoi(val)
+			if err != nil || a < 0 {
+				return Rule{}, fmt.Errorf("faults: rule %q: after=%q must be a non-negative count", raw, val)
+			}
+			r.After = a
+		case "d":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Rule{}, fmt.Errorf("faults: rule %q: d=%q must be a positive duration", raw, val)
+			}
+			r.Delay = d
+		default:
+			return Rule{}, fmt.Errorf("faults: rule %q: unknown parameter %q", raw, key)
+		}
+	}
+	switch r.Act {
+	case ActDelay, ActStall:
+		if r.Delay <= 0 {
+			return Rule{}, fmt.Errorf("faults: rule %q: %s needs d=<duration>", raw, r.Act)
+		}
+	default:
+		if r.Delay > 0 {
+			return Rule{}, fmt.Errorf("faults: rule %q: d= is only valid for delay/stall", raw)
+		}
+	}
+	return r, nil
+}
+
+// matches reports whether a rule pattern covers a concrete fault point.
+func matches(pattern, point string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(point, pattern[:len(pattern)-1])
+	}
+	return pattern == point
+}
+
+// sortedKeys is shared by the injector's deterministic count dumps.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -51,7 +51,7 @@ func BootSamples(o Opts, mode scenario.Mode, runs int) *sim.Series {
 // back-to-back runs on one long-lived node used to.
 func bootChunkSamples(o Opts, mode scenario.Mode, chunk, n int) *sim.Series {
 	o.Rec.BeginRun(fmt.Sprintf("boot-%s-c%d", mode, chunk))
-	sc, err := scenario.NewServerClientWith(o.Seed+int64(chunk), scenario.ModeNoCont, o.Rec)
+	sc, err := scenario.NewServerClientCfg(o.cfg(o.Seed+int64(chunk)), scenario.ModeNoCont)
 	if err != nil {
 		panic(err)
 	}

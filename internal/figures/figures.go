@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"nestless/internal/faults"
 	"nestless/internal/netperf"
 	"nestless/internal/parallel"
 	"nestless/internal/report"
@@ -33,6 +34,16 @@ type Opts struct {
 	// index order, so tables are byte-identical for any value). <= 1
 	// means serial.
 	Workers int
+	// Faults applies a fault schedule to every scenario the figure
+	// builds (nil = injection off). Each scenario run gets its own
+	// injector, so rule counts reset per run.
+	Faults *faults.Schedule
+}
+
+// cfg assembles the scenario configuration for one run at the given
+// seed (figure sweeps derive per-run seeds from Opts.Seed).
+func (o Opts) cfg(seed int64) scenario.Config {
+	return scenario.Config{Seed: seed, Rec: o.Rec, Faults: o.Faults}
 }
 
 // pool returns the effective worker count for a sweep. Telemetry runs
@@ -137,7 +148,7 @@ func Fig4(o Opts) (throughput, latency *report.Table) {
 // measureServerClient runs both micro modes against one fresh scenario.
 func measureServerClient(o Opts, mode scenario.Mode, size int) (netperf.StreamResult, netperf.RRResult) {
 	o.Rec.BeginRun(fmt.Sprintf("micro-%s-%d", mode, size))
-	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, 5001, 7001)
+	sc, err := scenario.NewServerClientCfg(o.cfg(o.Seed), mode, 5001, 7001)
 	if err != nil {
 		panic(err)
 	}
@@ -157,7 +168,7 @@ func measureServerClient(o Opts, mode scenario.Mode, size int) (netperf.StreamRe
 
 func measureStreamOnly(o Opts, mode scenario.Mode, size int) (netperf.StreamResult, *scenario.ServerClient) {
 	o.Rec.BeginRun(fmt.Sprintf("stream-%s-%d", mode, size))
-	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, 5001)
+	sc, err := scenario.NewServerClientCfg(o.cfg(o.Seed), mode, 5001)
 	if err != nil {
 		panic(err)
 	}
@@ -172,7 +183,7 @@ func measureStreamOnly(o Opts, mode scenario.Mode, size int) (netperf.StreamResu
 
 func measureRROnly(o Opts, mode scenario.Mode, size int) netperf.RRResult {
 	o.Rec.BeginRun(fmt.Sprintf("rr-%s-%d", mode, size))
-	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, 7001)
+	sc, err := scenario.NewServerClientCfg(o.cfg(o.Seed), mode, 7001)
 	if err != nil {
 		panic(err)
 	}
@@ -233,7 +244,7 @@ func Fig10(o Opts) (throughput, latency *report.Table) {
 // measureCCStream runs one intra-pod TCP_STREAM cell on a fresh pod pair.
 func measureCCStream(o Opts, m scenario.CCMode, size int) netperf.StreamResult {
 	o.Rec.BeginRun(fmt.Sprintf("cc-stream-%s-%d", m, size))
-	pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 5001)
+	pp, err := scenario.NewPodPairCfg(o.cfg(o.Seed), m, 5001)
 	if err != nil {
 		panic(err)
 	}
@@ -248,7 +259,7 @@ func measureCCStream(o Opts, m scenario.CCMode, size int) netperf.StreamResult {
 // measureCCRR runs one intra-pod UDP_RR cell on a fresh pod pair.
 func measureCCRR(o Opts, m scenario.CCMode, size int) netperf.RRResult {
 	o.Rec.BeginRun(fmt.Sprintf("cc-rr-%s-%d", m, size))
-	pp, err := scenario.NewPodPairWith(o.Seed, m, o.Rec, 7001)
+	pp, err := scenario.NewPodPairCfg(o.cfg(o.Seed), m, 7001)
 	if err != nil {
 		panic(err)
 	}

@@ -62,7 +62,7 @@ func runMacroServerClient(o Opts, mode scenario.Mode, app string) macroRun {
 		port = kafkaPort
 	}
 	o.Rec.BeginRun(app + "-" + string(mode))
-	sc, err := scenario.NewServerClientWith(o.Seed, mode, o.Rec, port)
+	sc, err := scenario.NewServerClientCfg(o.cfg(o.Seed), mode, port)
 	if err != nil {
 		panic(err)
 	}
@@ -204,7 +204,7 @@ func runMacroPodPair(o Opts, mode scenario.CCMode, app string) ccRun {
 		port = nginxPort
 	}
 	o.Rec.BeginRun(app + "-cc-" + string(mode))
-	pp, err := scenario.NewPodPairWith(o.Seed, mode, o.Rec, port)
+	pp, err := scenario.NewPodPairCfg(o.cfg(o.Seed), mode, port)
 	if err != nil {
 		panic(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"nestless/internal/cpuacct"
+	"nestless/internal/faults"
 	"nestless/internal/netsim"
 )
 
@@ -63,8 +64,15 @@ type Device struct {
 
 	queues []*Queue
 
+	// Faults, when set, lets the injector stall or drop traffic at the
+	// device's queues (point "hostlo/<name>"). Wired by the VMM when the
+	// device is created.
+	Faults *faults.Injector
+
 	// Reflected counts frame deliveries into queues (diagnostics).
 	Reflected uint64
+	// Dropped counts frames discarded by injected queue faults.
+	Dropped uint64
 }
 
 // New creates a Hostlo device whose reflect work runs on hostCPU.
@@ -122,6 +130,25 @@ func (q *Queue) VM() string { return q.vm }
 // this is why Hostlo's throughput trails batched overlays while its
 // latency beats them (Fig. 10).
 func (q *Queue) Receive(f *netsim.Frame) {
+	d := q.dev
+	if inj := d.Faults; inj != nil {
+		point := "hostlo/" + d.name
+		if s := inj.Stall(point); s > 0 {
+			// The queue is wedged: the driver parks the frame and a
+			// watchdog kicks the reflect once the stall clears.
+			d.hostCPU.Eng.After(s, func() { q.reflect(f) })
+			return
+		}
+		if inj.FrameFate(point) == faults.FateDrop {
+			d.Dropped++
+			return
+		}
+	}
+	q.reflect(f)
+}
+
+// reflect fans the frame out per the device policy.
+func (q *Queue) reflect(f *netsim.Frame) {
 	d := q.dev
 	q.RX++
 	size := f.PayloadLen()

@@ -25,10 +25,14 @@ var PodLocalNet = netsim.MustPrefix(netsim.IP(169, 254, 77, 0), 24)
 // pod-local segment.
 func EndpointAddr(idx int) netsim.IPv4 { return PodLocalNet.Host(10 + idx) }
 
-// Agent timing for configuring the endpoint inside the VM.
+// Agent timing for configuring the endpoint inside the VM. Crashed
+// agents are respawned after agentRestartDelay, up to maxAgentRestarts
+// times; Hostlo has no degraded mode, so exhaustion fails the provision.
 const (
 	agentConfigMean   = 3 * time.Millisecond
 	agentConfigJitter = 800 * time.Microsecond
+	agentRestartDelay = 20 * time.Millisecond
+	maxAgentRestarts  = 5
 )
 
 // Attachment installs one VM's Hostlo endpoint into a pod sandbox.
@@ -36,6 +40,9 @@ type Attachment struct {
 	VM       *vmm.VM
 	Endpoint core.EndpointInfo
 	Addr     netsim.IPv4
+	// Ctrl, when set, releases the endpoint with retries (otherwise a
+	// single raw device_del is issued).
+	Ctrl *core.Controller
 
 	attached *container.Container
 }
@@ -52,34 +59,56 @@ func (a *Attachment) Provision(c *container.Container, _ []container.PortMap, do
 		op.End(err)
 		inner(ip, err)
 	}
-	dev := a.VM.Devices()[a.Endpoint.DeviceID]
+	dev := a.VM.Device(a.Endpoint.DeviceID)
 	if dev == nil {
 		done(netsim.IPv4{}, fmt.Errorf("hostlocni: endpoint device %s missing on %s", a.Endpoint.DeviceID, a.VM.Name))
 		return
 	}
-	rng := a.VM.Host.Eng.Rand()
-	d := time.Duration(rng.Normal(float64(agentConfigMean), float64(agentConfigJitter)))
-	if d < agentConfigMean/4 {
-		d = agentConfigMean / 4
-	}
-	a.VM.CPU.Run(cpuacct.Sys, d, func() {
-		iface := dev.NIC.Guest
-		if iface.NS != nil {
-			iface.NS.RemoveIface(iface.Name)
+	h := a.VM.Host
+	var attempt func(restarts int)
+	attempt = func(restarts int) {
+		rng := h.Eng.Rand()
+		d := time.Duration(rng.Normal(float64(agentConfigMean), float64(agentConfigJitter)))
+		if d < agentConfigMean/4 {
+			d = agentConfigMean / 4
 		}
-		c.NS.AdoptIface(iface, "hlo0")
-		iface.SetAddr(a.Addr, PodLocalNet)
-		dev.NIC.SetGuestCPU(c.NS.CPU)
-		a.attached = c
-		done(a.Addr, nil)
-	})
+		a.VM.CPU.Run(cpuacct.Sys, d, func() {
+			if h.Net.Faults.Crash("agent/" + a.VM.Name) {
+				if restarts+1 > maxAgentRestarts {
+					done(netsim.IPv4{}, fmt.Errorf("hostlocni: agent on %s crashed %d times", a.VM.Name, restarts+1))
+					return
+				}
+				h.Eng.After(agentRestartDelay, func() { attempt(restarts + 1) })
+				return
+			}
+			iface := dev.NIC.Guest
+			if iface.NS != nil {
+				iface.NS.RemoveIface(iface.Name)
+			}
+			c.NS.AdoptIface(iface, "hlo0")
+			iface.SetAddr(a.Addr, PodLocalNet)
+			dev.NIC.SetGuestCPU(c.NS.CPU)
+			a.attached = c
+			done(a.Addr, nil)
+		})
+	}
+	attempt(0)
 }
 
-// Release detaches the endpoint from the Hostlo device.
-func (a *Attachment) Release(c *container.Container) {
+// Release detaches the endpoint from the Hostlo device. Releasing an
+// attachment that isn't held by c is an error.
+func (a *Attachment) Release(c *container.Container) error {
+	if a.attached == nil {
+		return fmt.Errorf("hostlocni: endpoint %s not attached", a.Endpoint.DeviceID)
+	}
 	if a.attached != c {
-		return
+		return fmt.Errorf("hostlocni: endpoint %s attached to %q, not %q", a.Endpoint.DeviceID, a.attached.Name, c.Name)
 	}
 	a.attached = nil
+	if a.Ctrl != nil {
+		a.Ctrl.ReleaseDevice(a.VM, a.Endpoint.DeviceID, nil)
+		return nil
+	}
 	a.VM.Monitor().Execute("device_del", map[string]string{"id": a.Endpoint.DeviceID}, nil)
+	return nil
 }

@@ -33,7 +33,7 @@ func newRig(t *testing.T) *rig {
 	r := &rig{eng: eng, net: w, host: h}
 	for i := 0; i < 2; i++ {
 		name := []string{"vm1", "vm2"}[i]
-		vm := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+		vm, _ := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
 		vm.PlugBridgeNIC("virbr0", hostNet.Host(10+i), hostNet)
 		e := container.NewEngine(container.Config{
 			Node: name, Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,
@@ -142,10 +142,16 @@ func TestReleaseDetachesQueue(t *testing.T) {
 		func(c *container.Container, err error) { ctr = c })
 	r.eng.Run()
 	queues := r.host.Hostlo(r.hostloD).Queues()
-	att.Release(ctr)
+	if err := att.Release(ctr); err != nil {
+		t.Fatalf("Release = %v", err)
+	}
 	r.eng.Run()
 	if got := r.host.Hostlo(r.hostloD).Queues(); got != queues-1 {
 		t.Fatalf("queues = %d after release, want %d", got, queues-1)
+	}
+	// Double release is a caller bug and reports one.
+	if err := att.Release(ctr); err == nil {
+		t.Fatal("double release not rejected")
 	}
 	if att.Name() != "hostlo" {
 		t.Fatalf("Name = %q", att.Name())

@@ -1,11 +1,14 @@
 package kube
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"nestless/internal/cni"
 	"nestless/internal/container"
 	"nestless/internal/core"
+	"nestless/internal/faults"
 	"nestless/internal/hostlocni"
 	"nestless/internal/mempipe"
 	"nestless/internal/netsim"
@@ -37,8 +40,13 @@ func (c *Cluster) Deploy(spec PodSpec, done func(*Pod, error)) {
 		pod.Parts = append(pod.Parts, &PodPart{Node: pl.node, specs: pl.specs})
 	}
 
+	// fail unwinds whatever the partial deploy already built — running
+	// containers from earlier parts, the Hostlo, committed resources —
+	// so a failed Deploy leaves the cluster exactly as it found it.
 	fail := func(err error) {
-		c.teardown(pod)
+		if derr := c.destroy(pod); derr != nil {
+			err = errors.Join(err, derr)
+		}
 		done(nil, err)
 	}
 
@@ -56,36 +64,69 @@ func (c *Cluster) Deploy(spec PodSpec, done func(*Pod, error)) {
 		return
 	}
 
-	// Cross-VM pod: provision the Hostlo first (§4.1 steps 1–3).
+	// Cross-VM pod: provision the Hostlo first (§4.1 steps 1–3), with a
+	// retry loop around the whole multi-VM conversation. The watchdog is
+	// generous — the sequence spans several QMP round trips — and arms
+	// only when fault injection can actually stall one.
 	vms := make([]*vmm.VM, len(pod.Parts))
 	for i, part := range pod.Parts {
 		vms[i] = part.Node.VM
 	}
-	c.Ctrl.ProvisionHostlo(vms, func(hid string, eps []core.EndpointInfo, err error) {
-		if err != nil {
-			fail(err)
-			return
-		}
-		pod.HostloID = hid
-		atts := make([]*hostlocni.Attachment, len(pod.Parts))
-		for i, part := range pod.Parts {
-			part.LocalAddr = hostlocni.EndpointAddr(i)
-			atts[i] = &hostlocni.Attachment{
-				VM:       part.Node.VM,
-				Endpoint: eps[i],
-				Addr:     part.LocalAddr,
+	host := c.Ctrl.Host()
+	type hostloResult struct {
+		hid string
+		eps []core.EndpointInfo
+	}
+	pol := faults.DefaultRetryPolicy()
+	pol.Timeout = 250 * time.Millisecond
+	if host.Net.Faults == nil {
+		pol.Timeout = 0
+	}
+	if rec := host.Net.Rec; rec != nil {
+		pol.OnRetry = func(int, error) { rec.Metrics().Counter("retry/hostlo").Inc() }
+	}
+	faults.Retry(host.Eng, pol,
+		func(_ int, complete func(hostloResult, error)) {
+			c.Ctrl.ProvisionHostlo(vms, func(hid string, eps []core.EndpointInfo, err error) {
+				complete(hostloResult{hid: hid, eps: eps}, err)
+			})
+		},
+		func(r hostloResult, err error) {
+			// Provision landed after its watchdog fired: a fresh attempt
+			// owns the pod now, so unwind this orphaned one completely.
+			if err == nil {
+				for _, ep := range r.eps {
+					c.Ctrl.ReleaseDevice(host.VM(ep.VM), ep.DeviceID, nil)
+				}
+				c.Ctrl.ReleaseHostlo(r.hid, nil)
 			}
-		}
-		c.deployParts(pod, atts, func(err error) {
+		},
+		func(r hostloResult, _ int, err error) {
 			if err != nil {
 				fail(err)
 				return
 			}
-			c.attachResources(pod)
-			c.pods[spec.Name] = pod
-			done(pod, nil)
+			pod.HostloID = r.hid
+			atts := make([]*hostlocni.Attachment, len(pod.Parts))
+			for i, part := range pod.Parts {
+				part.LocalAddr = hostlocni.EndpointAddr(i)
+				atts[i] = &hostlocni.Attachment{
+					VM:       part.Node.VM,
+					Endpoint: r.eps[i],
+					Addr:     part.LocalAddr,
+					Ctrl:     c.Ctrl,
+				}
+			}
+			c.deployParts(pod, atts, func(err error) {
+				if err != nil {
+					fail(err)
+					return
+				}
+				c.attachResources(pod)
+				c.pods[spec.Name] = pod
+				done(pod, nil)
+			})
 		})
-	})
 }
 
 // attachResources provisions the pod's non-network shared resources
@@ -197,23 +238,45 @@ func (c *Cluster) startContainers(pod *Pod, part *PodPart, i int, done func(erro
 	})
 }
 
-// Delete tears a pod down and returns its resources.
+// Delete tears a pod down and returns its resources. Release errors are
+// reported (joined) but never stop the teardown.
 func (c *Cluster) Delete(name string) error {
 	pod, ok := c.pods[name]
 	if !ok {
 		return fmt.Errorf("kube: no pod %q", name)
 	}
 	delete(c.pods, name)
+	return c.destroy(pod)
+}
+
+// destroy stops a pod's containers and sandboxes, releases its Hostlo
+// device, and returns committed node resources. Shared by Delete and
+// the mid-deploy failure path (where later parts may not exist yet).
+// The Hostlo release retries asynchronously in sim time — it has to
+// outwait the endpoint device_dels racing it on the monitors — so its
+// outcome surfaces through telemetry and the host leak checker.
+func (c *Cluster) destroy(pod *Pod) error {
+	var errs []error
 	for _, part := range pod.Parts {
 		for _, ctr := range part.Containers {
-			_ = part.Node.Engine.Stop(ctr.Name)
+			if err := part.Node.Engine.Stop(ctr.Name); err != nil {
+				errs = append(errs, err)
+			}
 		}
+		part.Containers = nil
 		if part.Sandbox != nil {
-			_ = part.Node.Engine.Stop(part.Sandbox.Name)
+			if err := part.Node.Engine.Stop(part.Sandbox.Name); err != nil {
+				errs = append(errs, err)
+			}
+			part.Sandbox = nil
 		}
 	}
+	if pod.HostloID != "" {
+		c.Ctrl.ReleaseHostlo(pod.HostloID, nil)
+		pod.HostloID = ""
+	}
 	c.teardown(pod)
-	return nil
+	return errors.Join(errs...)
 }
 
 // teardown returns committed resources.

@@ -36,7 +36,7 @@ func newTestCluster(t *testing.T, nVMs int) *testCluster {
 	cl := NewCluster(ctrl)
 	for i := 0; i < nVMs; i++ {
 		name := "vm" + string(rune('1'+i))
-		vm := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+		vm, _ := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
 		vm.PlugBridgeNIC("virbr0", hostSubnet.Host(10+i), hostSubnet)
 		e := container.NewEngine(container.Config{
 			Node: name, Eng: eng, Net: w, NS: vm.NS, CPU: vm.CPU,

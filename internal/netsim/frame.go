@@ -35,6 +35,10 @@ type Frame struct {
 	// EnqueuedAt is stamped by measurement points (sockets) to compute
 	// one-way delays; devices leave it untouched.
 	EnqueuedAt sim.Time
+
+	// Corrupted marks a frame damaged by the fault injector; the
+	// receiving namespace's FCS check discards it at input.
+	Corrupted bool
 }
 
 // PayloadLen returns the L3 payload length in bytes.

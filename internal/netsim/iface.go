@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nestless/internal/cpuacct"
+	"nestless/internal/faults"
 )
 
 // Link is where an interface's transmitted frames go: the other end of a
@@ -67,6 +68,35 @@ func (i *Iface) Transmit(f *Frame) {
 		}
 		return
 	}
+	// Fault points "frame/<ns>/<iface>": the injector can drop the frame
+	// (lost on the wire), duplicate it (retransmit glitch), corrupt it
+	// (FCS failure at the receiver) or stall the TX queue.
+	if inj := injectorOf(i.NS); inj != nil {
+		point := "frame/" + i.NS.Name + "/" + i.Name
+		switch inj.FrameFate(point) {
+		case faults.FateDrop:
+			i.NS.Drops.Injected++
+			return
+		case faults.FateDup:
+			i.TXPackets++
+			i.TXBytes += uint64(f.WireLen())
+			if i.probe != nil {
+				i.probe(DirTX, f)
+			}
+			i.link.Send(i, f.Clone())
+		case faults.FateCorrupt:
+			f.Corrupted = true
+		}
+		if s := inj.Stall(point); s > 0 {
+			i.TXPackets++
+			i.TXBytes += uint64(f.WireLen())
+			if i.probe != nil {
+				i.probe(DirTX, f)
+			}
+			i.NS.Net.Eng.After(s, func() { i.link.Send(i, f) })
+			return
+		}
+	}
 	i.TXPackets++
 	i.TXBytes += uint64(f.WireLen())
 	if i.probe != nil {
@@ -102,6 +132,15 @@ func (i *Iface) Deliver(f *Frame) {
 	})
 }
 
+// injectorOf returns the world's fault injector for an attached
+// interface (nil for detached interfaces and fault-free worlds).
+func injectorOf(ns *NetNS) *faults.Injector {
+	if ns == nil {
+		return nil
+	}
+	return ns.Net.Faults
+}
+
 // DropCounters tallies the reasons a namespace discarded traffic.
 type DropCounters struct {
 	NoLink     uint64 // interface down or not connected
@@ -110,9 +149,12 @@ type DropCounters struct {
 	TTLExpired uint64
 	NoSocket   uint64
 	NotForward uint64 // forwarding disabled
+	Injected   uint64 // dropped by the fault injector at transmit
+	Corrupt    uint64 // injected corruption caught by the receiver's FCS check
 }
 
 // Total returns the sum of all drop counters.
 func (d DropCounters) Total() uint64 {
-	return d.NoLink + d.BadMAC + d.NoRoute + d.TTLExpired + d.NoSocket + d.NotForward
+	return d.NoLink + d.BadMAC + d.NoRoute + d.TTLExpired + d.NoSocket + d.NotForward +
+		d.Injected + d.Corrupt
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nestless/internal/cpuacct"
+	"nestless/internal/faults"
 	"nestless/internal/sim"
 	"nestless/internal/telemetry"
 )
@@ -20,6 +21,11 @@ type Net struct {
 	// NewCPU/CPUView and per-frame flow events from the datapath. Nil
 	// disables telemetry at zero cost.
 	Rec *telemetry.Recorder
+	// Faults, when set, injects scheduled faults at the world's
+	// instrumented points (frame transmit here; the control-plane layers
+	// read it through their own handles). Nil disables injection at the
+	// cost of one nil check per fault point.
+	Faults *faults.Injector
 
 	macs   MACAllocator
 	connID uint64
@@ -275,6 +281,12 @@ func (ns *NetNS) SetARP(ip IPv4, mac MAC) { ns.arp[ip] = mac }
 // The frame's life ends here: it is recycled on return (the packet may
 // continue through the forwarding path and is detached, not released).
 func (ns *NetNS) input(in *Iface, f *Frame) {
+	if f.Corrupted {
+		// The FCS check at the receiving NIC fails; the frame is gone.
+		ns.Drops.Corrupt++
+		ns.Net.putFrame(f)
+		return
+	}
 	switch f.Type {
 	case EtherARP:
 		ns.arpInput(in, f)

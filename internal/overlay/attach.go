@@ -54,19 +54,27 @@ func (a *Attachment) Provision(c *container.Container, _ []container.PortMap, do
 	})
 }
 
-// Release detaches the container from the overlay bridge.
-func (a *Attachment) Release(c *container.Container) {
+// Release detaches the container from the overlay bridge. Releasing a
+// container that holds no overlay attachment is an error.
+func (a *Attachment) Release(c *container.Container) error {
 	vm := a.VTEP.vm
+	removed := false
 	for _, p := range a.VTEP.Bridge.Ports() {
 		if p.NS == vm.NS && p.Link() != nil {
 			// Identify the port paired to this container by name prefix.
 			if strings.HasPrefix(p.Name, "veth-ovl-") && strings.Contains(p.Name, c.Name) {
 				a.VTEP.Bridge.RemovePort(p)
 				vm.NS.RemoveIface(p.Name)
+				removed = true
 			}
 		}
 	}
 	if i := c.NS.Iface("ovl0"); i != nil {
 		c.NS.RemoveIface("ovl0")
+		removed = true
 	}
+	if !removed {
+		return fmt.Errorf("overlay: no attachment for %q", c.Name)
+	}
+	return nil
 }

@@ -36,7 +36,7 @@ func newOvlRig(t *testing.T) *ovlRig {
 
 	for i := 0; i < 2; i++ {
 		name := "vm" + string(rune('1'+i))
-		vm := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+		vm, _ := h.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
 		addr := underlay.Host(10 + i)
 		vm.PlugBridgeNIC("virbr0", addr, underlay)
 		vtep, err := ovl.Join(vm, addr)
@@ -173,8 +173,14 @@ func TestOverlayRelease(t *testing.T) {
 	vtep := r.ovl.VTEP("vm1")
 	ports := len(vtep.Bridge.Ports())
 	att := NewAttachment(r.ovl, vtep)
-	att.Release(a)
+	if err := att.Release(a); err != nil {
+		t.Fatalf("Release = %v", err)
+	}
 	if len(vtep.Bridge.Ports()) >= ports {
 		t.Fatal("release did not detach the container port")
+	}
+	// Double release is a caller bug and reports one.
+	if err := att.Release(a); err == nil {
+		t.Fatal("double release not rejected")
 	}
 }

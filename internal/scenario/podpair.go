@@ -62,7 +62,14 @@ func NewPodPair(seed int64, mode CCMode, ports ...uint16) (*PodPair, error) {
 // NewPodPairWith is NewPodPair with a telemetry recorder (nil = telemetry
 // off) installed before the topology is built.
 func NewPodPairWith(seed int64, mode CCMode, rec *telemetry.Recorder, ports ...uint16) (*PodPair, error) {
-	b := newBase(seed, rec)
+	return NewPodPairCfg(Config{Seed: seed, Rec: rec}, mode, ports...)
+}
+
+// NewPodPairCfg is the fully parameterized constructor: telemetry and
+// fault injection (Config.Faults) are installed before the topology is
+// built, so deployment itself runs under the fault schedule.
+func NewPodPairCfg(cfg Config, mode CCMode, ports ...uint16) (*PodPair, error) {
+	b := newBaseCfg(cfg)
 	n1 := b.addNode("vm1", HostBridgeNet.Host(10))
 	pp := &PodPair{Base: b, Mode: mode}
 

@@ -13,6 +13,7 @@ import (
 	"nestless/internal/container"
 	"nestless/internal/core"
 	"nestless/internal/cpuacct"
+	"nestless/internal/faults"
 	"nestless/internal/kube"
 	"nestless/internal/netsim"
 	"nestless/internal/sim"
@@ -60,10 +61,33 @@ type Base struct {
 
 	// Rec is the scenario's telemetry recorder (nil = telemetry off).
 	Rec *telemetry.Recorder
+	// Faults is the scenario's fault injector (nil = injection off).
+	Faults *faults.Injector
+}
+
+// Config parameterizes scenario construction. The zero value (plus a
+// seed) reproduces the plain constructors.
+type Config struct {
+	Seed int64
+	// Rec enables telemetry when non-nil.
+	Rec *telemetry.Recorder
+	// Faults enables fault injection when non-nil.
+	Faults *faults.Schedule
 }
 
 // newBase builds the host + client substrate. rec may be nil.
 func newBase(seed int64, rec *telemetry.Recorder) *Base {
+	return newBaseCfg(Config{Seed: seed, Rec: rec})
+}
+
+// NewBaseCfg builds just the host + client substrate with no nodes or
+// pods. Chaos tests use it to keep a handle on the world even when a
+// faulted deployment fails, so they can still audit it for leaks.
+func NewBaseCfg(cfg Config) *Base { return newBaseCfg(cfg) }
+
+// newBaseCfg builds the host + client substrate from a Config.
+func newBaseCfg(cfg Config) *Base {
+	seed, rec := cfg.Seed, cfg.Rec
 	eng := sim.New(seed)
 	eng.MaxSteps = 2_000_000_000
 	w := netsim.NewNet(eng)
@@ -71,6 +95,13 @@ func newBase(seed int64, rec *telemetry.Recorder) *Base {
 	// station created below is instrumented.
 	w.Rec = rec
 	rec.BindEngine(eng)
+	// The injector forks its RNG at construction, so arming it before
+	// the topology is built keeps fault rolls off the main stream.
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.New(eng, cfg.Faults, rec)
+		w.Faults = inj
+	}
 	h := vmm.NewHost(w)
 	h.AddBridge("virbr0", HostGateway, HostBridgeNet)
 	ctrl := core.NewController(h)
@@ -87,13 +118,20 @@ func newBase(seed int64, rec *telemetry.Recorder) *Base {
 	// The client is NAT-ed to the host's bridge domain.
 	h.NS.Filter.AddMasquerade(netsim.SNATRule{SrcNet: ClientNet, OutDev: "virbr0"})
 
-	return &Base{Eng: eng, Net: w, Host: h, Ctrl: ctrl, Cluster: kube.NewCluster(ctrl), Client: client, Rec: rec}
+	return &Base{Eng: eng, Net: w, Host: h, Ctrl: ctrl, Cluster: kube.NewCluster(ctrl), Client: client, Rec: rec, Faults: inj}
 }
 
 // addNode provisions a VM (the paper's size: 5 vCPUs, 4 GB) with a
 // container engine and both CNI plugins, registered as a cluster node.
+// The BrFusion plugin falls back to the engine's bridge+NAT network
+// when the hot-plug path exhausts its retries.
 func (b *Base) addNode(name string, addr netsim.IPv4) *kube.Node {
-	vm := b.Host.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+	vm, err := b.Host.CreateVM(vmm.VMConfig{Name: name, VCPUs: 5, MemoryMB: 4096})
+	if err != nil {
+		// Scenario topologies use unique literal names; a duplicate is a
+		// construction bug, not a runtime condition.
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
 	vm.PlugBridgeNIC("virbr0", addr, HostBridgeNet)
 	e := container.NewEngine(container.Config{
 		Node: name, Eng: b.Eng, Net: b.Net, NS: vm.NS, CPU: vm.CPU,
@@ -104,10 +142,16 @@ func (b *Base) addNode(name string, addr netsim.IPv4) *kube.Node {
 	e.Pull(container.Image{Name: "app", SizeMB: 150})
 	node := kube.NewNode(vm, e)
 	node.CNI.Register(e.DefaultProvisioner())
-	node.CNI.Register(brfusion.New(b.Ctrl, vm, "virbr0"))
+	bf := brfusion.New(b.Ctrl, vm, "virbr0")
+	bf.Fallback = e.DefaultProvisioner()
+	node.CNI.Register(bf)
 	b.Cluster.AddNode(node)
 	return node
 }
+
+// AddNode is the exported form of addNode for tests and tools that
+// extend a Base with extra cluster nodes.
+func (b *Base) AddNode(name string, addr netsim.IPv4) *kube.Node { return b.addNode(name, addr) }
 
 // ServerClient is a deployed client↔server experiment.
 type ServerClient struct {
@@ -134,7 +178,14 @@ func NewServerClient(seed int64, mode Mode, ports ...uint16) (*ServerClient, err
 // telemetry off) installed before the topology is built, so boot-time
 // control-plane operations appear in the trace too.
 func NewServerClientWith(seed int64, mode Mode, rec *telemetry.Recorder, ports ...uint16) (*ServerClient, error) {
-	b := newBase(seed, rec)
+	return NewServerClientCfg(Config{Seed: seed, Rec: rec}, mode, ports...)
+}
+
+// NewServerClientCfg is the fully parameterized constructor: telemetry
+// and fault injection (Config.Faults) are installed before the topology
+// is built, so provisioning itself runs under the fault schedule.
+func NewServerClientCfg(cfg Config, mode Mode, ports ...uint16) (*ServerClient, error) {
+	b := newBaseCfg(cfg)
 	vmAddr := HostBridgeNet.Host(10)
 	node := b.addNode("server-vm", vmAddr)
 	sc := &ServerClient{

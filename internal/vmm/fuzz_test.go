@@ -1,0 +1,86 @@
+package vmm
+
+import (
+	"testing"
+)
+
+// FuzzMonitorExecute drives the QMP-like monitor with arbitrary
+// commands and arguments against a host that already has a bridge
+// ("virbr0"), a hostlo device ("h0"), a registered netdev ("nd0") and a
+// hot-plugged device ("d0"). Whatever the input, the monitor must not
+// panic, must reply exactly once per command, and must leave the
+// registries consistent enough for a follow-up query to succeed.
+func FuzzMonitorExecute(f *testing.F) {
+	f.Add("device_add", "d1", "bridge", "virbr0", "h0", "nd0")
+	f.Add("netdev_add", "nd1", "bridge", "virbr0", "h0", "nd0")
+	f.Add("netdev_add", "nd1", "hostlo", "virbr0", "h0", "nd0")
+	f.Add("netdev_del", "nd0", "", "", "", "")
+	f.Add("device_del", "d0", "", "", "", "")
+	f.Add("hostlo_create", "h1", "", "", "", "")
+	f.Add("hostlo_delete", "h0", "", "", "", "")
+	f.Add("query-netdev", "", "", "", "", "")
+	f.Add("migrate", "x", "y", "z", "", "")
+	f.Add("device_add", "", "", "", "", "")
+	f.Add("device_add", "d0", "bridge", "virbr0", "h0", "nd0")
+	f.Add("hostlo_delete", "h0", "", "", "", "nd0")
+
+	f.Fuzz(func(t *testing.T, cmd, id, typ, br, dev, netdev string) {
+		eng, _, h := newTestHost()
+		vm, err := h.CreateVM(VMConfig{Name: "fuzz"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := vm.Monitor()
+
+		prologue := []struct {
+			cmd  string
+			args map[string]string
+		}{
+			{"hostlo_create", map[string]string{"id": "h0"}},
+			{"netdev_add", map[string]string{"id": "nd0", "type": "bridge", "br": "virbr0"}},
+			{"device_add", map[string]string{"id": "d0", "netdev": "nd0"}},
+		}
+		for _, p := range prologue {
+			var perr error
+			m.Execute(p.cmd, p.args, func(_ Result, err error) { perr = err })
+			eng.Run()
+			if perr != nil {
+				t.Fatalf("prologue %s: %v", p.cmd, perr)
+			}
+		}
+
+		args := map[string]string{}
+		for k, v := range map[string]string{
+			"id": id, "type": typ, "br": br, "dev": dev, "netdev": netdev,
+		} {
+			if v != "" {
+				args[k] = v
+			}
+		}
+		replies := 0
+		m.Execute(cmd, args, func(Result, error) { replies++ })
+		eng.Run()
+		if replies != 1 {
+			t.Fatalf("Execute(%q, %v) replied %d times, want exactly 1", cmd, args, replies)
+		}
+
+		// The registries must still answer queries coherently.
+		var qerr error
+		var listed Result
+		m.Execute("query-netdev", nil, func(r Result, err error) { listed, qerr = r, err })
+		eng.Run()
+		if qerr != nil {
+			t.Fatalf("query-netdev after %q: %v", cmd, qerr)
+		}
+		// Invariant from deviceDel: every device's backing netdev spec is
+		// registered exactly as long as the device lives.
+		for _, d := range vm.Devices() {
+			if d.Netdev == "boot" {
+				continue
+			}
+			if _, ok := listed[d.Netdev]; !ok {
+				t.Fatalf("device %q references unregistered netdev %q (have %v)", d.ID, d.Netdev, listed)
+			}
+		}
+	})
+}

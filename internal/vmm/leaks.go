@@ -1,0 +1,80 @@
+package vmm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nestless/internal/virtio"
+)
+
+// Leaks audits the host for control-plane residue and returns one line
+// per finding, deterministically ordered. It is the chaos suite's
+// invariant checker: after every pod has been deleted and the engine
+// has drained, a fault-free *or* faulted run must leave
+//
+//   - no hot-plugged device on any VM (boot NICs are expected),
+//   - no registered netdev backend spec,
+//   - no Hostlo device (and therefore no Hostlo queue),
+//   - no orphaned vnet* TAP in the host namespace, and
+//   - no container namespace (name contains "/") still holding a
+//     non-loopback interface.
+//
+// An empty result means the teardown paths were leak-free. Call it only
+// after teardown: live pods legitimately hold devices and interfaces.
+func (h *Host) Leaks() []string {
+	var out []string
+	for _, name := range h.vmOrder {
+		vm := h.vms[name]
+		for _, id := range sortedIDs(vm.devices) {
+			if vm.devices[id].Netdev == "boot" {
+				continue
+			}
+			out = append(out, fmt.Sprintf("vm %s: device %s still attached", name, id))
+		}
+		for _, id := range sortedIDs(vm.netdevs) {
+			out = append(out, fmt.Sprintf("vm %s: netdev %s still registered", name, id))
+		}
+	}
+	for _, id := range sortedIDs(h.hostlos) {
+		out = append(out, fmt.Sprintf("hostlo %s still exists (%d queues)", id, h.hostlos[id].Queues()))
+	}
+	// Orphaned TAPs: vnet* interfaces in the host namespace whose owning
+	// device is gone (a device_del that detached the guest side but lost
+	// the host side would show up here).
+	owned := make(map[string]bool)
+	for _, name := range h.vmOrder {
+		for _, d := range h.vms[name].devices {
+			if b, ok := d.NIC.Backend().(*virtio.TAPBackend); ok {
+				owned[b.TAP.Name] = true
+			}
+		}
+	}
+	for _, i := range h.NS.Ifaces() {
+		if strings.HasPrefix(i.Name, "vnet") && !owned[i.Name] {
+			out = append(out, fmt.Sprintf("host: orphaned TAP %s", i.Name))
+		}
+	}
+	// Container namespaces follow the "<node>/<name>" convention; after
+	// teardown only their loopback may remain.
+	for _, ns := range h.Net.Namespaces() {
+		if !strings.Contains(ns.Name, "/") {
+			continue
+		}
+		for _, i := range ns.Ifaces() {
+			if i.Name != "lo" {
+				out = append(out, fmt.Sprintf("namespace %s: interface %s still present", ns.Name, i.Name))
+			}
+		}
+	}
+	return out
+}
+
+func sortedIDs[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -18,13 +18,19 @@ import (
 //
 //	netdev_add    id=<nd> type=bridge br=<bridge>
 //	netdev_add    id=<nd> type=hostlo dev=<hostlo>
+//	netdev_del    id=<nd>
 //	hostlo_create id=<dev>                       (host-wide, any VM's monitor)
+//	hostlo_delete id=<dev>                       (host-wide, fails while queues remain)
 //	device_add    id=<dev> driver=virtio-net netdev=<nd>
 //	device_del    id=<dev>
 //	query-netdev
 //
 // device_add replies with the new device's "mac" — the identifier the
 // orchestrator forwards to its in-VM agent (§3.1 step 3, §4.1 step 3).
+//
+// Every command is a fault point ("qmp/<cmd>"): the injector can fail
+// it outright or stall its dispatch, which is how the chaos suite
+// exercises the orchestrator's retry/timeout/fallback paths.
 type Monitor struct {
 	vm *VM
 }
@@ -46,13 +52,21 @@ func (m *Monitor) Execute(cmd string, args map[string]string, reply func(Result,
 		}
 	}
 	rng := h.Eng.Rand()
-	// QMP dispatch costs a little host CPU before the command runs.
-	h.CPU.Run(cpuacct.Sys, jittered(rng, qmpDispatchMean, qmpDispatchJitter), func() {
+	inj := h.Net.Faults
+	dispatch := func() {
+		if err := inj.OpFail("qmp/" + cmd); err != nil {
+			done(nil, err)
+			return
+		}
 		switch cmd {
 		case "netdev_add":
 			done(m.netdevAdd(args))
+		case "netdev_del":
+			done(m.netdevDel(args))
 		case "hostlo_create":
 			done(m.hostloCreate(args))
+		case "hostlo_delete":
+			done(m.hostloDelete(args))
 		case "device_add":
 			m.deviceAdd(args, done)
 		case "device_del":
@@ -66,6 +80,16 @@ func (m *Monitor) Execute(cmd string, args map[string]string, reply func(Result,
 		default:
 			done(nil, fmt.Errorf("vmm: unknown command %q", cmd))
 		}
+	}
+	// QMP dispatch costs a little host CPU before the command runs.
+	h.CPU.Run(cpuacct.Sys, jittered(rng, qmpDispatchMean, qmpDispatchJitter), func() {
+		if d := inj.OpDelay("qmp/" + cmd); d > 0 {
+			// The monitor socket wedges: the command sits undispatched
+			// long enough for the orchestrator's watchdog to matter.
+			h.Eng.After(d, dispatch)
+			return
+		}
+		dispatch()
 	})
 }
 
@@ -97,6 +121,21 @@ func (m *Monitor) netdevAdd(args map[string]string) (Result, error) {
 	return Result{"id": id}, nil
 }
 
+func (m *Monitor) netdevDel(args map[string]string) (Result, error) {
+	vm := m.vm
+	id := args["id"]
+	if _, ok := vm.netdevs[id]; !ok {
+		return nil, fmt.Errorf("vmm: no netdev %q", id)
+	}
+	for _, d := range vm.devices {
+		if d.Netdev == id {
+			return nil, fmt.Errorf("vmm: netdev %q in use by device %q", id, d.ID)
+		}
+	}
+	delete(vm.netdevs, id)
+	return Result{"id": id}, nil
+}
+
 func (m *Monitor) hostloCreate(args map[string]string) (Result, error) {
 	h := m.vm.Host
 	id := args["id"]
@@ -106,7 +145,23 @@ func (m *Monitor) hostloCreate(args map[string]string) (Result, error) {
 	if _, dup := h.hostlos[id]; dup {
 		return nil, fmt.Errorf("vmm: hostlo %q exists", id)
 	}
-	h.hostlos[id] = hostlo.New(id, h.CPU, h.Net.Costs)
+	dev := hostlo.New(id, h.CPU, h.Net.Costs)
+	dev.Faults = h.Net.Faults
+	h.hostlos[id] = dev
+	return Result{"id": id}, nil
+}
+
+func (m *Monitor) hostloDelete(args map[string]string) (Result, error) {
+	h := m.vm.Host
+	id := args["id"]
+	dev, ok := h.hostlos[id]
+	if !ok {
+		return nil, fmt.Errorf("vmm: no hostlo %q", id)
+	}
+	if n := dev.Queues(); n > 0 {
+		return nil, fmt.Errorf("vmm: hostlo %q still has %d queues", id, n)
+	}
+	delete(h.hostlos, id)
 	return Result{"id": id}, nil
 }
 
@@ -194,6 +249,11 @@ func (m *Monitor) deviceDel(args map[string]string) (Result, error) {
 	if ns := dev.NIC.Guest.NS; ns != nil {
 		ns.RemoveIface(dev.NIC.Guest.Name)
 	}
+	// This control plane pairs exactly one netdev with each hot-plugged
+	// device, so unplugging the device also retires its backend spec —
+	// otherwise every release would need a follow-up netdev_del and a
+	// mid-teardown fault could strand the spec forever.
+	delete(vm.netdevs, dev.Netdev)
 	return Result{"id": id}, nil
 }
 

@@ -8,7 +8,7 @@ import (
 
 func TestQueryNetdev(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	m := vm.Monitor()
 	m.Execute("netdev_add", map[string]string{"id": "nd1", "type": "bridge", "br": "virbr0"}, nil)
 	m.Execute("hostlo_create", map[string]string{"id": "h0"}, nil)
@@ -31,7 +31,7 @@ func TestQueryNetdev(t *testing.T) {
 
 func TestHotplugIfaceNamesSequential(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	vm.PlugBridgeNIC("virbr0", netsim.IP(192, 168, 122, 10), hostNet) // eth0
 	m := vm.Monitor()
 	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
@@ -53,7 +53,7 @@ func TestHotplugIfaceNamesSequential(t *testing.T) {
 
 func TestHotplugTimingJitterVaries(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	m := vm.Monitor()
 	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
 	eng.Run()
@@ -82,7 +82,7 @@ func TestHotplugTimingJitterVaries(t *testing.T) {
 func TestVMsListedInCreationOrder(t *testing.T) {
 	_, _, h := newTestHost()
 	for _, name := range []string{"c", "a", "b"} {
-		h.CreateVM(VMConfig{Name: name})
+		_, _ = h.CreateVM(VMConfig{Name: name})
 	}
 	vms := h.VMs()
 	if len(vms) != 3 || vms[0].Name != "c" || vms[1].Name != "a" || vms[2].Name != "b" {
@@ -92,7 +92,7 @@ func TestVMsListedInCreationOrder(t *testing.T) {
 
 func TestDeviceMACStable(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	m := vm.Monitor()
 	m.Execute("netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}, nil)
 	eng.Run()

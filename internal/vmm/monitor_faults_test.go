@@ -1,0 +1,130 @@
+package vmm
+
+import (
+	"strings"
+	"testing"
+
+	"nestless/internal/faults"
+	"nestless/internal/netsim"
+)
+
+// exec runs one monitor command to completion and returns its reply.
+func exec(t *testing.T, eng interface{ Run() }, m *Monitor, cmd string, args map[string]string) (Result, error) {
+	t.Helper()
+	var r Result
+	var rerr error
+	called := 0
+	m.Execute(cmd, args, func(res Result, err error) {
+		called++
+		r, rerr = res, err
+	})
+	eng.Run()
+	if called != 1 {
+		t.Fatalf("%s reply called %d times", cmd, called)
+	}
+	return r, rerr
+}
+
+func TestNetdevDelErrors(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	if _, err := exec(t, eng, m, "netdev_del", map[string]string{"id": "nope"}); err == nil {
+		t.Error("deleting unknown netdev did not error")
+	}
+	if _, err := exec(t, eng, m, "netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(t, eng, m, "device_add", map[string]string{"id": "d1", "netdev": "nd"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec(t, eng, m, "netdev_del", map[string]string{"id": "nd"}); err == nil {
+		t.Error("deleting an in-use netdev did not error")
+	}
+}
+
+func TestDeviceDelRetiresPairedNetdev(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	exec(t, eng, m, "netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"})
+	exec(t, eng, m, "device_add", map[string]string{"id": "d1", "netdev": "nd"})
+	if _, err := exec(t, eng, m, "device_del", map[string]string{"id": "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := exec(t, eng, m, "query-netdev", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, still := r["nd"]; still {
+		t.Fatalf("device_del left the paired netdev registered: %v", r)
+	}
+}
+
+func TestHostloDeleteErrors(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	if _, err := exec(t, eng, m, "hostlo_delete", map[string]string{"id": "nope"}); err == nil {
+		t.Error("deleting unknown hostlo did not error")
+	}
+	exec(t, eng, m, "hostlo_create", map[string]string{"id": "h0"})
+	exec(t, eng, m, "netdev_add", map[string]string{"id": "nd", "type": "hostlo", "dev": "h0"})
+	exec(t, eng, m, "device_add", map[string]string{"id": "d1", "netdev": "nd"})
+	if _, err := exec(t, eng, m, "hostlo_delete", map[string]string{"id": "h0"}); err == nil {
+		t.Error("deleting a hostlo with live queues did not error")
+	}
+	exec(t, eng, m, "device_del", map[string]string{"id": "d1"})
+	if _, err := exec(t, eng, m, "hostlo_delete", map[string]string{"id": "h0"}); err != nil {
+		t.Errorf("deleting a drained hostlo: %v", err)
+	}
+	if h.Hostlo("h0") != nil {
+		t.Error("hostlo still registered after delete")
+	}
+}
+
+func TestQMPFaultInjection(t *testing.T) {
+	eng, w, h := newTestHost()
+	s, err := faults.ParseSpec("qmp/device_add:fail:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Faults = faults.New(eng, s, nil)
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
+	m := vm.Monitor()
+	exec(t, eng, m, "netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"})
+	if _, err := exec(t, eng, m, "device_add", map[string]string{"id": "d1", "netdev": "nd"}); err == nil {
+		t.Fatal("injected device_add fault did not surface")
+	} else if !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Rule budget n=1 exhausted: the retry succeeds.
+	if _, err := exec(t, eng, m, "device_add", map[string]string{"id": "d1", "netdev": "nd"}); err != nil {
+		t.Fatalf("retry after exhausted fault rule: %v", err)
+	}
+	if vm.Device("d1") == nil {
+		t.Fatal("device missing after successful retry")
+	}
+}
+
+func TestHostLeaksChecker(t *testing.T) {
+	eng, _, h := newTestHost()
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
+	vm.PlugBridgeNIC("virbr0", netsim.IP(192, 168, 122, 10), hostNet)
+	if leaks := h.Leaks(); len(leaks) != 0 {
+		t.Fatalf("boot-only host reports leaks: %v", leaks)
+	}
+	m := vm.Monitor()
+	exec(t, eng, m, "netdev_add", map[string]string{"id": "nd", "type": "bridge", "br": "virbr0"})
+	exec(t, eng, m, "device_add", map[string]string{"id": "d1", "netdev": "nd"})
+	exec(t, eng, m, "hostlo_create", map[string]string{"id": "h0"})
+	leaks := h.Leaks()
+	if len(leaks) != 3 {
+		t.Fatalf("leaks = %v, want device d1 + its netdev + hostlo h0", leaks)
+	}
+	exec(t, eng, m, "device_del", map[string]string{"id": "d1"})
+	exec(t, eng, m, "hostlo_delete", map[string]string{"id": "h0"})
+	if leaks := h.Leaks(); len(leaks) != 0 {
+		t.Fatalf("leaks after teardown: %v", leaks)
+	}
+}

@@ -115,10 +115,14 @@ type VM struct {
 	OnHotplug func(dev *Device)
 }
 
-// CreateVM provisions a VM on the host (no NICs yet).
-func (h *Host) CreateVM(cfg VMConfig) *VM {
+// CreateVM provisions a VM on the host (no NICs yet). Duplicate and
+// unnamed VMs are rejected with an error.
+func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("vmm: VM needs a name")
+	}
 	if _, dup := h.vms[cfg.Name]; dup {
-		panic(fmt.Sprintf("vmm: duplicate VM %q", cfg.Name))
+		return nil, fmt.Errorf("vmm: duplicate VM %q", cfg.Name)
 	}
 	if cfg.VCPUs <= 0 {
 		cfg.VCPUs = 1
@@ -139,11 +143,14 @@ func (h *Host) CreateVM(cfg VMConfig) *VM {
 	vm.monitor = &Monitor{vm: vm}
 	h.vms[cfg.Name] = vm
 	h.vmOrder = append(h.vmOrder, cfg.Name)
-	return vm
+	return vm, nil
 }
 
 // Monitor returns the VM's QMP side channel.
 func (vm *VM) Monitor() *Monitor { return vm.monitor }
+
+// Device returns one attached device by ID, or nil.
+func (vm *VM) Device(id string) *Device { return vm.devices[id] }
 
 // Devices returns the VM's attached NIC devices by ID.
 func (vm *VM) Devices() map[string]*Device {

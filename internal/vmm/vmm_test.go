@@ -23,7 +23,7 @@ func newTestHost() (*sim.Engine, *netsim.Net, *Host) {
 
 func TestCreateVMAndBootNIC(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web", VCPUs: 5, MemoryMB: 4096})
+	vm, _ := h.CreateVM(VMConfig{Name: "web", VCPUs: 5, MemoryMB: 4096})
 	vm.PlugBridgeNIC("virbr0", netsim.IP(192, 168, 122, 10), hostNet)
 
 	var got int
@@ -41,20 +41,25 @@ func TestCreateVMAndBootNIC(t *testing.T) {
 	}
 }
 
-func TestDuplicateVMPanics(t *testing.T) {
+func TestDuplicateVMErrors(t *testing.T) {
 	_, _, h := newTestHost()
-	h.CreateVM(VMConfig{Name: "x"})
-	defer func() {
-		if recover() == nil {
-			t.Error("duplicate VM did not panic")
-		}
-	}()
-	h.CreateVM(VMConfig{Name: "x"})
+	if _, err := h.CreateVM(VMConfig{Name: "x"}); err != nil {
+		t.Fatalf("first CreateVM: %v", err)
+	}
+	if _, err := h.CreateVM(VMConfig{Name: "x"}); err == nil {
+		t.Error("duplicate VM did not error")
+	}
+	if _, err := h.CreateVM(VMConfig{}); err == nil {
+		t.Error("unnamed VM did not error")
+	}
+	if len(h.VMs()) != 1 {
+		t.Errorf("rejected VMs leaked into the registry: %d", len(h.VMs()))
+	}
 }
 
 func TestMonitorHotplugBridgeNIC(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web", VCPUs: 5})
+	vm, _ := h.CreateVM(VMConfig{Name: "web", VCPUs: 5})
 	m := vm.Monitor()
 
 	var hotplugged *Device
@@ -103,8 +108,8 @@ func TestMonitorHotplugBridgeNIC(t *testing.T) {
 
 func TestMonitorHostloLifecycle(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm1 := h.CreateVM(VMConfig{Name: "vm1"})
-	vm2 := h.CreateVM(VMConfig{Name: "vm2"})
+	vm1, _ := h.CreateVM(VMConfig{Name: "vm1"})
+	vm2, _ := h.CreateVM(VMConfig{Name: "vm2"})
 
 	plug := func(vm *VM, addr netsim.IPv4) {
 		m := vm.Monitor()
@@ -144,7 +149,7 @@ func TestMonitorHostloLifecycle(t *testing.T) {
 
 func TestDeviceDelDetaches(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	m := vm.Monitor()
 	m.Execute("netdev_add", map[string]string{"id": "nd1", "type": "bridge", "br": "virbr0"}, nil)
 	eng.Run()
@@ -169,7 +174,7 @@ func TestDeviceDelDetaches(t *testing.T) {
 
 func TestMonitorErrors(t *testing.T) {
 	eng, _, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	m := vm.Monitor()
 	expectErr := func(cmd string, args map[string]string) {
 		t.Helper()
@@ -199,7 +204,7 @@ func TestMonitorErrors(t *testing.T) {
 
 func TestEntityCPUSharesLaneButBillsSeparately(t *testing.T) {
 	_, n, h := newTestHost()
-	vm := h.CreateVM(VMConfig{Name: "web"})
+	vm, _ := h.CreateVM(VMConfig{Name: "web"})
 	pod := vm.EntityCPU("app/pod1")
 	if pod.Station != vm.CPU.Station {
 		t.Fatal("pod CPU must share the VM's vCPU lane")
