@@ -37,6 +37,33 @@ ok  	nestless	0.345s
 	}
 }
 
+// TestParseSchedulerThroughput: the cluster scheduler benchmark reports
+// a custom pods/s metric; the converter must carry it into the BENCH
+// trajectory like any built-in unit.
+func TestParseSchedulerThroughput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: nestless/internal/cluster
+BenchmarkSchedulerThroughput/kubernetes         	       1	   1183881 ns/op	    224685 pods/s	  524288 B/op	    1024 allocs/op
+BenchmarkSchedulerThroughput/hostlo             	       1	 143467223 ns/op	      1854 pods/s
+PASS
+`
+	doc := parse(bufio.NewScanner(strings.NewReader(in)))
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkSchedulerThroughput/kubernetes" || b0.Package != "nestless/internal/cluster" {
+		t.Fatalf("bench 0 = %q in %q", b0.Name, b0.Package)
+	}
+	if b0.Metrics["pods/s"] != 224685 || b0.Metrics["B/op"] != 524288 {
+		t.Fatalf("bench 0 metrics wrong: %+v", b0)
+	}
+	if doc.Benchmarks[1].Metrics["pods/s"] != 1854 {
+		t.Fatalf("bench 1 metrics wrong: %+v", doc.Benchmarks[1])
+	}
+}
+
 func TestParseIgnoresGarbage(t *testing.T) {
 	doc := parse(bufio.NewScanner(strings.NewReader("hello\nBenchmarkBroken abc\nok\n")))
 	if len(doc.Benchmarks) != 0 {

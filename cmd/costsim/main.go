@@ -7,6 +7,17 @@
 //	costsim -table 2       # the VM catalog (Table 2)
 //	costsim -users 1000    # a larger population
 //
+// The -lifecycle flag switches from the static snapshot pricing to the
+// event-driven cluster simulation (internal/cluster): pods arrive and
+// depart over a horizon, an autoscaler grows and reclaims the VM fleet,
+// and -faults node-kill schedules displace pods mid-run. It reports
+// Kubernetes-vs-Hostlo cost integrals, time-to-schedule statistics, and
+// the cost-over-time trajectory:
+//
+//	costsim -lifecycle -users 100
+//	costsim -lifecycle -horizon 8h -gap 2m -life 45m
+//	costsim -lifecycle -faults 'node/*:crash:p=0.01'
+//
 // Add -trace out.json for a per-user trace of the placement run and
 // -metrics for the telemetry tables.
 package main
@@ -19,6 +30,8 @@ import (
 
 	"nestless/internal/cli"
 	"nestless/internal/cloudsim"
+	"nestless/internal/cluster"
+	"nestless/internal/faults"
 	"nestless/internal/figures"
 	"nestless/internal/report"
 	"nestless/internal/sim"
@@ -32,15 +45,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	top := flag.Int("top", 0, "also list the top-N savers")
+	lifecycle := flag.Bool("lifecycle", false, "run the event-driven cluster lifecycle simulation instead of the static snapshot")
+	horizon := flag.Duration("horizon", 8*time.Hour, "lifecycle simulation horizon")
+	gap := flag.Duration("gap", 2*time.Minute, "lifecycle mean pod inter-arrival gap")
+	life := flag.Duration("life", 45*time.Minute, "lifecycle mean pod lifetime (Pareto-tailed)")
+	boot := flag.Duration("boot", 45*time.Second, "lifecycle VM boot delay")
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
 	flag.Parse()
 	cli.CheckParallel(*workers)
-	// costsim's placement run is engine-less: the spec is validated for
-	// command-line uniformity, but there is no datapath to fault.
-	if cli.ParseFaults(*faultSpec) != nil {
-		fmt.Fprintln(os.Stderr, "costsim: note: -faults validated but ignored (the placement run has no simulated datapath)")
+	sched := cli.ParseFaults(*faultSpec)
+	// The static placement run is engine-less: the spec is validated for
+	// command-line uniformity, but only -lifecycle has a datapath to
+	// fault.
+	if sched != nil && !*lifecycle {
+		fmt.Fprintln(os.Stderr, "costsim: note: -faults validated but ignored (static placement has no simulated datapath; use -lifecycle)")
 	}
 
 	emit := func(t *report.Table) {
@@ -61,6 +81,16 @@ func main() {
 	}
 	if *users <= 0 {
 		cli.BadFlag("costsim: -users must be positive, got %d", *users)
+	}
+
+	if *lifecycle {
+		runLifecycle(lifecycleOpts{
+			users: *users, seed: *seed, horizon: *horizon, gap: *gap,
+			life: *life, boot: *boot, workers: *workers, sched: sched,
+			rec: tf.Recorder(), emit: emit,
+		})
+		tf.EmitOrDie("costsim")
+		return
 	}
 
 	// Telemetry records per-user events in trace order, so the fan-out
@@ -85,6 +115,7 @@ func main() {
 		t := report.New(fmt.Sprintf("Hostlo savings over %d users", len(res.Users)),
 			"metric", "value")
 		maxAbs, maxRel := res.MaxAbsSavings()
+		t.AddRow("users skipped (pod > largest VM)", res.Skipped)
 		t.AddRow("users with savings", report.Percent(res.SaversFraction()))
 		t.AddRow("savers above 5%", report.Percent(res.BigSaversFractionOfSavers()))
 		t.AddRow("max relative savings", report.Percent(res.MaxRelSavings()))
@@ -104,6 +135,121 @@ func main() {
 		emit(tt)
 	}
 	tf.EmitOrDie("costsim")
+}
+
+// lifecycleOpts bundles the -lifecycle run parameters.
+type lifecycleOpts struct {
+	users   int
+	seed    int64
+	horizon time.Duration
+	gap     time.Duration
+	life    time.Duration
+	boot    time.Duration
+	workers int
+	sched   *faults.Schedule
+	rec     *telemetry.Recorder
+	emit    func(*report.Table)
+}
+
+// runLifecycle simulates the population's cluster lifecycle under both
+// policies and prints the cost/disruption summary plus the
+// cost-over-time trajectory.
+func runLifecycle(o lifecycleOpts) {
+	cfg := trace.DefaultConfig(o.seed)
+	cfg.Users = o.users
+	cfg.MeanArrivalGap = o.gap
+	cfg.MeanLifetime = o.life
+	pop := trace.Generate(cfg)
+
+	runs := cluster.SimulatePopulation(pop, cluster.Config{
+		Seed:      o.seed,
+		Horizon:   o.horizon,
+		BootDelay: o.boot,
+		Faults:    o.sched,
+		Rec:       o.rec,
+	}, o.workers)
+
+	var kube, hostlo aggregate
+	kubeTraj := make([]cluster.Result, len(runs))
+	hostloTraj := make([]cluster.Result, len(runs))
+	for i, u := range runs {
+		kube.add(u.Kube)
+		hostlo.add(u.Hostlo)
+		kubeTraj[i] = u.Kube
+		hostloTraj[i] = u.Hostlo
+	}
+
+	t := report.New(fmt.Sprintf("Cluster lifecycle over %d users, %v horizon", len(runs), o.horizon),
+		"metric", "kubernetes", "hostlo")
+	t.AddRow("pods arrived", kube.arrived, hostlo.arrived)
+	t.AddRow("pods scheduled", kube.scheduled, hostlo.scheduled)
+	t.AddRow("pods departed", kube.departed, hostlo.departed)
+	t.AddRow("pods failed (unschedulable)", kube.failed, hostlo.failed)
+	t.AddRow("pods pending at horizon", kube.pending, hostlo.pending)
+	t.AddRow("cost over horizon $", kube.dollars, hostlo.dollars)
+	t.AddRow("final fleet $/h", kube.finalRate, hostlo.finalRate)
+	t.AddRow("final fleet nodes", kube.finalNodes, hostlo.finalNodes)
+	t.AddRow("peak fleet nodes", kube.peakNodes, hostlo.peakNodes)
+	t.AddRow("mean time-to-schedule", kube.ttsMean(), hostlo.ttsMean())
+	t.AddRow("scale-ups / scale-downs", fmt.Sprintf("%d / %d", kube.scaleUps, kube.scaleDowns),
+		fmt.Sprintf("%d / %d", hostlo.scaleUps, hostlo.scaleDowns))
+	t.AddRow("node kills (faults)", kube.kills, hostlo.kills)
+	t.AddRow("pods displaced / rescheduled", fmt.Sprintf("%d / %d", kube.displaced, kube.reschedules),
+		fmt.Sprintf("%d / %d", hostlo.displaced, hostlo.reschedules))
+	t.AddRow("optimizer runs / moves", "-", fmt.Sprintf("%d / %d", hostlo.optRuns, hostlo.optMoves))
+	if kube.dollars > 0 {
+		t.AddRow("hostlo savings", "-", report.Percent((kube.dollars-hostlo.dollars)/kube.dollars))
+	}
+	o.emit(t)
+
+	fmt.Println()
+	tj := report.New("Cost-over-time trajectory",
+		"t", "kube_$/h", "hostlo_$/h", "kube_pending", "hostlo_pending", "kube_util", "hostlo_util")
+	mk := cluster.MergeTrajectories(kubeTraj)
+	mh := cluster.MergeTrajectories(hostloTraj)
+	for i := range mk {
+		tj.AddRow(mk[i].T, mk[i].CostPerH, mh[i].CostPerH,
+			mk[i].Pending, mh[i].Pending,
+			report.Percent(mk[i].Util()), report.Percent(mh[i].Util()))
+	}
+	o.emit(tj)
+}
+
+// aggregate sums Result fields across a population.
+type aggregate struct {
+	arrived, scheduled, departed, failed, pending    int
+	finalNodes, peakNodes, scaleUps, scaleDowns      int
+	kills, displaced, reschedules, optRuns, optMoves int
+	dollars, finalRate                               float64
+	ttsSum                                           time.Duration
+}
+
+func (a *aggregate) add(r cluster.Result) {
+	a.arrived += r.Arrived
+	a.scheduled += r.Scheduled
+	a.departed += r.Departed
+	a.failed += r.Failed
+	a.pending += r.StillPending
+	a.finalNodes += r.FinalNodes
+	a.peakNodes += r.PeakNodes
+	a.scaleUps += r.ScaleUps
+	a.scaleDowns += r.ScaleDowns
+	a.kills += r.Kills
+	a.displaced += r.Displaced
+	a.reschedules += r.Reschedules
+	a.optRuns += r.OptimizerRuns
+	a.optMoves += r.OptimizerMoves
+	a.dollars += r.CostDollars
+	a.finalRate += r.FinalCostPerH
+	a.ttsSum += r.TTSSum
+}
+
+// ttsMean is the population-level mean time-to-schedule.
+func (a *aggregate) ttsMean() time.Duration {
+	if a.scheduled == 0 {
+		return 0
+	}
+	return (a.ttsSum / time.Duration(a.scheduled)).Round(time.Millisecond)
 }
 
 // record instruments the (engine-less) placement run post hoc: one

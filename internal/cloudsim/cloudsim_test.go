@@ -165,6 +165,79 @@ func TestPackingInvariantsProperty(t *testing.T) {
 	}
 }
 
+func TestSimulateCountsSkippedUsers(t *testing.T) {
+	users := []trace.User{
+		{ID: 0, Pods: []trace.Pod{podOf("ok", [2]float64{0.01, 0.01})}},
+		// One pod wider than the largest machine: whole-pod placement is
+		// infeasible, so the user cannot be priced.
+		{ID: 1, Pods: []trace.Pod{podOf("toobig", [2]float64{0.7, 0.7}, [2]float64{0.7, 0.7})}},
+		{ID: 2, Pods: []trace.Pod{podOf("ok2", [2]float64{0.02, 0.02})}},
+	}
+	res := Simulate(users, Catalog())
+	if len(res.Users) != 2 || res.Skipped != 1 {
+		t.Fatalf("got %d priced / %d skipped, want 2 / 1", len(res.Users), res.Skipped)
+	}
+	par := SimulateParallel(users, Catalog(), 4)
+	if par.Skipped != res.Skipped || len(par.Users) != len(res.Users) {
+		t.Fatalf("parallel skip accounting diverged: %d/%d vs %d/%d",
+			len(par.Users), par.Skipped, len(res.Users), res.Skipped)
+	}
+}
+
+// TestOptimizeHostloMatchesInternalPass: the exported optimizer over an
+// order-preserving conversion must reproduce the internal static
+// pipeline exactly — same cost, same VM types in the same order.
+func TestOptimizeHostloMatchesInternalPass(t *testing.T) {
+	c := Catalog()
+	users := trace.Generate(trace.DefaultConfig(3))
+	checked := 0
+	for _, u := range users[:60] {
+		base, err := packKubernetes(u, c)
+		if err != nil {
+			continue
+		}
+		improved := improveHostlo(base)
+		got := OptimizeHostlo(fromFleet(base), c)
+		if len(got) != len(improved.vms) {
+			t.Fatalf("user %d: exported optimizer produced %d VMs, internal %d", u.ID, len(got), len(improved.vms))
+		}
+		for i := range got {
+			if got[i].Type != improved.vms[i].typ {
+				t.Fatalf("user %d VM %d: type %d vs %d", u.ID, i, got[i].Type, improved.vms[i].typ)
+			}
+		}
+		if gc, ic := PlacementCostPerH(got, c), improved.cost(); gc != ic {
+			t.Fatalf("user %d: cost %v vs %v", u.ID, gc, ic)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no users checked")
+	}
+}
+
+// TestOptimizeHostloSplitsMotivatingExample: §2's arithmetic through
+// the exported API — a 2xlarge holding six 1-vCPU containers re-packs
+// into large + xlarge.
+func TestOptimizeHostloSplitsMotivatingExample(t *testing.T) {
+	c := Catalog()
+	in := []PlacedVM{{Type: 2}} // 2xlarge
+	for i := 0; i < 6; i++ {
+		in[0].Items = append(in[0].Items, PlacedItem{Pod: "p", CPU: 0.0104, Mem: 0.0104})
+	}
+	out := OptimizeHostlo(in, c)
+	if got := PlacementCostPerH(out, c); got != 0.336 {
+		t.Fatalf("optimized cost %v, want 0.336 (large + xlarge)", got)
+	}
+	items := 0
+	for _, v := range out {
+		items += len(v.Items)
+	}
+	if items != 6 {
+		t.Fatalf("%d items after optimize, want 6", items)
+	}
+}
+
 func TestPopulationStats(t *testing.T) {
 	users := trace.Generate(trace.DefaultConfig(42))
 	res := Simulate(users, Catalog())

@@ -1,0 +1,82 @@
+package cloudsim
+
+// This file is the exported face of the packing machinery, consumed by
+// internal/cluster: the lifecycle simulator keeps live per-node state,
+// but its placement decisions must be *the same code* as the static
+// Fig. 9 pricing — that is what makes a no-churn cluster run converge
+// to the static packing exactly, not merely approximately.
+
+// PlacedItem is one placed container, labeled with its owning pod.
+type PlacedItem struct {
+	Pod      string
+	CPU, Mem float64
+}
+
+// PlacedVM is one VM (an index into the catalog) with its contents.
+type PlacedVM struct {
+	Type  int
+	Items []PlacedItem
+}
+
+// CheapestFitting returns the index of the cheapest catalog type able
+// to host (cpu, mem), or -1 when the request exceeds every machine.
+func CheapestFitting(catalog []VMType, cpu, mem float64) int {
+	return cheapestFitting(catalog, cpu, mem)
+}
+
+// MostRequestedFraction is the §5.3.1 "most requested" score of a VM
+// with the given load: the mean of its used CPU and memory fractions.
+func MostRequestedFraction(t VMType, usedCPU, usedMem float64) float64 {
+	return (usedCPU/t.RelCPU + usedMem/t.RelMem) / 2
+}
+
+// toFleet converts an exported placement into the internal fleet form,
+// preserving VM order and item order — the optimizer's passes use
+// stable sorts, so order is part of its determinism contract.
+func toFleet(vms []PlacedVM, catalog []VMType) *fleet {
+	f := &fleet{catalog: catalog, vms: make([]*vm, 0, len(vms))}
+	for _, pv := range vms {
+		v := &vm{typ: pv.Type}
+		for _, it := range pv.Items {
+			v.place(item{pod: it.Pod, cpu: it.CPU, mem: it.Mem})
+		}
+		f.vms = append(f.vms, v)
+	}
+	return f
+}
+
+// fromFleet converts back, preserving order.
+func fromFleet(f *fleet) []PlacedVM {
+	out := make([]PlacedVM, 0, len(f.vms))
+	for _, v := range f.vms {
+		pv := PlacedVM{Type: v.typ, Items: make([]PlacedItem, 0, len(v.items))}
+		for _, it := range v.items {
+			pv.Items = append(pv.Items, PlacedItem{Pod: it.pod, CPU: it.cpu, Mem: it.mem})
+		}
+		out = append(out, pv)
+	}
+	return out
+}
+
+// OptimizeHostlo runs the paper's step-4 optimizer (consolidate + split
+// + shrink passes, cost-monotone: the result never costs more than the
+// input) over an existing placement and returns the improved one.
+// Conversion preserves VM and item order, so feeding it the placement a
+// whole-pod pass produced yields exactly the fleet improveHostlo would
+// have produced in the static pipeline.
+func OptimizeHostlo(vms []PlacedVM, catalog []VMType) []PlacedVM {
+	if len(vms) == 0 {
+		return nil
+	}
+	return fromFleet(improveHostlo(toFleet(vms, catalog)))
+}
+
+// PlacementCostPerH prices a placement per hour (sequential sum in VM
+// order, matching the internal fleet costing exactly).
+func PlacementCostPerH(vms []PlacedVM, catalog []VMType) float64 {
+	var c float64
+	for _, v := range vms {
+		c += catalog[v.Type].PricePerH
+	}
+	return c
+}

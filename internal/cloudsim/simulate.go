@@ -53,17 +53,23 @@ func SimulateUserPolicy(u trace.User, catalog []VMType, pol Policy) (UserResult,
 // PopulationResult aggregates a user population (Fig. 9).
 type PopulationResult struct {
 	Users []UserResult
+	// Skipped counts users excluded from the pricing because one of
+	// their pods exceeds the largest VM (whole-pod placement is
+	// infeasible, so neither cost exists). Reports surface it so an
+	// aggressive workload cannot silently shrink the population.
+	Skipped int
 }
 
 // Simulate prices every user; users whose pods exceed the largest VM are
-// skipped (cannot exist under whole-pod placement).
+// counted in Skipped rather than priced (cannot exist under whole-pod
+// placement).
 func Simulate(users []trace.User, catalog []VMType) PopulationResult {
 	return SimulateParallel(users, catalog, 1)
 }
 
 // SimulateParallel is Simulate fanned out across workers. Users are
 // fully independent, so each is priced in its own job; merging keeps
-// trace order and drops errored users exactly like the serial loop,
+// trace order and counts errored users exactly like the serial loop,
 // making the result identical for any worker count.
 func SimulateParallel(users []trace.User, catalog []VMType, workers int) PopulationResult {
 	type slot struct {
@@ -79,6 +85,8 @@ func SimulateParallel(users []trace.User, catalog []VMType, workers int) Populat
 	for _, s := range slots {
 		if s.ok {
 			out.Users = append(out.Users, s.r)
+		} else {
+			out.Skipped++
 		}
 	}
 	return out

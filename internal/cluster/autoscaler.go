@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nestless/internal/sim"
+)
+
+// The autoscaler: queue pressure scales the fleet up (one provisioning
+// request in flight at a time, so a burst of arrivals does not buy a
+// node per pod before the first one boots), the periodic tick scales it
+// down (a node must sit empty for IdleGrace before it is reclaimed —
+// hysteresis against churn buying the same node twice). Node kills also
+// live on the tick: the fault injector is consulted once per live node
+// per tick at point "node/<name>".
+
+// requestNode asks for one node of catalog type typ.
+func (c *Cluster) requestNode(typ int) {
+	c.inflight++
+	c.count("cluster/provision_requests")
+	c.tryProvision(typ)
+}
+
+// tryProvision runs one provisioning attempt through the fault points
+// "node/provision" (fail → retry after ProvisionRetryEvery; delay →
+// added to the boot latency).
+func (c *Cluster) tryProvision(typ int) {
+	if err := c.inj.OpFail("node/provision"); err != nil {
+		c.res.ProvisionRetries++
+		c.count("cluster/provision_retries")
+		if c.rec != nil {
+			c.rec.Instant("cluster/autoscaler", "provision-retry", "type", float64(typ))
+		}
+		c.eng.After(sim.Time(c.cfg.ProvisionRetryEvery), func() { c.tryProvision(typ) })
+		return
+	}
+	delay := sim.Time(c.cfg.BootDelay) + sim.Time(c.inj.OpDelay("node/provision"))
+	if delay <= 0 {
+		c.nodeReady(typ)
+		return
+	}
+	c.eng.After(delay, func() { c.nodeReady(typ) })
+}
+
+// nodeReady turns a provisioning request into a live node and re-kicks
+// the scheduler, which was blocked waiting for this capacity.
+func (c *Cluster) nodeReady(typ int) {
+	c.inflight--
+	n := c.createNode(typ, c.eng.Now())
+	c.res.ScaleUps++
+	c.count("cluster/scale_ups")
+	if c.rec != nil {
+		c.rec.Instant("cluster/autoscaler", "node-ready", "type", float64(typ))
+	}
+	n.idleSince = c.eng.Now()
+	if len(c.queue) > 0 {
+		c.kickSchedule()
+	}
+}
+
+// createNode allocates a live node of type typ born at now and tracks
+// the fleet peak. The cost clock starts here; accrue settles it at
+// termination or the horizon.
+func (c *Cluster) createNode(typ int, now sim.Time) *node {
+	n := &node{
+		id:        len(c.nodes),
+		typ:       typ,
+		bornAt:    now,
+		idleSince: now,
+		live:      true,
+	}
+	n.name = fmt.Sprintf("n%d", n.id)
+	c.nodes = append(c.nodes, n)
+	c.liveCount++
+	if c.liveCount > c.res.PeakNodes {
+		c.res.PeakNodes = c.liveCount
+	}
+	return n
+}
+
+// terminate settles a node's bill and removes it from the live fleet.
+// The caller must have stripped its items first.
+func (c *Cluster) terminate(n *node, now sim.Time) {
+	c.accrue(n, now)
+	n.live = false
+	c.liveCount--
+}
+
+// tick is the periodic control loop: node kills, displaced-pod
+// rescheduling, idle reclaim, Hostlo re-optimisation, re-arm.
+func (c *Cluster) tick() {
+	now := c.eng.Now()
+	// 1. Node kills — consult the injector once per live node, in
+	// creation order, at point "node/<name>".
+	if c.inj != nil {
+		for _, n := range c.nodes {
+			if n.live && c.inj.Crash("node/"+n.name) {
+				c.killNode(n, now)
+			}
+		}
+	}
+	// 2. Displaced pods (and any queue backlog) go back through the
+	// scheduler.
+	if len(c.queue) > 0 {
+		c.kickSchedule()
+	}
+	// 3. Idle reclaim with hysteresis.
+	for _, n := range c.nodes {
+		if n.live && len(n.items) == 0 && now-n.idleSince >= sim.Time(c.cfg.IdleGrace) {
+			c.terminate(n, now)
+			c.res.ScaleDowns++
+			c.count("cluster/scale_downs")
+			if c.rec != nil {
+				c.rec.Instant("cluster/autoscaler", "reclaim-idle", "node", float64(n.id))
+			}
+		}
+	}
+	// 4. Hostlo: re-pack what churn fragmented, but never under a
+	// backlog — the pending queue would immediately re-dirty the fleet.
+	if c.cfg.Policy == Hostlo && c.dirty && len(c.queue) == 0 {
+		c.optimize()
+	}
+	next := now + sim.Time(c.cfg.ScaleEvery)
+	if next <= sim.Time(c.cfg.Horizon) {
+		c.eng.At(next, c.tick)
+	}
+}
+
+// killNode fails a node mid-run: the bill is settled, every pod with a
+// container on it is displaced back into the pending queue with its
+// remaining lifetime, and split pods lose their placements on other
+// nodes too (a pod runs whole or not at all).
+func (c *Cluster) killNode(n *node, now sim.Time) {
+	c.res.Kills++
+	c.count("cluster/node_kills")
+	if c.rec != nil {
+		c.rec.Instant("cluster/faults", "node-kill", "node", float64(n.id))
+	}
+	// Victim pods in item order, deduplicated.
+	seen := map[string]bool{}
+	var victims []int
+	for _, it := range n.items {
+		if seen[it.Pod] {
+			continue
+		}
+		seen[it.Pod] = true
+		for i := range c.pods {
+			if c.pods[i].pod.ID == it.Pod {
+				victims = append(victims, i)
+				break
+			}
+		}
+	}
+	n.items = n.items[:0]
+	n.recompute()
+	c.terminate(n, now)
+	c.dirty = true
+	for _, i := range victims {
+		c.displace(i, now)
+	}
+}
+
+// displace returns a running pod to the pending queue after its node
+// died: remaining lifetime is reduced by the time already served, the
+// departure generation bumps so the stale departure event is inert, and
+// the pod re-enters the queue flagged for the Reschedules counter.
+func (c *Cluster) displace(i int, now sim.Time) {
+	p := &c.pods[i]
+	if p.state != stateRunning {
+		return
+	}
+	c.removePlacement(i) // strips survivors of a split pod from other nodes
+	if p.remaining > 0 {
+		served := now - p.placedAt
+		p.remaining -= served
+		if p.remaining <= 0 {
+			p.remaining = 1 // ns: died at the wire — reschedule, then depart
+		}
+	}
+	p.departGen++
+	p.state = statePending
+	p.displaced = true
+	c.res.Displaced++
+	c.count("cluster/displacements")
+	c.enqueue(i)
+}

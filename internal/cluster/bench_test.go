@@ -1,0 +1,55 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/cluster"
+	"nestless/internal/trace"
+)
+
+// benchWorkload flattens a churned population into one pod stream: the
+// scheduler sees ~hundreds of arrivals and departures over the horizon.
+func benchWorkload() []trace.Pod {
+	users := trace.Generate(trace.GenConfig{
+		Seed:              11,
+		Users:             30,
+		MeanPodsPerUser:   8,
+		HeavyUserFraction: 0.15,
+		MeanArrivalGap:    30 * time.Second,
+		MeanLifetime:      45 * time.Minute,
+	})
+	var pods []trace.Pod
+	for _, u := range users {
+		pods = append(pods, u.Pods...)
+	}
+	return pods
+}
+
+// BenchmarkSchedulerThroughput measures end-to-end lifecycle simulation
+// speed in pods scheduled per wall-clock second — the capacity-planning
+// number for sizing population sweeps.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	pods := benchWorkload()
+	for _, pol := range []cluster.Policy{cluster.Kubernetes, cluster.Hostlo} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := cluster.Config{
+				Seed:      1,
+				Pods:      pods,
+				Policy:    pol,
+				Horizon:   4 * time.Hour,
+				BootDelay: 30 * time.Second,
+			}
+			scheduled := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := cluster.Simulate(cfg)
+				scheduled += res.Scheduled
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(scheduled)/secs, "pods/s")
+			}
+		})
+	}
+}

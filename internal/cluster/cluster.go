@@ -1,0 +1,573 @@
+// Package cluster is the event-driven cluster lifecycle simulator: the
+// dynamic counterpart of internal/cloudsim's static Fig. 9 pricing.
+//
+// The static simulation packs a frozen snapshot of each user's pods and
+// prices it per hour. Real clusters of containers-on-VMs win or lose on
+// dynamics: pods arrive and depart over time, fragmentation accumulates
+// as they churn, nodes fail mid-run, and the VM fleet must grow and
+// shrink from inside the workload loop. This package simulates exactly
+// that, deterministically, on the internal/sim virtual clock:
+//
+//   - pods arrive (seeded Poisson gaps from internal/trace) and depart
+//     (heavy-tailed lifetimes) over virtual time;
+//   - a scheduler with a FIFO pending queue places them — whole-pod
+//     most-requested for the Kubernetes baseline, plus the Hostlo
+//     container-level optimizer (reusing internal/cloudsim's packing
+//     code, so a no-churn run converges to the static packing exactly);
+//   - an autoscaler provisions VMs on queue pressure (with boot delay
+//     and fault-injectable failures) and reclaims idle VMs after a
+//     hysteresis grace period;
+//   - node-kill faults (internal/faults, point "node/<name>") drain a
+//     VM mid-run and displace its pods back into the pending queue;
+//   - an accountant integrates VM-hours × catalog price into a
+//     cost-over-time trajectory and records time-to-schedule stats.
+//
+// Determinism is the same hard requirement as everywhere else in
+// nestless: the same seed, workload, and fault schedule reproduce the
+// identical Result byte for byte, and a population fan-out across
+// workers merges in index order so tables never depend on scheduling.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"nestless/internal/cloudsim"
+	"nestless/internal/faults"
+	"nestless/internal/sim"
+	"nestless/internal/telemetry"
+	"nestless/internal/trace"
+)
+
+// Policy selects the placement regime.
+type Policy int
+
+const (
+	// Kubernetes is the baseline: whole-pod placement onto the
+	// most-requested fitting node, no migration — fragmentation from
+	// churn is never repaired, only empty nodes are reclaimed.
+	Kubernetes Policy = iota
+	// Hostlo adds the paper's container-level freedom: placement is
+	// whole-pod first (the §5.3.1 pipeline), and the step-4 optimizer
+	// (consolidate/split/shrink) periodically re-packs containers
+	// across nodes, shrinking the fleet that churn fragmented. Pods too
+	// wide for any single machine are split across nodes at placement.
+	Hostlo
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if p == Hostlo {
+		return "hostlo"
+	}
+	return "kubernetes"
+}
+
+// Config parameterises one cluster lifecycle run.
+type Config struct {
+	// Seed drives the fault injector's RNG fork (the cluster logic
+	// itself draws no randomness — arrivals and lifetimes come stamped
+	// on the workload).
+	Seed int64
+	// Pods is the workload: one user's pods with Arrival/Lifetime
+	// stamps from the trace generator (zero stamps = static workload).
+	Pods []trace.Pod
+	// Catalog is the VM menu (nil = cloudsim.Catalog(), Table 2).
+	Catalog []cloudsim.VMType
+	// Policy selects Kubernetes or Hostlo placement.
+	Policy Policy
+	// Horizon ends the simulation (default 8h).
+	Horizon time.Duration
+	// BootDelay is the VM provisioning latency (default 45s; the
+	// steady-state equivalence tests use 0).
+	BootDelay time.Duration
+	// ScaleEvery is the autoscaler tick period: node-kill consultation,
+	// idle reclaim, and Hostlo re-optimisation happen on ticks
+	// (default 30s).
+	ScaleEvery time.Duration
+	// IdleGrace is the autoscaler's scale-down hysteresis: a node must
+	// sit empty this long before it is reclaimed (default 5m).
+	IdleGrace time.Duration
+	// ProvisionRetryEvery spaces retries of a failed provisioning
+	// attempt (default 10s).
+	ProvisionRetryEvery time.Duration
+	// SampleEvery is the trajectory sampling period (default
+	// Horizon/12).
+	SampleEvery time.Duration
+	// Faults arms the deterministic fault injector (nil = off). Points:
+	// "node/provision" (fail/delay) and "node/<name>" (crash).
+	Faults *faults.Schedule
+	// Rec collects telemetry (nil = off).
+	Rec *telemetry.Recorder
+	// MaxSteps aborts a runaway event loop (0 = engine default of
+	// unlimited).
+	MaxSteps uint64
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Catalog == nil {
+		c.Catalog = cloudsim.Catalog()
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 8 * time.Hour
+	}
+	if c.ScaleEvery <= 0 {
+		c.ScaleEvery = 30 * time.Second
+	}
+	if c.IdleGrace <= 0 {
+		c.IdleGrace = 5 * time.Minute
+	}
+	if c.ProvisionRetryEvery <= 0 {
+		c.ProvisionRetryEvery = 10 * time.Second
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = c.Horizon / 12
+	}
+	return c
+}
+
+// Sample is one point of the cost-over-time trajectory.
+type Sample struct {
+	T        sim.Time
+	CostPerH float64 // fleet cost rate at T
+	Pending  int     // pending-queue depth at T
+	Nodes    int     // live fleet size at T
+	UsedCPU  float64 // placed CPU across the fleet (relative units)
+	CapCPU   float64 // fleet CPU capacity (relative units)
+}
+
+// Util returns the fleet CPU utilization at the sample (0 with no fleet).
+func (s Sample) Util() float64 {
+	if s.CapCPU <= 0 {
+		return 0
+	}
+	return s.UsedCPU / s.CapCPU
+}
+
+// Result is the outcome of one lifecycle run. All fields are plain
+// values, so byte-identical replay is checkable with reflect.DeepEqual.
+type Result struct {
+	Policy Policy
+
+	// Pod accounting. Conservation invariant (checked by Leaks):
+	// Arrived == Departed + Running + StillPending + Failed.
+	Arrived       int // pods whose arrival fell within the horizon
+	BeyondHorizon int // pods whose arrival fell past the horizon (not simulated)
+	Scheduled     int // pods placed at least once
+	Departed      int // pods that ran out their lifetime
+	Running       int // pods still placed at the horizon
+	StillPending  int // pods still queued at the horizon
+	Failed        int // pods that can never be placed under the policy
+
+	// Disruption accounting.
+	Displaced   int // pod displacement events (node kills)
+	Reschedules int // successful re-placements of displaced pods
+	Kills       int // nodes killed by fault injection
+
+	// Fleet accounting.
+	ScaleUps         int // nodes provisioned by the autoscaler
+	ScaleDowns       int // idle nodes reclaimed past the grace period
+	ProvisionRetries int // failed provisioning attempts (faults)
+	OptimizerRuns    int // Hostlo re-pack passes executed
+	OptimizerMoves   int // nodes retired + created by those passes
+	PeakNodes        int
+	FinalNodes       int
+	// FleetTypes lists the live nodes' catalog type indices at the
+	// horizon, in node creation order — the exact fleet composition, for
+	// equivalence checks against the static packer.
+	FleetTypes []int
+
+	// Cost accounting.
+	CostDollars   float64 // integral of fleet price over the horizon
+	FinalCostPerH float64 // fleet cost rate at the horizon
+
+	// Time-to-schedule (arrival → first placement) stats. TTSSum and
+	// Scheduled allow exact population-level means.
+	TTSSum  time.Duration
+	TTSMean time.Duration
+	TTSP95  time.Duration
+	TTSMax  time.Duration
+
+	Samples []Sample
+}
+
+// podState is a pod's lifecycle stage.
+type podState int
+
+const (
+	statePending podState = iota
+	stateRunning
+	stateDeparted
+	stateFailed
+)
+
+// podRun is the per-pod mutable state.
+type podRun struct {
+	pod      trace.Pod
+	cpu, mem float64 // whole-pod totals
+	state    podState
+
+	arrivedAt     sim.Time
+	placedAt      sim.Time      // last placement
+	remaining     time.Duration // lifetime left (0 = forever)
+	departGen     int           // invalidates stale departure events
+	scheduledOnce bool
+	displaced     bool // awaiting re-placement after a node kill
+}
+
+// node is one live (or dead) VM instance.
+type node struct {
+	id        int
+	name      string
+	typ       int
+	usedCPU   float64
+	usedMem   float64
+	items     []cloudsim.PlacedItem
+	bornAt    sim.Time
+	idleSince sim.Time
+	live      bool
+}
+
+// recompute rebuilds the used sums from the item list in order —
+// removal paths use it so float accumulation never drifts from the
+// canonical "sum in item order" value.
+func (n *node) recompute() {
+	n.usedCPU, n.usedMem = 0, 0
+	for _, it := range n.items {
+		n.usedCPU += it.CPU
+		n.usedMem += it.Mem
+	}
+}
+
+// Cluster is one lifecycle simulation world.
+type Cluster struct {
+	cfg Config
+	eng *sim.Engine
+	inj *faults.Injector
+	rec *telemetry.Recorder
+	cat []cloudsim.VMType
+
+	pods      []podRun
+	queue     []int // pending pod indices, enqueue order
+	nodes     []*node
+	liveCount int
+	inflight  int // provisioning requests not yet live
+	dirty     bool
+	schedPend bool
+	tts       sim.Series
+	res       Result
+	finalized bool
+}
+
+// New builds a cluster world; call Run to simulate it.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	eng := sim.New(cfg.Seed)
+	eng.MaxSteps = cfg.MaxSteps
+	cfg.Rec.BindEngine(eng)
+	c := &Cluster{
+		cfg: cfg,
+		eng: eng,
+		inj: faults.New(eng, cfg.Faults, cfg.Rec),
+		rec: cfg.Rec,
+		cat: cfg.Catalog,
+	}
+	c.res.Policy = cfg.Policy
+	c.pods = make([]podRun, len(cfg.Pods))
+	for i, p := range cfg.Pods {
+		c.pods[i] = podRun{
+			pod:       p,
+			cpu:       p.TotalCPU(),
+			mem:       p.TotalMem(),
+			remaining: p.Lifetime,
+		}
+	}
+	return c
+}
+
+// Simulate is the one-shot convenience: New + Run.
+func Simulate(cfg Config) Result {
+	return New(cfg).Run()
+}
+
+// Run executes the lifecycle to the horizon and returns the result.
+func (c *Cluster) Run() Result {
+	// Arrivals.
+	for i := range c.pods {
+		at := sim.Time(c.pods[i].pod.Arrival)
+		if at > sim.Time(c.cfg.Horizon) {
+			c.res.BeyondHorizon++
+			continue
+		}
+		idx := i
+		c.eng.At(at, func() { c.arrive(idx) })
+	}
+	// Autoscaler ticks and trajectory samples, each a self-rescheduling
+	// chain so the event heap stays small.
+	c.eng.At(sim.Time(c.cfg.ScaleEvery), c.tick)
+	c.eng.At(sim.Time(c.cfg.SampleEvery), c.sample)
+	c.eng.RunUntil(sim.Time(c.cfg.Horizon))
+	c.finalize()
+	return c.res
+}
+
+// arrive admits one pod into the pending queue.
+func (c *Cluster) arrive(i int) {
+	p := &c.pods[i]
+	p.arrivedAt = c.eng.Now()
+	c.res.Arrived++
+	c.count("cluster/arrivals")
+	c.enqueue(i)
+	c.kickSchedule()
+}
+
+// enqueue appends a pod to the pending queue.
+func (c *Cluster) enqueue(i int) {
+	c.queue = append(c.queue, i)
+}
+
+// kickSchedule coalesces schedule requests: at most one pass is queued
+// per instant.
+func (c *Cluster) kickSchedule() {
+	if c.schedPend {
+		return
+	}
+	c.schedPend = true
+	c.eng.After(0, c.schedulePass)
+}
+
+// depart retires a pod whose lifetime ran out. gen guards against
+// stale events (the pod was displaced and re-placed since).
+func (c *Cluster) depart(i, gen int) {
+	p := &c.pods[i]
+	if p.state != stateRunning || p.departGen != gen {
+		return
+	}
+	c.removePlacement(i)
+	p.state = stateDeparted
+	c.res.Departed++
+	c.count("cluster/departures")
+	c.dirty = true
+	if len(c.queue) > 0 {
+		c.kickSchedule()
+	}
+}
+
+// removePlacement strips every container of pod i from the fleet,
+// rebuilding used sums canonically; nodes that become empty start their
+// idle clock.
+func (c *Cluster) removePlacement(i int) {
+	id := c.pods[i].pod.ID
+	for _, n := range c.nodes {
+		if !n.live || len(n.items) == 0 {
+			continue
+		}
+		kept := n.items[:0]
+		removed := false
+		for _, it := range n.items {
+			if it.Pod == id {
+				removed = true
+				continue
+			}
+			kept = append(kept, it)
+		}
+		if !removed {
+			continue
+		}
+		n.items = kept
+		n.recompute()
+		if len(n.items) == 0 {
+			n.idleSince = c.eng.Now()
+		}
+	}
+}
+
+// fleetRates returns the live fleet's cost rate, used CPU and CPU
+// capacity (iterating nodes in creation order).
+func (c *Cluster) fleetRates() (costPerH, usedCPU, capCPU float64) {
+	for _, n := range c.nodes {
+		if !n.live {
+			continue
+		}
+		costPerH += c.cat[n.typ].PricePerH
+		usedCPU += n.usedCPU
+		capCPU += c.cat[n.typ].RelCPU
+	}
+	return
+}
+
+// sample records one trajectory point and re-arms the chain.
+func (c *Cluster) sample() {
+	cost, used, cap := c.fleetRates()
+	s := Sample{
+		T: c.eng.Now(), CostPerH: cost, Pending: len(c.queue),
+		Nodes: c.liveCount, UsedCPU: used, CapCPU: cap,
+	}
+	c.res.Samples = append(c.res.Samples, s)
+	if c.rec != nil {
+		c.rec.Metrics().Series("cluster/pending_depth").Add(float64(s.Pending))
+		c.rec.Metrics().Series("cluster/fleet_util").Add(s.Util())
+		c.rec.Metrics().Series("cluster/fleet_cost_per_h").Add(cost)
+	}
+	next := c.eng.Now() + sim.Time(c.cfg.SampleEvery)
+	if next <= sim.Time(c.cfg.Horizon) {
+		c.eng.At(next, c.sample)
+	}
+}
+
+// finalize closes the books at the horizon.
+func (c *Cluster) finalize() {
+	if c.finalized {
+		return
+	}
+	c.finalized = true
+	horizon := sim.Time(c.cfg.Horizon)
+	for _, n := range c.nodes {
+		if n.live {
+			c.accrue(n, horizon)
+		}
+	}
+	cost, used, cap := c.fleetRates()
+	c.res.FinalCostPerH = cost
+	c.res.FinalNodes = c.liveCount
+	for _, n := range c.nodes {
+		if n.live {
+			c.res.FleetTypes = append(c.res.FleetTypes, n.typ)
+		}
+	}
+	c.res.StillPending = len(c.queue)
+	for i := range c.pods {
+		if c.pods[i].state == stateRunning {
+			c.res.Running++
+		}
+	}
+	if c.tts.N() > 0 {
+		c.res.TTSSum = time.Duration(c.tts.Mean() * float64(c.tts.N()) * float64(time.Second))
+		c.res.TTSMean = time.Duration(c.tts.Mean() * float64(time.Second))
+		c.res.TTSP95 = time.Duration(c.tts.Percentile(95) * float64(time.Second))
+		c.res.TTSMax = time.Duration(c.tts.Max() * float64(time.Second))
+	}
+	if len(c.res.Samples) == 0 || c.res.Samples[len(c.res.Samples)-1].T != horizon {
+		c.res.Samples = append(c.res.Samples, Sample{
+			T: horizon, CostPerH: cost, Pending: len(c.queue),
+			Nodes: c.liveCount, UsedCPU: used, CapCPU: cap,
+		})
+	}
+	if c.rec != nil {
+		reg := c.rec.Metrics()
+		reg.Gauge("cluster/final_cost_per_h").Set(c.res.FinalCostPerH)
+		reg.Gauge("cluster/cost_dollars").Set(c.res.CostDollars)
+		reg.Gauge("cluster/final_nodes").Set(float64(c.res.FinalNodes))
+	}
+}
+
+// accrue charges a node's runtime [bornAt, until] to the cost integral.
+func (c *Cluster) accrue(n *node, until sim.Time) {
+	c.res.CostDollars += (until - n.bornAt).Hours() * c.cat[n.typ].PricePerH
+}
+
+// count bumps a telemetry counter when a recorder is attached.
+func (c *Cluster) count(name string) {
+	if c.rec != nil {
+		c.rec.Metrics().Counter(name).Inc()
+	}
+}
+
+// Leaks audits the post-run state and returns human-readable invariant
+// violations (empty = clean). It is the cluster analog of
+// vmm.Host.Leaks(): chaos runs call it after every schedule to prove
+// that node kills displace pods without losing or duplicating them.
+func (c *Cluster) Leaks() []string {
+	var leaks []string
+	leakf := func(format string, args ...interface{}) {
+		leaks = append(leaks, fmt.Sprintf(format, args...))
+	}
+	const eps = 1e-9
+	// Per-node bookkeeping.
+	live := 0
+	placed := map[string]*struct {
+		items    int
+		cpu, mem float64
+	}{}
+	for _, n := range c.nodes {
+		if !n.live {
+			if len(n.items) != 0 {
+				leakf("dead node %s still holds %d items", n.name, len(n.items))
+			}
+			continue
+		}
+		live++
+		var cpu, mem float64
+		for _, it := range n.items {
+			cpu += it.CPU
+			mem += it.Mem
+			s := placed[it.Pod]
+			if s == nil {
+				s = &struct {
+					items    int
+					cpu, mem float64
+				}{}
+				placed[it.Pod] = s
+			}
+			s.items++
+			s.cpu += it.CPU
+			s.mem += it.Mem
+		}
+		if diff := n.usedCPU - cpu; diff > eps || diff < -eps {
+			leakf("node %s: usedCPU %v != item sum %v", n.name, n.usedCPU, cpu)
+		}
+		if diff := n.usedMem - mem; diff > eps || diff < -eps {
+			leakf("node %s: usedMem %v != item sum %v", n.name, n.usedMem, mem)
+		}
+		if n.usedCPU > c.cat[n.typ].RelCPU+eps || n.usedMem > c.cat[n.typ].RelMem+eps {
+			leakf("node %s (%s) overcommitted: %v/%v cpu, %v/%v mem",
+				n.name, c.cat[n.typ].Name, n.usedCPU, c.cat[n.typ].RelCPU, n.usedMem, c.cat[n.typ].RelMem)
+		}
+	}
+	if live != c.liveCount {
+		leakf("liveCount %d != %d live nodes", c.liveCount, live)
+	}
+	// Per-pod placement reconciliation.
+	inQueue := map[int]int{}
+	for _, i := range c.queue {
+		inQueue[i]++
+	}
+	for i := range c.pods {
+		p := &c.pods[i]
+		s := placed[p.pod.ID]
+		switch p.state {
+		case stateRunning:
+			if s == nil {
+				leakf("running pod %s has no placed containers", p.pod.ID)
+				continue
+			}
+			if s.items != len(p.pod.Containers) {
+				leakf("pod %s: %d containers placed, want %d", p.pod.ID, s.items, len(p.pod.Containers))
+			}
+			if diff := s.cpu - p.cpu; diff > eps || diff < -eps {
+				leakf("pod %s: placed CPU %v != requested %v", p.pod.ID, s.cpu, p.cpu)
+			}
+			if inQueue[i] != 0 {
+				leakf("running pod %s also pending", p.pod.ID)
+			}
+		default:
+			if s != nil {
+				leakf("%v pod %s still holds %d placed containers", p.state, p.pod.ID, s.items)
+			}
+			if p.state == statePending && p.arrivedAt >= 0 && c.finalized {
+				if arrived := p.pod.Arrival <= c.cfg.Horizon; arrived && inQueue[i] != 1 {
+					leakf("pending pod %s appears %d times in the queue", p.pod.ID, inQueue[i])
+				}
+			}
+		}
+	}
+	// Conservation.
+	if c.finalized {
+		if got := c.res.Departed + c.res.Running + c.res.StillPending + c.res.Failed; got != c.res.Arrived {
+			leakf("conservation broken: departed %d + running %d + pending %d + failed %d != arrived %d",
+				c.res.Departed, c.res.Running, c.res.StillPending, c.res.Failed, c.res.Arrived)
+		}
+	}
+	return leaks
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nestless/internal/parallel"
+	"nestless/internal/trace"
+)
+
+// Population fan-out: the lifecycle analog of cloudsim.SimulateParallel.
+// Each user is an independent world simulated twice — once per policy —
+// so Kubernetes and Hostlo see the identical arrival/lifetime/fault
+// sequence and the comparison isolates the placement regime.
+
+// UserLifecycle holds one user's pair of lifecycle runs.
+type UserLifecycle struct {
+	UserID int
+	Kube   Result
+	Hostlo Result
+}
+
+// SavingsRel is the relative saving of Hostlo's cost integral over the
+// horizon (0 when the Kubernetes run cost nothing).
+func (u UserLifecycle) SavingsRel() float64 {
+	if u.Kube.CostDollars <= 0 {
+		return 0
+	}
+	return (u.Kube.CostDollars - u.Hostlo.CostDollars) / u.Kube.CostDollars
+}
+
+// userSeedStride decorrelates per-user fault/injection streams; a large
+// prime so consecutive user IDs land far apart in seed space.
+const userSeedStride = 1_000_003
+
+// SimulatePopulation runs every user's lifecycle under both policies,
+// fanning out across workers. Results are merged by index, so any
+// worker count produces byte-identical output. cfg supplies everything
+// but the per-user workload and seed: user u runs with seed
+// cfg.Seed + u.ID*userSeedStride and cfg.Pods replaced by the user's
+// pods. A telemetry recorder forces the fan-out serial (single shared
+// timeline), with one run label per (user, policy).
+func SimulatePopulation(users []trace.User, cfg Config, workers int) []UserLifecycle {
+	out := make([]UserLifecycle, len(users))
+	if cfg.Rec != nil {
+		workers = 1
+	}
+	parallel.Run(len(users), workers, func(i int) {
+		u := users[i]
+		ucfg := cfg
+		ucfg.Seed = cfg.Seed + int64(u.ID)*userSeedStride
+		ucfg.Pods = u.Pods
+		ucfg.Policy = Kubernetes
+		if cfg.Rec != nil {
+			cfg.Rec.BeginRun(fmt.Sprintf("user-%d/kube", u.ID))
+		}
+		kube := Simulate(ucfg)
+		ucfg.Policy = Hostlo
+		if cfg.Rec != nil {
+			cfg.Rec.BeginRun(fmt.Sprintf("user-%d/hostlo", u.ID))
+		}
+		hostlo := Simulate(ucfg)
+		out[i] = UserLifecycle{UserID: u.ID, Kube: kube, Hostlo: hostlo}
+	})
+	return out
+}
+
+// MergeTrajectories sums per-user trajectories pointwise into one
+// population trajectory. All inputs share sample timestamps (same
+// SampleEvery and Horizon), so the merge is positional; it panics on a
+// timestamp mismatch rather than silently misaligning curves.
+func MergeTrajectories(runs []Result) []Sample {
+	if len(runs) == 0 {
+		return nil
+	}
+	merged := append([]Sample(nil), runs[0].Samples...)
+	for _, r := range runs[1:] {
+		if len(r.Samples) != len(merged) {
+			panic(fmt.Sprintf("cluster: trajectory length mismatch: %d vs %d", len(r.Samples), len(merged)))
+		}
+		for i, s := range r.Samples {
+			if s.T != merged[i].T {
+				panic(fmt.Sprintf("cluster: sample %d at %v vs %v", i, s.T, merged[i].T))
+			}
+			merged[i].CostPerH += s.CostPerH
+			merged[i].Pending += s.Pending
+			merged[i].Nodes += s.Nodes
+			merged[i].UsedCPU += s.UsedCPU
+			merged[i].CapCPU += s.CapCPU
+		}
+	}
+	return merged
+}

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nestless/internal/cloudsim"
+	"nestless/internal/sim"
+	"nestless/internal/trace"
+)
+
+// The scheduler: a pending queue drained in biggest-first order with
+// head-of-line blocking, mirroring the static packer's loop shape so a
+// no-churn run reproduces cloudsim's packing operation for operation.
+//
+// Each pass sorts the queue biggest-first (stable, so same-size pods
+// keep arrival order — exactly packKubernetesPolicy's sort) and places
+// pods one at a time: whole pod onto the most-requested live node that
+// fits, otherwise the autoscaler is asked for the cheapest type that
+// fits the whole pod and the pass stops until that node is live.
+// Blocking on the head pod is what keeps the dynamic placement sequence
+// identical to the static one — placing later pods first would let them
+// steal capacity the static packer gave the bigger pod.
+
+// schedulePass drains the pending queue as far as capacity allows.
+func (c *Cluster) schedulePass() {
+	c.schedPend = false
+	c.sortQueue()
+	for len(c.queue) > 0 {
+		i := c.queue[0]
+		p := &c.pods[i]
+		if p.state != statePending {
+			// Defensive: a stale queue entry (should not happen; Leaks
+			// would flag it).
+			c.queue = c.queue[1:]
+			continue
+		}
+		placed, blocked := c.tryPlace(i)
+		if blocked {
+			break
+		}
+		c.queue = c.queue[1:]
+		if placed {
+			c.markScheduled(i)
+		}
+		// !placed && !blocked: the pod failed permanently (markFailed
+		// already ran inside tryPlace).
+	}
+	if c.rec != nil {
+		c.rec.Instant("cluster/scheduler", "pass", "pending", float64(len(c.queue)))
+	}
+	// Queue drained: let the Hostlo optimizer re-pack what churn (or
+	// the batch placement) fragmented.
+	if len(c.queue) == 0 && c.cfg.Policy == Hostlo && c.dirty {
+		c.optimize()
+	}
+}
+
+// sortQueue orders pending pods biggest-first (stable).
+func (c *Cluster) sortQueue() {
+	sort.SliceStable(c.queue, func(a, b int) bool {
+		pa, pb := &c.pods[c.queue[a]], &c.pods[c.queue[b]]
+		return pa.cpu+pa.mem > pb.cpu+pb.mem
+	})
+}
+
+// tryPlace attempts to place pod i. Returns placed=true on success;
+// blocked=true when the pod must wait (capacity requested or already in
+// flight). placed=false, blocked=false means the pod failed permanently.
+func (c *Cluster) tryPlace(i int) (placed, blocked bool) {
+	p := &c.pods[i]
+	if fits := cloudsim.CheapestFitting(c.cat, p.cpu, p.mem); fits < 0 {
+		// Wider than the largest machine: under whole-pod placement the
+		// pod can never run (the static simulation's Skipped class).
+		// Hostlo can still run it container by container.
+		if c.cfg.Policy != Hostlo {
+			c.markFailed(i)
+			return false, false
+		}
+		return c.tryPlaceSplit(i)
+	}
+	if n := c.bestWholeFit(p.cpu, p.mem); n != nil {
+		c.placeItems(n, p.pod)
+		return true, false
+	}
+	// No live node fits: ask for the cheapest type that holds the whole
+	// pod, one request in flight at a time.
+	if c.inflight == 0 {
+		c.requestNode(cloudsim.CheapestFitting(c.cat, p.cpu, p.mem))
+	}
+	return false, true
+}
+
+// bestWholeFit scans live nodes in creation order for the
+// most-requested node that fits (cpu, mem) — the same comparator, in
+// the same order, as the static packer.
+func (c *Cluster) bestWholeFit(cpu, mem float64) *node {
+	var best *node
+	var bestScore float64
+	for _, n := range c.nodes {
+		if !n.live {
+			continue
+		}
+		t := c.cat[n.typ]
+		if t.RelCPU-n.usedCPU >= cpu && t.RelMem-n.usedMem >= mem {
+			score := cloudsim.MostRequestedFraction(t, n.usedCPU, n.usedMem)
+			if best == nil || score > bestScore {
+				best, bestScore = n, score
+			}
+		}
+	}
+	return best
+}
+
+// placeItems lands every container of a pod on one node, in container
+// order (matching the static packer's accumulation order).
+func (c *Cluster) placeItems(n *node, pod trace.Pod) {
+	for _, ct := range pod.Containers {
+		n.items = append(n.items, cloudsim.PlacedItem{Pod: pod.ID, CPU: ct.CPU, Mem: ct.Mem})
+		n.usedCPU += ct.CPU
+		n.usedMem += ct.Mem
+	}
+	c.dirty = true
+}
+
+// tryPlaceSplit places an oversized pod container by container across
+// live nodes (biggest container first, most-requested node that fits).
+// All-or-nothing: if some container fits no live node, every tentative
+// placement is reverted and a node for the biggest unplaced container
+// is requested.
+func (c *Cluster) tryPlaceSplit(i int) (placed, blocked bool) {
+	p := &c.pods[i]
+	ctrs := append([]trace.Container(nil), p.pod.Containers...)
+	sort.SliceStable(ctrs, func(a, b int) bool {
+		return ctrs[a].CPU+ctrs[a].Mem > ctrs[b].CPU+ctrs[b].Mem
+	})
+	type placement struct {
+		n    *node
+		prev int // item count before the tentative append
+	}
+	var done []placement
+	revert := func() {
+		for k := len(done) - 1; k >= 0; k-- {
+			d := done[k]
+			d.n.items = d.n.items[:d.prev]
+			d.n.recompute()
+		}
+	}
+	for _, ct := range ctrs {
+		if cloudsim.CheapestFitting(c.cat, ct.CPU, ct.Mem) < 0 {
+			// A single container wider than the largest machine can
+			// never run anywhere.
+			revert()
+			c.markFailed(i)
+			return false, false
+		}
+		n := c.bestWholeFit(ct.CPU, ct.Mem)
+		if n == nil {
+			revert()
+			if c.inflight == 0 {
+				c.requestNode(cloudsim.CheapestFitting(c.cat, ct.CPU, ct.Mem))
+			}
+			return false, true
+		}
+		done = append(done, placement{n: n, prev: len(n.items)})
+		n.items = append(n.items, cloudsim.PlacedItem{Pod: p.pod.ID, CPU: ct.CPU, Mem: ct.Mem})
+		n.usedCPU += ct.CPU
+		n.usedMem += ct.Mem
+	}
+	c.dirty = true
+	return true, false
+}
+
+// markScheduled finishes a successful placement: departure scheduling,
+// time-to-schedule accounting, reschedule counting.
+func (c *Cluster) markScheduled(i int) {
+	p := &c.pods[i]
+	now := c.eng.Now()
+	p.state = stateRunning
+	p.placedAt = now
+	if p.displaced {
+		p.displaced = false
+		c.res.Reschedules++
+		c.count("cluster/reschedules")
+	}
+	if !p.scheduledOnce {
+		p.scheduledOnce = true
+		c.res.Scheduled++
+		c.count("cluster/scheduled")
+		c.tts.AddDuration(time.Duration(now - p.arrivedAt))
+	}
+	if p.remaining > 0 {
+		p.departGen++
+		gen := p.departGen
+		at := now + sim.Time(p.remaining)
+		if at <= sim.Time(c.cfg.Horizon) {
+			c.eng.At(at, func() { c.depart(i, gen) })
+		}
+	}
+}
+
+// markFailed retires a pod that can never be placed under the policy.
+func (c *Cluster) markFailed(i int) {
+	c.pods[i].state = stateFailed
+	c.res.Failed++
+	c.count("cluster/failed")
+	if c.rec != nil {
+		c.rec.Instant("cluster/scheduler", "unschedulable", "pod", float64(i))
+	}
+}
+
+// optimize runs the Hostlo step-4 optimizer over the live fleet and
+// reconciles nodes to the improved placement. Containers move between
+// nodes (a migration the Hostlo device makes cheap — the pod's network
+// identity does not change); VMs the optimizer shrank or emptied are
+// retired, VMs it re-typed are replaced. Reconciliation is instant in
+// the model: migration latency is not priced, only fleet time is.
+func (c *Cluster) optimize() {
+	c.dirty = false
+	live := make([]*node, 0, c.liveCount)
+	placedVMs := make([]cloudsim.PlacedVM, 0, c.liveCount)
+	for _, n := range c.nodes {
+		if !n.live {
+			continue
+		}
+		live = append(live, n)
+		placedVMs = append(placedVMs, cloudsim.PlacedVM{Type: n.typ, Items: n.items})
+	}
+	if len(live) == 0 {
+		return
+	}
+	improved := cloudsim.OptimizeHostlo(placedVMs, c.cat)
+	c.res.OptimizerRuns++
+	c.count("cluster/optimizer_runs")
+	c.reconcile(live, improved)
+}
+
+// vmSignature is a canonical content digest used to match optimized VMs
+// back onto existing nodes (type + sorted item multiset).
+func vmSignature(typ int, items []cloudsim.PlacedItem) string {
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = fmt.Sprintf("%s|%.6f|%.6f", it.Pod, it.CPU, it.Mem)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%d;%s", typ, strings.Join(keys, ";"))
+}
+
+// reconcile maps an optimized placement onto the fleet: nodes whose
+// type and contents are unchanged are kept (their cost clock keeps
+// running), the rest are retired and replacements created. The moves
+// counter records how much the optimizer actually churned.
+func (c *Cluster) reconcile(live []*node, improved []cloudsim.PlacedVM) {
+	now := c.eng.Now()
+	// Index surviving nodes by signature; each can absorb one VM.
+	avail := map[string][]*node{}
+	for _, n := range live {
+		sig := vmSignature(n.typ, n.items)
+		avail[sig] = append(avail[sig], n)
+	}
+	matched := map[*node]bool{}
+	var created int
+	for _, pv := range improved {
+		sig := vmSignature(pv.Type, pv.Items)
+		if q := avail[sig]; len(q) > 0 {
+			n := q[0]
+			avail[sig] = q[1:]
+			matched[n] = true
+			// Canonicalize item order (and with it the used sums) to the
+			// optimizer's order, so future passes see identical input.
+			n.items = append(n.items[:0], pv.Items...)
+			n.recompute()
+			continue
+		}
+		n := c.createNode(pv.Type, now)
+		n.items = append(n.items, pv.Items...)
+		n.recompute()
+		if len(n.items) == 0 {
+			n.idleSince = now
+		}
+		created++
+	}
+	retired := 0
+	for _, n := range live {
+		if matched[n] {
+			continue
+		}
+		n.items = n.items[:0]
+		n.recompute()
+		c.terminate(n, now)
+		retired++
+	}
+	if created > 0 || retired > 0 {
+		c.res.OptimizerMoves += created + retired
+		if c.rec != nil {
+			c.rec.Instant("cluster/optimizer", "repack", "moves", float64(created+retired))
+			c.rec.Metrics().Counter("cluster/optimizer_moves").Add(float64(created + retired))
+		}
+	}
+}

@@ -35,6 +35,7 @@ func Fig9(o Opts) (hist, stats *report.Table) {
 	maxAbs, maxAbsRel := res.MaxAbsSavings()
 	kube, hostlo := res.TotalCosts()
 	stats.AddRow("users simulated", len(res.Users), "492")
+	stats.AddRow("users skipped (pod > largest VM)", res.Skipped, "0")
 	stats.AddRow("users with savings", percent(res.SaversFraction()), "11.4%")
 	stats.AddRow("savers above 5%", percent(res.BigSaversFractionOfSavers()), "66.7%")
 	stats.AddRow("max relative savings", percent(res.MaxRelSavings()), "~40%")

@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"time"
 
 	"nestless/internal/sim"
 )
@@ -24,10 +25,19 @@ type Container struct {
 	Mem float64
 }
 
-// Pod is one job: the co-scheduled set of containers.
+// Pod is one job: the co-scheduled set of containers, plus its churn
+// timing when the generator's churn knobs are enabled. The zero timing
+// (Arrival 0, Lifetime 0) is the static population: the pod is present
+// at the start of the simulation and never departs.
 type Pod struct {
 	ID         string
 	Containers []Container
+
+	// Arrival is when the pod enters the cluster (virtual time since
+	// simulation start). Zero = present at t=0.
+	Arrival time.Duration
+	// Lifetime is how long the pod runs once scheduled. Zero = forever.
+	Lifetime time.Duration
 }
 
 // TotalCPU sums the pod's CPU requests.
@@ -68,6 +78,23 @@ type GenConfig struct {
 	// the trace's handful of dominant tenants; they produce the large
 	// absolute savings the paper reports.
 	WhaleFraction float64
+
+	// Churn knobs. Both zero (the default) keeps the population static —
+	// byte-identical to the generator without churn, because the timing
+	// sampler draws from its own RNG stream and is never consulted.
+	//
+	// MeanArrivalGap staggers each user's pods over time as a seeded
+	// Poisson process with this mean inter-arrival gap (first pod
+	// included: arrivals start at one gap sample, not at zero).
+	MeanArrivalGap time.Duration
+	// MeanLifetime gives each pod a heavy-tailed (Pareto, α = 1.5)
+	// lifetime with this mean; pods depart after running that long.
+	MeanLifetime time.Duration
+}
+
+// Churn reports whether the config generates a dynamic population.
+func (c GenConfig) Churn() bool {
+	return c.MeanArrivalGap > 0 || c.MeanLifetime > 0
 }
 
 // DefaultConfig mirrors the paper's simulation scale.
@@ -101,7 +128,40 @@ func Generate(cfg GenConfig) []User {
 		}
 		users[i] = User{ID: i, Pods: pods}
 	}
+	if cfg.Churn() {
+		sampleChurn(cfg, users)
+	}
 	return users
+}
+
+// churnSeedSalt decouples the timing stream from the shape stream: the
+// churn sampler is seeded independently, so enabling churn changes
+// arrival/lifetime fields only — the generated shapes stay byte-
+// identical to the static population at the same seed.
+const churnSeedSalt = 0x5f3759df
+
+// sampleChurn stamps arrival times and lifetimes onto an already-shaped
+// population. Arrivals are a per-user Poisson process (exponential
+// gaps); lifetimes are Pareto with α = 1.5, whose mean is three times
+// the scale parameter — the heavy tail the cluster traces document:
+// most pods are short-lived, a few run essentially forever.
+func sampleChurn(cfg GenConfig, users []User) {
+	rng := sim.NewRand(cfg.Seed ^ churnSeedSalt)
+	const alpha = 1.5
+	for i := range users {
+		var at time.Duration
+		for j := range users[i].Pods {
+			p := &users[i].Pods[j]
+			if cfg.MeanArrivalGap > 0 {
+				at += time.Duration(rng.Exp(float64(cfg.MeanArrivalGap)))
+				p.Arrival = at
+			}
+			if cfg.MeanLifetime > 0 {
+				xm := float64(cfg.MeanLifetime) * (alpha - 1) / alpha
+				p.Lifetime = time.Duration(rng.Pareto(xm, alpha))
+			}
+		}
+	}
 }
 
 // genPod samples one pod. Light pods mirror the trace's bulk: one to a

@@ -4,6 +4,10 @@
 # the whole sweep fast and the numbers comparable run-to-run on the same
 # box), with allocation stats, converted to JSON by cmd/benchjson.
 #
+# Custom metrics ride along with the built-in ones — notably the
+# cluster scheduler throughput (BenchmarkSchedulerThroughput, pods/s
+# per policy), the capacity-planning number for population sweeps.
+#
 # Usage, from the repository root:
 #
 #   sh scripts/bench_core.sh            # writes BENCH_core.json
