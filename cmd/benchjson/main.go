@@ -9,11 +9,22 @@
 // Parsing from text (rather than re-running benchmarks in-process)
 // keeps the tool composable: any benchmark selection, count or
 // benchtime works, and CI captures exactly what the log shows.
+//
+// With -baseline the tool becomes a regression gate instead: the parsed
+// run is compared against a previously committed JSON document and the
+// exit status reports whether any benchmark's -metric (default pods/s,
+// the scheduler-throughput number) dropped by more than -maxdrop
+// (default 0.20). CI uses this to fail pull requests that slow the
+// indexed scheduling core down:
+//
+//	go test -run NONE -bench 'LifecycleScale/1k' -benchtime 1x ./internal/cluster \
+//	  | benchjson -baseline BENCH_core.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -39,15 +50,86 @@ type Doc struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "",
+		"compare against this previously written JSON document instead of emitting JSON; exit 1 on regression")
+	metric := flag.String("metric", "pods/s",
+		"the metric the -baseline comparison gates on (higher is better)")
+	maxdrop := flag.Float64("maxdrop", 0.20,
+		"maximum tolerated fractional drop of -metric vs -baseline before failing")
+	flag.Parse()
+	if *maxdrop < 0 || *maxdrop >= 1 {
+		cli.BadFlag("-maxdrop must be in [0, 1), got %v", *maxdrop)
+	}
 	out := parse(bufio.NewScanner(os.Stdin))
 	if len(out.Benchmarks) == 0 {
 		cli.Fatal("benchjson", fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			cli.Fatal("benchjson", err)
+		}
+		var base Doc
+		if err := json.Unmarshal(data, &base); err != nil {
+			cli.Fatal("benchjson", fmt.Errorf("%s: %w", *baseline, err))
+		}
+		lines, failed, err := compare(out, base, *metric, *maxdrop)
+		if err != nil {
+			cli.Fatal("benchjson", err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		cli.Fatal("benchjson", err)
 	}
+}
+
+// compare gates the current run against a baseline document: every
+// benchmark present in both with the gated metric must not have dropped
+// by more than maxdrop. Benchmarks on one side only are skipped — the
+// gate checks trajectories, not coverage — but comparing zero
+// benchmarks is an error, so a renamed benchmark cannot silently turn
+// the gate vacuous.
+func compare(cur, base Doc, metric string, maxdrop float64) (lines []string, failed bool, err error) {
+	baseBy := make(map[string]Record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[r.Package+" "+r.Name] = r
+	}
+	compared := 0
+	for _, r := range cur.Benchmarks {
+		b, ok := baseBy[r.Package+" "+r.Name]
+		if !ok {
+			continue
+		}
+		cv, cok := r.Metrics[metric]
+		bv, bok := b.Metrics[metric]
+		if !cok || !bok || bv <= 0 {
+			continue
+		}
+		compared++
+		drop := (bv - cv) / bv
+		status := "ok"
+		if drop > maxdrop {
+			status = "REGRESSION"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%-60s %s %12.1f -> %12.1f (%+.1f%%) %s",
+			r.Name, metric, bv, cv, -drop*100, status))
+	}
+	if compared == 0 {
+		return nil, false, fmt.Errorf("no benchmark shared metric %q with the baseline — nothing was gated", metric)
+	}
+	lines = append(lines, fmt.Sprintf("gated %d benchmark(s) on %s, max tolerated drop %.0f%%",
+		compared, metric, maxdrop*100))
+	return lines, failed, nil
 }
 
 func parse(sc *bufio.Scanner) Doc {

@@ -70,3 +70,54 @@ func TestParseIgnoresGarbage(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(doc.Benchmarks))
 	}
 }
+
+// rec builds a Record for the compare tests.
+func rec(pkg, name string, metrics map[string]float64) Record {
+	return Record{Name: name, Package: pkg, Iterations: 1, Metrics: metrics}
+}
+
+// TestCompareGate covers the -baseline regression mode: pass within
+// tolerance, fail beyond it, improvements always fine.
+func TestCompareGate(t *testing.T) {
+	base := Doc{Benchmarks: []Record{
+		rec("p", "BenchmarkLifecycleScale/1k/kubernetes/indexed", map[string]float64{"pods/s": 1000}),
+		rec("p", "BenchmarkLifecycleScale/1k/hostlo/indexed", map[string]float64{"pods/s": 500}),
+	}}
+
+	// Mild slowdown on one, improvement on the other: within a 20% gate.
+	cur := Doc{Benchmarks: []Record{
+		rec("p", "BenchmarkLifecycleScale/1k/kubernetes/indexed", map[string]float64{"pods/s": 900}),
+		rec("p", "BenchmarkLifecycleScale/1k/hostlo/indexed", map[string]float64{"pods/s": 700}),
+	}}
+	lines, failed, err := compare(cur, base, "pods/s", 0.20)
+	if err != nil || failed {
+		t.Fatalf("within tolerance: failed=%v err=%v\n%s", failed, err, strings.Join(lines, "\n"))
+	}
+	if len(lines) != 3 { // two rows + summary
+		t.Fatalf("got %d lines, want 3: %v", len(lines), lines)
+	}
+
+	// A >20% drop must fail.
+	cur.Benchmarks[1].Metrics["pods/s"] = 399
+	_, failed, err = compare(cur, base, "pods/s", 0.20)
+	if err != nil || !failed {
+		t.Fatalf("regression not flagged: failed=%v err=%v", failed, err)
+	}
+
+	// Benchmarks only on one side are skipped, but comparing nothing at
+	// all is an error, not a vacuous pass.
+	_, failed, err = compare(Doc{Benchmarks: []Record{
+		rec("p", "BenchmarkRenamed", map[string]float64{"pods/s": 1}),
+	}}, base, "pods/s", 0.20)
+	if err == nil || failed {
+		t.Fatalf("empty comparison: failed=%v err=%v, want err", failed, err)
+	}
+
+	// Records without the gated metric are skipped too.
+	_, _, err = compare(Doc{Benchmarks: []Record{
+		rec("p", "BenchmarkLifecycleScale/1k/kubernetes/indexed", map[string]float64{"ns/op": 5}),
+	}}, base, "pods/s", 0.20)
+	if err == nil {
+		t.Fatal("metric-less comparison should error")
+	}
+}

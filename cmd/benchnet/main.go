@@ -27,9 +27,12 @@ func main() {
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
+	prof := cli.ProfileFlags()
 	flag.Parse()
 
 	cli.CheckParallel(*workers)
+	prof.Start("benchnet")
+	defer prof.Stop("benchnet")
 	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder(), Workers: *workers,
 		Faults: cli.ParseFaults(*faultSpec)}
 	var tables []*report.Table

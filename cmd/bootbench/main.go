@@ -22,9 +22,12 @@ func main() {
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
+	prof := cli.ProfileFlags()
 	flag.Parse()
 
 	cli.CheckParallel(*workers)
+	prof.Start("bootbench")
+	defer prof.Stop("bootbench")
 	if *runs <= 0 {
 		cli.BadFlag("bootbench: -runs must be positive, got %d", *runs)
 	}

@@ -50,12 +50,19 @@ func main() {
 	gap := flag.Duration("gap", 2*time.Minute, "lifecycle mean pod inter-arrival gap")
 	life := flag.Duration("life", 45*time.Minute, "lifecycle mean pod lifetime (Pareto-tailed)")
 	boot := flag.Duration("boot", 45*time.Second, "lifecycle VM boot delay")
+	reference := flag.Bool("reference", false,
+		"lifecycle: use the linear-scan reference scheduler instead of the capacity index (same placements, O(fleet) per decision — a debugging aid)")
+	fullRepack := flag.Bool("full-repack", false,
+		"lifecycle: pin the Hostlo optimizer to full-fleet passes instead of dirty-set incremental ones")
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
+	prof := cli.ProfileFlags()
 	flag.Parse()
 	cli.CheckParallel(*workers)
 	sched := cli.ParseFaults(*faultSpec)
+	prof.Start("costsim")
+	defer prof.Stop("costsim")
 	// The static placement run is engine-less: the spec is validated for
 	// command-line uniformity, but only -lifecycle has a datapath to
 	// fault.
@@ -87,6 +94,7 @@ func main() {
 		runLifecycle(lifecycleOpts{
 			users: *users, seed: *seed, horizon: *horizon, gap: *gap,
 			life: *life, boot: *boot, workers: *workers, sched: sched,
+			reference: *reference, fullRepack: *fullRepack,
 			rec: tf.Recorder(), emit: emit,
 		})
 		tf.EmitOrDie("costsim")
@@ -139,16 +147,18 @@ func main() {
 
 // lifecycleOpts bundles the -lifecycle run parameters.
 type lifecycleOpts struct {
-	users   int
-	seed    int64
-	horizon time.Duration
-	gap     time.Duration
-	life    time.Duration
-	boot    time.Duration
-	workers int
-	sched   *faults.Schedule
-	rec     *telemetry.Recorder
-	emit    func(*report.Table)
+	users      int
+	seed       int64
+	horizon    time.Duration
+	gap        time.Duration
+	life       time.Duration
+	boot       time.Duration
+	workers    int
+	sched      *faults.Schedule
+	reference  bool
+	fullRepack bool
+	rec        *telemetry.Recorder
+	emit       func(*report.Table)
 }
 
 // runLifecycle simulates the population's cluster lifecycle under both
@@ -162,11 +172,13 @@ func runLifecycle(o lifecycleOpts) {
 	pop := trace.Generate(cfg)
 
 	runs := cluster.SimulatePopulation(pop, cluster.Config{
-		Seed:      o.seed,
-		Horizon:   o.horizon,
-		BootDelay: o.boot,
-		Faults:    o.sched,
-		Rec:       o.rec,
+		Seed:       o.seed,
+		Horizon:    o.horizon,
+		BootDelay:  o.boot,
+		Faults:     o.sched,
+		Reference:  o.reference,
+		FullRepack: o.fullRepack,
+		Rec:        o.rec,
 	}, o.workers)
 
 	var kube, hostlo aggregate
@@ -197,6 +209,8 @@ func runLifecycle(o lifecycleOpts) {
 	t.AddRow("pods displaced / rescheduled", fmt.Sprintf("%d / %d", kube.displaced, kube.reschedules),
 		fmt.Sprintf("%d / %d", hostlo.displaced, hostlo.reschedules))
 	t.AddRow("optimizer runs / moves", "-", fmt.Sprintf("%d / %d", hostlo.optRuns, hostlo.optMoves))
+	t.AddRow("optimizer passes incremental / full", "-",
+		fmt.Sprintf("%d / %d", hostlo.optRuns-hostlo.optFull, hostlo.optFull))
 	if kube.dollars > 0 {
 		t.AddRow("hostlo savings", "-", report.Percent((kube.dollars-hostlo.dollars)/kube.dollars))
 	}
@@ -220,6 +234,7 @@ type aggregate struct {
 	arrived, scheduled, departed, failed, pending    int
 	finalNodes, peakNodes, scaleUps, scaleDowns      int
 	kills, displaced, reschedules, optRuns, optMoves int
+	optFull                                          int
 	dollars, finalRate                               float64
 	ttsSum                                           time.Duration
 }
@@ -238,6 +253,7 @@ func (a *aggregate) add(r cluster.Result) {
 	a.displaced += r.Displaced
 	a.reschedules += r.Reschedules
 	a.optRuns += r.OptimizerRuns
+	a.optFull += r.OptimizerFull
 	a.optMoves += r.OptimizerMoves
 	a.dollars += r.CostDollars
 	a.finalRate += r.FinalCostPerH

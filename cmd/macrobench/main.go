@@ -31,9 +31,12 @@ func main() {
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
+	prof := cli.ProfileFlags()
 	flag.Parse()
 
 	cli.CheckParallel(*workers)
+	prof.Start("macrobench")
+	defer prof.Stop("macrobench")
 	opts := figures.Opts{Seed: *seed, Quick: *quick, Rec: tf.Recorder(), Workers: *workers,
 		Faults: cli.ParseFaults(*faultSpec)}
 	var t *report.Table

@@ -35,9 +35,12 @@ func main() {
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
+	prof := cli.ProfileFlags()
 	flag.Parse()
 	cli.CheckParallel(*workers)
 	schedule := cli.ParseFaults(*faultSpec)
+	prof.Start("nestctl")
+	defer prof.Stop("nestctl")
 
 	switch scenario.Mode(*mode) {
 	case scenario.ModeNAT, scenario.ModeBrFusion, scenario.ModeNoCont:

@@ -1,13 +1,16 @@
 // Package cli holds the shared plumbing of the cmd/ tools: unified
 // bad-flag handling (message + usage to stderr, exit 2, matching what
 // the flag package does for unknown flags), the -trace/-metrics
-// telemetry flags and the -faults injection flag every tool offers.
+// telemetry flags, the -faults injection flag and the
+// -cpuprofile/-memprofile pprof flags every tool offers.
 package cli
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nestless/internal/faults"
@@ -63,6 +66,71 @@ func ParseFaults(spec string) *faults.Schedule {
 		BadFlag("-faults: %v", err)
 	}
 	return s
+}
+
+// Profile carries the -cpuprofile/-memprofile flag values of one tool.
+type Profile struct {
+	CPUPath string
+	MemPath string
+	cpuFile *os.File
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the default
+// flag set; call it before flag.Parse. The profiles are the raw
+// material behind the indexed-scheduler optimisation work: run any
+// tool with -cpuprofile and feed the output to `go tool pprof`.
+func ProfileFlags() *Profile {
+	p := &Profile{}
+	flag.StringVar(&p.CPUPath, "cpuprofile", "",
+		"write a pprof CPU profile of the run here (inspect with `go tool pprof`)")
+	flag.StringVar(&p.MemPath, "memprofile", "",
+		"write a pprof heap profile at exit here (inspect with `go tool pprof`)")
+	return p
+}
+
+// Start begins CPU profiling if requested. Call it right after
+// flag.Parse; pair with a deferred Stop.
+func (p *Profile) Start(tool string) {
+	if p.CPUPath == "" {
+		return
+	}
+	f, err := os.Create(p.CPUPath)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		Fatal(tool, err)
+	}
+	p.cpuFile = f
+}
+
+// Stop ends CPU profiling and, if requested, writes the heap profile.
+// Errors are reported but do not change the exit status: the simulation
+// results already printed are valid whether or not the profile landed.
+func (p *Profile) Stop(tool string) {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", tool, err)
+		}
+		p.cpuFile = nil
+	}
+	if p.MemPath != "" {
+		f, err := os.Create(p.MemPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", tool, err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live data
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", tool, werr)
+		}
+	}
 }
 
 // Telemetry carries the -trace/-metrics flag values of one tool.

@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"nestless/internal/trace"
@@ -19,6 +20,12 @@ type vm struct {
 	usedCPU float64
 	usedMem float64
 	items   []item
+	// splitPass memo: when splitClean, a trial re-pack of exactly these
+	// items found nothing cheaper than catalog type splitCleanTyp.
+	// packContainersFFD is deterministic in the items, so the verdict
+	// stays valid until the contents change (place/remove clear it).
+	splitClean    bool
+	splitCleanTyp int
 }
 
 func (v *vm) freeCPU(c []VMType) float64 { return c[v.typ].RelCPU - v.usedCPU }
@@ -40,6 +47,7 @@ func (v *vm) place(it item) {
 	v.items = append(v.items, it)
 	v.usedCPU += it.cpu
 	v.usedMem += it.mem
+	v.splitClean = false
 }
 
 func (v *vm) remove(i int) item {
@@ -47,6 +55,7 @@ func (v *vm) remove(i int) item {
 	v.items = append(v.items[:i], v.items[i+1:]...)
 	v.usedCPU -= it.cpu
 	v.usedMem -= it.mem
+	v.splitClean = false
 	return it
 }
 
@@ -189,15 +198,37 @@ func improveHostlo(base *fleet) *fleet {
 // combination of (typically smaller) models — the "shrinking the sizes
 // of VMs" half of the paper's step 4, which only container-level
 // placement makes possible. Reports whether any VM was replaced.
+//
+// Two prunes keep the trials affordable on big fleets without changing
+// a single verdict:
+//
+//   - A cost lower bound. Any fleet hosting (usedCPU, usedMem) buys at
+//     least that much relative capacity, in quanta of the smallest
+//     catalog size (when every size is a multiple of it), at no less
+//     than the catalog's cheapest $/capacity rate. A VM at or under the
+//     bound cannot re-pack strictly cheaper, so the trial is skipped.
+//   - A memo. packContainersFFD is deterministic in the item multiset,
+//     so a VM whose trial found no improvement stays clean — and is
+//     skipped — until its contents change.
 func (f *fleet) splitPass() bool {
+	rates := floorRates(f.catalog)
 	changed := false
 	for i := 0; i < len(f.vms); i++ {
 		v := f.vms[i]
 		if len(v.items) < 2 {
 			continue
 		}
+		if v.splitClean && v.splitCleanTyp == v.typ {
+			continue
+		}
+		// The slack factor absorbs the few ulps by which the float bound
+		// could exceed the true infimum; pruning must never be optimistic.
+		if rates.repackBound(v.usedCPU, v.usedMem)*(1-1e-9) >= f.catalog[v.typ].PricePerH {
+			continue
+		}
 		sub := packContainersFFD(v.items, f.catalog)
 		if sub == nil || sub.cost() >= f.catalog[v.typ].PricePerH {
+			v.splitClean, v.splitCleanTyp = true, v.typ
 			continue
 		}
 		// Replace v by the sub-fleet.
@@ -209,14 +240,101 @@ func (f *fleet) splitPass() bool {
 	return changed
 }
 
+// sortItemsBySize stably sorts items by cpu+mem, ascending or
+// descending. Binary insertion sort — stable, allocation-free, and an
+// order of magnitude cheaper than sort.SliceStable's reflection-based
+// swapper on the short per-VM slices the optimizer sorts millions of
+// times. Insertion order equals stable-sort order, so the switch is
+// invisible to placement results.
+func sortItemsBySize(items []item, desc bool) {
+	if desc {
+		for i := 1; i < len(items); i++ {
+			it := items[i]
+			k := it.cpu + it.mem
+			j := i
+			for j > 0 && items[j-1].cpu+items[j-1].mem < k {
+				items[j] = items[j-1]
+				j--
+			}
+			items[j] = it
+		}
+		return
+	}
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		k := it.cpu + it.mem
+		j := i
+		for j > 0 && items[j-1].cpu+items[j-1].mem > k {
+			items[j] = items[j-1]
+			j--
+		}
+		items[j] = it
+	}
+}
+
+// catalogRates carries splitPass's lower-bound ingredients: the
+// catalog's cheapest price per unit of relative CPU / memory, and the
+// capacity quantum per dimension — the smallest relative size, when
+// every size is an integer multiple of it (0 otherwise, disabling the
+// quantization and leaving the plain continuous bound).
+type catalogRates struct {
+	perCPU, perMem float64
+	qCPU, qMem     float64
+}
+
+func floorRates(catalog []VMType) catalogRates {
+	var r catalogRates
+	r.qCPU, r.qMem = catalog[0].RelCPU, catalog[0].RelMem
+	for i, t := range catalog {
+		c, m := t.PricePerH/t.RelCPU, t.PricePerH/t.RelMem
+		if i == 0 || c < r.perCPU {
+			r.perCPU = c
+		}
+		if i == 0 || m < r.perMem {
+			r.perMem = m
+		}
+		if t.RelCPU < r.qCPU {
+			r.qCPU = t.RelCPU
+		}
+		if t.RelMem < r.qMem {
+			r.qMem = t.RelMem
+		}
+	}
+	for _, t := range catalog {
+		if k := t.RelCPU / r.qCPU; math.Abs(k-math.Round(k)) > 1e-9 {
+			r.qCPU = 0
+		}
+		if k := t.RelMem / r.qMem; math.Abs(k-math.Round(k)) > 1e-9 {
+			r.qMem = 0
+		}
+	}
+	return r
+}
+
+// repackBound is a sound lower bound on the hourly cost of any catalog
+// fleet hosting (usedCPU, usedMem): bought capacity covers the demand,
+// comes in whole-size quanta, and costs at least the floor rate.
+func (r catalogRates) repackBound(usedCPU, usedMem float64) float64 {
+	cpu, mem := usedCPU, usedMem
+	if r.qCPU > 0 {
+		cpu = math.Ceil(cpu/r.qCPU*(1-1e-12)) * r.qCPU
+	}
+	if r.qMem > 0 {
+		mem = math.Ceil(mem/r.qMem*(1-1e-12)) * r.qMem
+	}
+	b := cpu * r.perCPU
+	if m := mem * r.perMem; m > b {
+		b = m
+	}
+	return b
+}
+
 // packContainersFFD packs items container-by-container: biggest first,
 // most-requested existing VM that fits, else buy the cheapest fitting
 // type. Returns nil if some item fits no machine.
 func packContainersFFD(items []item, catalog []VMType) *fleet {
 	sorted := append([]item(nil), items...)
-	sort.SliceStable(sorted, func(a, b int) bool {
-		return sorted[a].cpu+sorted[a].mem > sorted[b].cpu+sorted[b].mem
-	})
+	sortItemsBySize(sorted, true)
 	f := &fleet{catalog: catalog}
 	for _, it := range sorted {
 		var best *vm
@@ -243,6 +361,13 @@ func packContainersFFD(items []item, catalog []VMType) *fleet {
 	return f
 }
 
+// consolidateIndexThreshold is the fleet size above which consolidate
+// switches from the linear target scan to the vmIndex treap. Below it
+// the scan's cache behavior wins; above it the O(log n) query does. The
+// two paths pick byte-identical targets (TestConsolidatePathsAgree
+// forces each in turn). A var only so that test can pin it.
+var consolidateIndexThreshold = 24
+
 // consolidate tries to eliminate or lighten VMs: candidates are visited
 // most-wasted first, and each of their containers — smallest first — is
 // relocated into the most-wasted *other* VM that fits (the paper's
@@ -258,32 +383,83 @@ func (f *fleet) consolidate() bool {
 		return f.vms[order[a]].waste(f.catalog) > f.vms[order[b]].waste(f.catalog)
 	})
 
+	// Above the threshold, index every VM by (waste desc, position asc)
+	// so each target query is a pruned tree descent instead of a fleet
+	// scan. The index is refreshed on every mutation, so its frozen free
+	// capacities always equal the scan's live ones.
+	var ix *vmIndex
+	if len(f.vms) >= consolidateIndexThreshold {
+		ix = newVMIndex(f.catalog)
+		for i, v := range f.vms {
+			ix.add(v, i, v.waste(f.catalog))
+		}
+	}
+
 	moved := false
 	for _, vi := range order {
 		src := f.vms[vi]
 		if len(src.items) == 0 {
 			continue
 		}
+		if ix != nil {
+			// Exclude src as a target for its own containers.
+			ix.remove(vi)
+		}
+		// Fail fast: if the largest container fits no target before any
+		// tentative move, the attempt cannot succeed — target capacity
+		// only shrinks as the smaller containers are placed — so the
+		// place-then-revert dance would end exactly here anyway. The
+		// largest-by-size item is found by scan so the copy + sort below
+		// is only paid for attempts that can get past this check.
+		largest := src.items[0]
+		for _, it := range src.items[1:] {
+			if it.cpu+it.mem > largest.cpu+largest.mem {
+				largest = it
+			}
+		}
+		fits := false
+		if ix != nil {
+			fits = ix.root.firstFit(largest.cpu, largest.mem) != nil
+		} else {
+			for _, t := range f.vms {
+				if t != src && t.freeCPU(f.catalog) >= largest.cpu && t.freeMem(f.catalog) >= largest.mem {
+					fits = true
+					break
+				}
+			}
+		}
+		if !fits {
+			if ix != nil {
+				ix.add(src, vi, src.waste(f.catalog))
+			}
+			continue
+		}
 		// Tentatively rehome every container, smallest first.
 		items := append([]item(nil), src.items...)
-		sort.SliceStable(items, func(a, b int) bool {
-			return items[a].cpu+items[a].mem < items[b].cpu+items[b].mem
-		})
+		sortItemsBySize(items, false)
 		type placement struct {
 			target *vm
+			ord    int
 			it     item
 		}
 		var plan []placement
 		ok := true
 		for _, it := range items {
 			var best *vm
-			for _, t := range f.vms {
-				if t == src {
-					continue
+			ord := -1
+			if ix != nil {
+				if n := ix.root.firstFit(it.cpu, it.mem); n != nil {
+					best, ord = n.v, n.ord
 				}
-				if t.freeCPU(f.catalog) >= it.cpu && t.freeMem(f.catalog) >= it.mem {
-					if best == nil || t.waste(f.catalog) > best.waste(f.catalog) {
-						best = t
+			} else {
+				for ti, t := range f.vms {
+					if t == src {
+						continue
+					}
+					if t.freeCPU(f.catalog) >= it.cpu && t.freeMem(f.catalog) >= it.mem {
+						if best == nil || t.waste(f.catalog) > best.waste(f.catalog) {
+							best, ord = t, ti
+						}
 					}
 				}
 			}
@@ -292,7 +468,10 @@ func (f *fleet) consolidate() bool {
 				break
 			}
 			best.place(it)
-			plan = append(plan, placement{target: best, it: it})
+			if ix != nil {
+				ix.refresh(best, ord, best.waste(f.catalog))
+			}
+			plan = append(plan, placement{target: best, ord: ord, it: it})
 		}
 		if !ok {
 			// Revert tentative placements.
@@ -303,11 +482,23 @@ func (f *fleet) consolidate() bool {
 						break
 					}
 				}
+				if ix != nil {
+					ix.refresh(p.target, p.ord, p.target.waste(f.catalog))
+				}
+			}
+			if ix != nil {
+				// src is unchanged; restore it as a target.
+				ix.add(src, vi, src.waste(f.catalog))
 			}
 			continue
 		}
 		src.items = nil
 		src.usedCPU, src.usedMem = 0, 0
+		if ix != nil {
+			// Emptied: back in the index at full waste — later candidates
+			// may consolidate into it, exactly as the scan would.
+			ix.add(src, vi, src.waste(f.catalog))
+		}
 		moved = true
 	}
 	return moved

@@ -1,5 +1,10 @@
 package cloudsim
 
+import (
+	"math"
+	"strconv"
+)
+
 // This file is the exported face of the packing machinery, consumed by
 // internal/cluster: the lifecycle simulator keeps live per-node state,
 // but its placement decisions must be *the same code* as the static
@@ -69,6 +74,52 @@ func OptimizeHostlo(vms []PlacedVM, catalog []VMType) []PlacedVM {
 		return nil
 	}
 	return fromFleet(improveHostlo(toFleet(vms, catalog)))
+}
+
+// VMSignature is a canonical content digest of one placed VM: its type,
+// item count and an order-independent 128-bit hash of the item multiset
+// (two independent accumulators over per-item FNV-1a hashes; summing
+// makes the digest invariant under item order, which is what "same
+// machine" means). The cluster simulator's incremental reconciliation
+// uses it to match optimizer output back onto existing nodes: a VM
+// whose signature survives a pass is the same machine, so its cost
+// clock keeps running. This is the reconciliation hot path — hashing
+// raw float bits beats formatting decimals by an order of magnitude.
+func VMSignature(typ int, items []PlacedItem) string {
+	var a, b uint64
+	for _, it := range items {
+		h := itemHash(it)
+		a += h
+		b += mix64(h)
+	}
+	buf := make([]byte, 0, 48)
+	buf = strconv.AppendInt(buf, int64(typ), 10)
+	buf = append(buf, ';')
+	buf = strconv.AppendInt(buf, int64(len(items)), 10)
+	buf = append(buf, ';')
+	buf = strconv.AppendUint(buf, a, 16)
+	buf = append(buf, ';')
+	buf = strconv.AppendUint(buf, b, 16)
+	return string(buf)
+}
+
+// itemHash is FNV-1a over the item's pod name and the raw bits of its
+// requests — exact float identity, no decimal rounding.
+func itemHash(it PlacedItem) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(it.Pod); i++ {
+		h = (h ^ uint64(it.Pod[i])) * prime64
+	}
+	for _, bits := range [2]uint64{math.Float64bits(it.CPU), math.Float64bits(it.Mem)} {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (bits >> s & 0xff)) * prime64
+		}
+	}
+	return h
 }
 
 // PlacementCostPerH prices a placement per hour (sequential sum in VM

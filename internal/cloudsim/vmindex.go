@@ -1,0 +1,193 @@
+package cloudsim
+
+// vmIndex: the packing-side analog of the cluster's capacity index
+// (internal/cluster/capindex.go). Both optimizer hot loops —
+// consolidate's "most-wasted other VM that fits" and FFD's
+// "most-requested VM that fits" — are the same query: the best-scoring
+// VM with freeCPU >= cpu and freeMem >= mem, ties broken by earliest
+// position in the fleet slice. A treap ordered by (score desc, ordinal
+// asc) and augmented with subtree maxima of the free capacities answers
+// it in O(log n): a subtree whose max free CPU or memory is below the
+// request cannot contain a fit and is pruned whole, and the first fit
+// found in tree order IS the scan's answer, because tree order equals
+// the scan's preference order.
+//
+// Determinism: priorities are a hash of the ordinal, so tree shape is a
+// pure function of the inserted set — no RNG, byte-identical replays.
+
+// mix64 is splitmix64, the same bit mixer capindex.go uses.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// vmNode is one treap entry: a VM with its selection score and free
+// capacities frozen at insert time (update = remove + re-insert).
+type vmNode struct {
+	v                *vm
+	score            float64 // waste or requestedFraction, per index
+	ord              int     // position in the fleet slice (tie-break)
+	prio             uint64
+	freeCPU, freeMem float64
+	maxCPU, maxMem   float64 // subtree maxima of the free capacities
+	l, r             *vmNode
+}
+
+// before is the tree order: score desc, ordinal asc — exactly the
+// preference order of the linear scans (strict > on score keeps the
+// earliest VM among ties).
+func (t *vmNode) before(score float64, ord int) bool {
+	return t.score > score || (t.score == score && t.ord < ord)
+}
+
+func (t *vmNode) update() {
+	t.maxCPU, t.maxMem = t.freeCPU, t.freeMem
+	if t.l != nil {
+		if t.l.maxCPU > t.maxCPU {
+			t.maxCPU = t.l.maxCPU
+		}
+		if t.l.maxMem > t.maxMem {
+			t.maxMem = t.l.maxMem
+		}
+	}
+	if t.r != nil {
+		if t.r.maxCPU > t.maxCPU {
+			t.maxCPU = t.r.maxCPU
+		}
+		if t.r.maxMem > t.maxMem {
+			t.maxMem = t.r.maxMem
+		}
+	}
+}
+
+func vmRotRight(t *vmNode) *vmNode {
+	l := t.l
+	t.l = l.r
+	l.r = t
+	t.update()
+	l.update()
+	return l
+}
+
+func vmRotLeft(t *vmNode) *vmNode {
+	r := t.r
+	t.r = r.l
+	r.l = t
+	t.update()
+	r.update()
+	return r
+}
+
+func vmInsert(t, n *vmNode) *vmNode {
+	if t == nil {
+		n.update()
+		return n
+	}
+	if n.before(t.score, t.ord) {
+		t.l = vmInsert(t.l, n)
+		if t.l.prio < t.prio {
+			return vmRotRight(t)
+		}
+	} else {
+		t.r = vmInsert(t.r, n)
+		if t.r.prio < t.prio {
+			return vmRotLeft(t)
+		}
+	}
+	t.update()
+	return t
+}
+
+func vmDelete(t *vmNode, score float64, ord int) *vmNode {
+	if t == nil {
+		return nil
+	}
+	if t.score == score && t.ord == ord {
+		switch {
+		case t.l == nil:
+			return t.r
+		case t.r == nil:
+			return t.l
+		case t.l.prio < t.r.prio:
+			t = vmRotRight(t)
+			t.r = vmDelete(t.r, score, ord)
+		default:
+			t = vmRotLeft(t)
+			t.l = vmDelete(t.l, score, ord)
+		}
+	} else if t.before(score, ord) {
+		t.r = vmDelete(t.r, score, ord)
+	} else {
+		t.l = vmDelete(t.l, score, ord)
+	}
+	t.update()
+	return t
+}
+
+// firstFit returns the first VM in tree order (score desc, ordinal asc)
+// whose frozen free capacities cover (cpu, mem) — the linear scan's
+// pick — or nil. Subtrees whose capacity maxima fall short are pruned.
+func (t *vmNode) firstFit(cpu, mem float64) *vmNode {
+	if t == nil || t.maxCPU < cpu || t.maxMem < mem {
+		return nil
+	}
+	if n := t.l.firstFit(cpu, mem); n != nil {
+		return n
+	}
+	if t.freeCPU >= cpu && t.freeMem >= mem {
+		return t
+	}
+	return t.r.firstFit(cpu, mem)
+}
+
+// vmIndex wraps the treap with the by-ordinal handle map the mutation
+// paths need (a VM's node must be findable to remove + re-insert it).
+type vmIndex struct {
+	root  *vmNode
+	nodes map[int]*vmNode
+	cat   []VMType
+}
+
+func newVMIndex(cat []VMType) *vmIndex {
+	return &vmIndex{nodes: map[int]*vmNode{}, cat: cat}
+}
+
+// add indexes v under the given score, freezing its current free
+// capacities.
+func (ix *vmIndex) add(v *vm, ord int, score float64) {
+	n := &vmNode{
+		v: v, score: score, ord: ord, prio: mix64(uint64(ord) + 1),
+		freeCPU: v.freeCPU(ix.cat), freeMem: v.freeMem(ix.cat),
+	}
+	ix.nodes[ord] = n
+	ix.root = vmInsert(ix.root, n)
+}
+
+// remove drops the VM with this ordinal, if indexed.
+func (ix *vmIndex) remove(ord int) {
+	n, ok := ix.nodes[ord]
+	if !ok {
+		return
+	}
+	delete(ix.nodes, ord)
+	ix.root = vmDelete(ix.root, n.score, n.ord)
+	n.l, n.r = nil, nil
+}
+
+// refresh re-indexes the VM with this ordinal under a new score after
+// its contents changed, reusing its treap node (no allocation — this
+// runs once per tentative container move in consolidate).
+func (ix *vmIndex) refresh(v *vm, ord int, score float64) {
+	n, ok := ix.nodes[ord]
+	if !ok {
+		ix.add(v, ord, score)
+		return
+	}
+	ix.root = vmDelete(ix.root, n.score, n.ord)
+	n.l, n.r = nil, nil
+	n.score = score
+	n.freeCPU, n.freeMem = v.freeCPU(ix.cat), v.freeMem(ix.cat)
+	ix.root = vmInsert(ix.root, n)
+}

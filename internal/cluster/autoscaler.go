@@ -53,14 +53,15 @@ func (c *Cluster) nodeReady(typ int) {
 		c.rec.Instant("cluster/autoscaler", "node-ready", "type", float64(typ))
 	}
 	n.idleSince = c.eng.Now()
-	if len(c.queue) > 0 {
+	if c.queueLen() > 0 {
 		c.kickSchedule()
 	}
 }
 
-// createNode allocates a live node of type typ born at now and tracks
-// the fleet peak. The cost clock starts here; accrue settles it at
-// termination or the horizon.
+// createNode allocates a live node of type typ born at now, tracks the
+// fleet peak, and enters the node into the live list and the capacity
+// index. The cost clock starts here; accrue settles it at termination
+// or the horizon.
 func (c *Cluster) createNode(typ int, now sim.Time) *node {
 	n := &node{
 		id:        len(c.nodes),
@@ -70,42 +71,67 @@ func (c *Cluster) createNode(typ int, now sim.Time) *node {
 		live:      true,
 	}
 	n.name = fmt.Sprintf("n%d", n.id)
+	n.faultPoint = "node/" + n.name
 	c.nodes = append(c.nodes, n)
+	c.liveList = append(c.liveList, n)
 	c.liveCount++
+	c.touchNode(n)
 	if c.liveCount > c.res.PeakNodes {
 		c.res.PeakNodes = c.liveCount
 	}
 	return n
 }
 
-// terminate settles a node's bill and removes it from the live fleet.
-// The caller must have stripped its items first.
+// terminate settles a node's bill and removes it from the live fleet
+// and the capacity index. The caller must have stripped its items
+// first. The liveList entry is compacted lazily.
 func (c *Cluster) terminate(n *node, now sim.Time) {
 	c.accrue(n, now)
 	n.live = false
 	c.liveCount--
+	c.deadLive++
+	c.touchNode(n)
+}
+
+// compactLive drops dead entries from the live list (creation order is
+// preserved). Called only outside liveList iterations.
+func (c *Cluster) compactLive() {
+	if c.deadLive == 0 {
+		return
+	}
+	kept := c.liveList[:0]
+	for _, n := range c.liveList {
+		if n.live {
+			kept = append(kept, n)
+		}
+	}
+	c.liveList = kept
+	c.deadLive = 0
 }
 
 // tick is the periodic control loop: node kills, displaced-pod
 // rescheduling, idle reclaim, Hostlo re-optimisation, re-arm.
 func (c *Cluster) tick() {
 	now := c.eng.Now()
+	if c.deadLive > len(c.liveList)/2 {
+		c.compactLive()
+	}
 	// 1. Node kills — consult the injector once per live node, in
 	// creation order, at point "node/<name>".
 	if c.inj != nil {
-		for _, n := range c.nodes {
-			if n.live && c.inj.Crash("node/"+n.name) {
+		for _, n := range c.liveList {
+			if n.live && c.inj.Crash(n.faultPoint) {
 				c.killNode(n, now)
 			}
 		}
 	}
 	// 2. Displaced pods (and any queue backlog) go back through the
 	// scheduler.
-	if len(c.queue) > 0 {
+	if c.queueLen() > 0 {
 		c.kickSchedule()
 	}
 	// 3. Idle reclaim with hysteresis.
-	for _, n := range c.nodes {
+	for _, n := range c.liveList {
 		if n.live && len(n.items) == 0 && now-n.idleSince >= sim.Time(c.cfg.IdleGrace) {
 			c.terminate(n, now)
 			c.res.ScaleDowns++
@@ -117,7 +143,7 @@ func (c *Cluster) tick() {
 	}
 	// 4. Hostlo: re-pack what churn fragmented, but never under a
 	// backlog — the pending queue would immediately re-dirty the fleet.
-	if c.cfg.Policy == Hostlo && c.dirty && len(c.queue) == 0 {
+	if c.cfg.Policy == Hostlo && c.dirty && c.queueLen() == 0 {
 		c.optimize()
 	}
 	next := now + sim.Time(c.cfg.ScaleEvery)
@@ -144,11 +170,15 @@ func (c *Cluster) killNode(n *node, now sim.Time) {
 			continue
 		}
 		seen[it.Pod] = true
-		for i := range c.pods {
-			if c.pods[i].pod.ID == it.Pod {
-				victims = append(victims, i)
-				break
+		if c.cfg.Reference {
+			for i := range c.pods {
+				if c.pods[i].pod.ID == it.Pod {
+					victims = append(victims, i)
+					break
+				}
 			}
+		} else if i, ok := c.podIndex[it.Pod]; ok {
+			victims = append(victims, i)
 		}
 	}
 	n.items = n.items[:0]

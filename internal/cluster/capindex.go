@@ -1,0 +1,263 @@
+package cluster
+
+// The indexed scheduling core: incremental data structures that replace
+// the scheduler's per-decision fleet scans without changing a single
+// placement decision. Two structures live here:
+//
+//   - capIndex: per-catalog-type treaps of live nodes ordered by
+//     (most-requested score desc, creation order asc), with subtree
+//     minima of the used sums so a "most-requested node that fits" query
+//     descends the tree instead of scanning the fleet. The comparator is
+//     bit-for-bit the linear scan's: the stored score is computed by the
+//     same cloudsim.MostRequestedFraction call from the same used sums,
+//     and the fit test uses the same `Rel - used >= req` float expression
+//     at both the pruning and acceptance levels, so the first in-order
+//     fitting node IS the node the scan would have returned.
+//
+//   - podQueue: a binary max-heap of pending pods keyed by
+//     (cpu+mem desc, enqueue sequence asc). sort.SliceStable on the old
+//     slice queue compared only cpu+mem and preserved enqueue order among
+//     equals; the explicit sequence number reproduces that stability, so
+//     the heap pops pods in exactly the order the sorted slice yielded
+//     them.
+//
+// Both structures are deterministic: treap priorities are a splitmix64
+// hash of the node id (no RNG), and ties never consult anything but the
+// creation/enqueue order. The linear-scan originals survive behind
+// Config.Reference; the equivalence suite diffs the two modes byte for
+// byte.
+
+// splitmix64 is the deterministic treap priority hash (node id → prio).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// capNode is one treap entry. It snapshots the node's used sums at
+// insert time; the cluster removes and re-inserts a node around every
+// mutation, so the snapshot always equals the live value (Leaks audits
+// this).
+type capNode struct {
+	n     *node
+	score float64 // MostRequestedFraction at insert time (the sort key)
+	ucpu  float64 // usedCPU snapshot
+	umem  float64 // usedMem snapshot
+	prio  uint64
+	l, r  *capNode
+	// Subtree minima of the used snapshots: a subtree whose least-loaded
+	// corner cannot fit the request holds no fitting node at all.
+	minCPU, minMem float64
+}
+
+// before is the in-order comparator: higher score first, then earlier
+// creation (smaller id) — the exact preference order of the linear scan.
+func (a *capNode) before(score float64, id int) bool {
+	return a.score > score || (a.score == score && a.n.id < id)
+}
+
+// update recomputes the subtree aggregates from the children.
+func (t *capNode) update() {
+	t.minCPU, t.minMem = t.ucpu, t.umem
+	if t.l != nil {
+		if t.l.minCPU < t.minCPU {
+			t.minCPU = t.l.minCPU
+		}
+		if t.l.minMem < t.minMem {
+			t.minMem = t.l.minMem
+		}
+	}
+	if t.r != nil {
+		if t.r.minCPU < t.minCPU {
+			t.minCPU = t.r.minCPU
+		}
+		if t.r.minMem < t.minMem {
+			t.minMem = t.r.minMem
+		}
+	}
+}
+
+func rotRight(t *capNode) *capNode {
+	l := t.l
+	t.l = l.r
+	l.r = t
+	t.update()
+	l.update()
+	return l
+}
+
+func rotLeft(t *capNode) *capNode {
+	r := t.r
+	t.r = r.l
+	r.l = t
+	t.update()
+	r.update()
+	return r
+}
+
+func capInsert(t, cn *capNode) *capNode {
+	if t == nil {
+		cn.l, cn.r = nil, nil
+		cn.update()
+		return cn
+	}
+	if cn.before(t.score, t.n.id) {
+		t.l = capInsert(t.l, cn)
+		if t.l.prio > t.prio {
+			return rotRight(t)
+		}
+	} else {
+		t.r = capInsert(t.r, cn)
+		if t.r.prio > t.prio {
+			return rotLeft(t)
+		}
+	}
+	t.update()
+	return t
+}
+
+// capDelete removes the entry with the exact (score, id) key. The score
+// must be the stored key (the node carries it in node.idxScore).
+func capDelete(t *capNode, score float64, id int) *capNode {
+	if t == nil {
+		return nil
+	}
+	if t.n.id == id && t.score == score {
+		// Merge children by priority.
+		switch {
+		case t.l == nil:
+			return t.r
+		case t.r == nil:
+			return t.l
+		case t.l.prio > t.r.prio:
+			t = rotRight(t)
+			t.r = capDelete(t.r, score, id)
+		default:
+			t = rotLeft(t)
+			t.l = capDelete(t.l, score, id)
+		}
+	} else if score > t.score || (score == t.score && id < t.n.id) {
+		t.l = capDelete(t.l, score, id)
+	} else {
+		t.r = capDelete(t.r, score, id)
+	}
+	t.update()
+	return t
+}
+
+// firstFit returns the first node in (score desc, id asc) order whose
+// free capacity covers (cpu, mem) on a machine with (relCPU, relMem)
+// total — i.e. the most-requested fitting node, earliest-created among
+// score ties. Subtrees are pruned through the aggregates with the same
+// arithmetic as the acceptance test, so pruning can never skip a node
+// the scan would have accepted.
+func (t *capNode) firstFit(relCPU, relMem, cpu, mem float64) *node {
+	if t == nil || relCPU-t.minCPU < cpu || relMem-t.minMem < mem {
+		return nil
+	}
+	if n := t.l.firstFit(relCPU, relMem, cpu, mem); n != nil {
+		return n
+	}
+	if relCPU-t.ucpu >= cpu && relMem-t.umem >= mem {
+		return t.n
+	}
+	return t.r.firstFit(relCPU, relMem, cpu, mem)
+}
+
+// revEach walks the subtree in reverse order (score asc, id desc among
+// equal scores reversed) calling visit until it returns false.
+func (t *capNode) revEach(visit func(*node) bool) bool {
+	if t == nil {
+		return true
+	}
+	if !t.r.revEach(visit) {
+		return false
+	}
+	if !visit(t.n) {
+		return false
+	}
+	return t.l.revEach(visit)
+}
+
+// capIndex is the per-type forest plus bookkeeping.
+type capIndex struct {
+	trees []*capNode // one root per catalog type index
+	size  int
+}
+
+func newCapIndex(types int) *capIndex {
+	return &capIndex{trees: make([]*capNode, types)}
+}
+
+// add indexes a live node under its current used sums and score.
+func (ci *capIndex) add(n *node, score float64) {
+	cn := &capNode{
+		n: n, score: score, ucpu: n.usedCPU, umem: n.usedMem,
+		prio: splitmix64(uint64(n.id)),
+	}
+	ci.trees[n.typ] = capInsert(ci.trees[n.typ], cn)
+	ci.size++
+}
+
+// remove unindexes a node via its stored key.
+func (ci *capIndex) remove(n *node, score float64) {
+	ci.trees[n.typ] = capDelete(ci.trees[n.typ], score, n.id)
+	ci.size--
+}
+
+// podEntry is one pending-queue entry.
+type podEntry struct {
+	key float64 // cpu+mem, fixed at enqueue (pod sizes never change)
+	seq uint64  // global enqueue sequence: the stability tie-break
+	idx int     // pod index
+}
+
+// podQueue is a binary max-heap by (key desc, seq asc).
+type podQueue []podEntry
+
+func (q podQueue) entryBefore(a, b podEntry) bool {
+	return a.key > b.key || (a.key == b.key && a.seq < b.seq)
+}
+
+func (q *podQueue) push(e podEntry) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.entryBefore(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (q podQueue) peek() podEntry { return q[0] }
+
+func (q *podQueue) pop() podEntry {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && h.entryBefore(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && h.entryBefore(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}

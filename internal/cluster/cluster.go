@@ -22,6 +22,12 @@
 //   - an accountant integrates VM-hours × catalog price into a
 //     cost-over-time trajectory and records time-to-schedule stats.
 //
+// Placement decisions are made through the indexed scheduling core
+// (capindex.go): per-type capacity treaps and a priority-heap pending
+// queue give O(log n) decisions at trace scale, while Config.Reference
+// switches back to the original O(fleet) linear scans — the two modes
+// are byte-identical and the equivalence suite diffs them.
+//
 // Determinism is the same hard requirement as everywhere else in
 // nestless: the same seed, workload, and fault schedule reproduce the
 // identical Result byte for byte, and a population fan-out across
@@ -71,6 +77,7 @@ type Config struct {
 	Seed int64
 	// Pods is the workload: one user's pods with Arrival/Lifetime
 	// stamps from the trace generator (zero stamps = static workload).
+	// Pod IDs must be unique within a workload.
 	Pods []trace.Pod
 	// Catalog is the VM menu (nil = cloudsim.Catalog(), Table 2).
 	Catalog []cloudsim.VMType
@@ -102,6 +109,21 @@ type Config struct {
 	// MaxSteps aborts a runaway event loop (0 = engine default of
 	// unlimited).
 	MaxSteps uint64
+	// Reference switches the scheduler to the original linear-scan
+	// implementation (O(fleet) per decision): the debug reference the
+	// equivalence suite diffs the indexed core against. Placements,
+	// costs and telemetry are byte-identical either way — only the
+	// wall-clock differs.
+	Reference bool
+	// FullRepack forces every Hostlo optimize pass to consider the
+	// whole live fleet, disabling the dirty-set incremental policy —
+	// the equivalence knob for tests that pin full-pass behavior.
+	FullRepack bool
+	// RepackDirtyFrac is the incremental-optimize escape hatch: when
+	// more than this fraction of the live fleet is dirty since the last
+	// pass, the optimizer falls back to a full-fleet pass (default
+	// 0.25). Values >= 1 never fall back.
+	RepackDirtyFrac float64
 }
 
 // withDefaults fills the zero fields.
@@ -123,6 +145,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = c.Horizon / 12
+	}
+	if c.RepackDirtyFrac <= 0 {
+		c.RepackDirtyFrac = 0.25
 	}
 	return c
 }
@@ -170,6 +195,7 @@ type Result struct {
 	ScaleDowns       int // idle nodes reclaimed past the grace period
 	ProvisionRetries int // failed provisioning attempts (faults)
 	OptimizerRuns    int // Hostlo re-pack passes executed
+	OptimizerFull    int // of those, full-fleet passes (the rest were dirty-set incremental)
 	OptimizerMoves   int // nodes retired + created by those passes
 	PeakNodes        int
 	FinalNodes       int
@@ -214,6 +240,11 @@ type podRun struct {
 	departGen     int           // invalidates stale departure events
 	scheduledOnce bool
 	displaced     bool // awaiting re-placement after a node kill
+	// onNodes lists the ids of nodes currently holding this pod's
+	// containers (insertion order, no duplicates) — the placement map
+	// that lets departures strip a pod in O(nodes touched) instead of a
+	// fleet scan. Maintained only in indexed mode.
+	onNodes []int
 }
 
 // node is one live (or dead) VM instance.
@@ -227,6 +258,11 @@ type node struct {
 	bornAt    sim.Time
 	idleSince sim.Time
 	live      bool
+
+	faultPoint string  // "node/<name>", precomputed for the tick loop
+	indexed    bool    // currently present in the capacity index
+	idxScore   float64 // the stored index key (exact delete needs it)
+	dirty      bool    // touched since the last Hostlo optimize pass
 }
 
 // recompute rebuilds the used sums from the item list in order —
@@ -248,12 +284,23 @@ type Cluster struct {
 	rec *telemetry.Recorder
 	cat []cloudsim.VMType
 
-	pods      []podRun
-	queue     []int // pending pod indices, enqueue order
+	pods     []podRun
+	podIndex map[string]int // pod ID → index (first occurrence)
+
+	// Pending queue: the heap in indexed mode, the sorted slice in
+	// reference mode. Exactly one is in use per run.
+	queue  []int // reference mode: pending pod indices, enqueue order
+	pq     podQueue
+	enqSeq uint64
+
 	nodes     []*node
+	liveList  []*node // live nodes in creation order (lazily compacted)
+	deadLive  int     // dead entries still in liveList
+	idx       *capIndex
 	liveCount int
 	inflight  int // provisioning requests not yet live
 	dirty     bool
+	dirtyList []*node // Hostlo: nodes touched since the last optimize
 	schedPend bool
 	tts       sim.Series
 	res       Result
@@ -272,15 +319,20 @@ func New(cfg Config) *Cluster {
 		inj: faults.New(eng, cfg.Faults, cfg.Rec),
 		rec: cfg.Rec,
 		cat: cfg.Catalog,
+		idx: newCapIndex(len(cfg.Catalog)),
 	}
 	c.res.Policy = cfg.Policy
 	c.pods = make([]podRun, len(cfg.Pods))
+	c.podIndex = make(map[string]int, len(cfg.Pods))
 	for i, p := range cfg.Pods {
 		c.pods[i] = podRun{
 			pod:       p,
 			cpu:       p.TotalCPU(),
 			mem:       p.TotalMem(),
 			remaining: p.Lifetime,
+		}
+		if _, dup := c.podIndex[p.ID]; !dup {
+			c.podIndex[p.ID] = i
 		}
 	}
 	return c
@@ -294,6 +346,7 @@ func Simulate(cfg Config) Result {
 // Run executes the lifecycle to the horizon and returns the result.
 func (c *Cluster) Run() Result {
 	// Arrivals.
+	c.eng.Reserve(len(c.pods))
 	for i := range c.pods {
 		at := sim.Time(c.pods[i].pod.Arrival)
 		if at > sim.Time(c.cfg.Horizon) {
@@ -324,7 +377,34 @@ func (c *Cluster) arrive(i int) {
 
 // enqueue appends a pod to the pending queue.
 func (c *Cluster) enqueue(i int) {
-	c.queue = append(c.queue, i)
+	if c.cfg.Reference {
+		c.queue = append(c.queue, i)
+		return
+	}
+	p := &c.pods[i]
+	c.pq.push(podEntry{key: p.cpu + p.mem, seq: c.enqSeq, idx: i})
+	c.enqSeq++
+}
+
+// queueLen is the pending-queue depth (either representation).
+func (c *Cluster) queueLen() int {
+	if c.cfg.Reference {
+		return len(c.queue)
+	}
+	return len(c.pq)
+}
+
+// queuedIndices lists the queued pod indices in unspecified order (the
+// Leaks audit only counts occurrences).
+func (c *Cluster) queuedIndices() []int {
+	if c.cfg.Reference {
+		return c.queue
+	}
+	out := make([]int, len(c.pq))
+	for i, e := range c.pq {
+		out[i] = e.idx
+	}
+	return out
 }
 
 // kickSchedule coalesces schedule requests: at most one pass is queued
@@ -349,44 +429,66 @@ func (c *Cluster) depart(i, gen int) {
 	c.res.Departed++
 	c.count("cluster/departures")
 	c.dirty = true
-	if len(c.queue) > 0 {
+	if c.queueLen() > 0 {
 		c.kickSchedule()
 	}
 }
 
-// removePlacement strips every container of pod i from the fleet,
-// rebuilding used sums canonically; nodes that become empty start their
-// idle clock.
+// stripPod removes pod id's items from node n, rebuilding the used sums
+// canonically and starting the idle clock when the node empties.
+// Reports whether anything was removed.
+func (c *Cluster) stripPod(n *node, id string) bool {
+	kept := n.items[:0]
+	removed := false
+	for _, it := range n.items {
+		if it.Pod == id {
+			removed = true
+			continue
+		}
+		kept = append(kept, it)
+	}
+	if !removed {
+		return false
+	}
+	n.items = kept
+	n.recompute()
+	c.touchNode(n)
+	c.markDirty(n)
+	if len(n.items) == 0 {
+		n.idleSince = c.eng.Now()
+	}
+	return true
+}
+
+// removePlacement strips every container of pod i from the fleet. The
+// indexed path visits only the nodes the placement map names; the
+// reference path scans the fleet like the original implementation.
 func (c *Cluster) removePlacement(i int) {
-	id := c.pods[i].pod.ID
-	for _, n := range c.nodes {
+	p := &c.pods[i]
+	id := p.pod.ID
+	if c.cfg.Reference {
+		for _, n := range c.nodes {
+			if !n.live || len(n.items) == 0 {
+				continue
+			}
+			c.stripPod(n, id)
+		}
+		return
+	}
+	for _, nid := range p.onNodes {
+		n := c.nodes[nid]
 		if !n.live || len(n.items) == 0 {
 			continue
 		}
-		kept := n.items[:0]
-		removed := false
-		for _, it := range n.items {
-			if it.Pod == id {
-				removed = true
-				continue
-			}
-			kept = append(kept, it)
-		}
-		if !removed {
-			continue
-		}
-		n.items = kept
-		n.recompute()
-		if len(n.items) == 0 {
-			n.idleSince = c.eng.Now()
-		}
+		c.stripPod(n, id)
 	}
+	p.onNodes = p.onNodes[:0]
 }
 
 // fleetRates returns the live fleet's cost rate, used CPU and CPU
 // capacity (iterating nodes in creation order).
 func (c *Cluster) fleetRates() (costPerH, usedCPU, capCPU float64) {
-	for _, n := range c.nodes {
+	for _, n := range c.liveList {
 		if !n.live {
 			continue
 		}
@@ -401,7 +503,7 @@ func (c *Cluster) fleetRates() (costPerH, usedCPU, capCPU float64) {
 func (c *Cluster) sample() {
 	cost, used, cap := c.fleetRates()
 	s := Sample{
-		T: c.eng.Now(), CostPerH: cost, Pending: len(c.queue),
+		T: c.eng.Now(), CostPerH: cost, Pending: c.queueLen(),
 		Nodes: c.liveCount, UsedCPU: used, CapCPU: cap,
 	}
 	c.res.Samples = append(c.res.Samples, s)
@@ -423,7 +525,7 @@ func (c *Cluster) finalize() {
 	}
 	c.finalized = true
 	horizon := sim.Time(c.cfg.Horizon)
-	for _, n := range c.nodes {
+	for _, n := range c.liveList {
 		if n.live {
 			c.accrue(n, horizon)
 		}
@@ -431,12 +533,12 @@ func (c *Cluster) finalize() {
 	cost, used, cap := c.fleetRates()
 	c.res.FinalCostPerH = cost
 	c.res.FinalNodes = c.liveCount
-	for _, n := range c.nodes {
+	for _, n := range c.liveList {
 		if n.live {
 			c.res.FleetTypes = append(c.res.FleetTypes, n.typ)
 		}
 	}
-	c.res.StillPending = len(c.queue)
+	c.res.StillPending = c.queueLen()
 	for i := range c.pods {
 		if c.pods[i].state == stateRunning {
 			c.res.Running++
@@ -450,7 +552,7 @@ func (c *Cluster) finalize() {
 	}
 	if len(c.res.Samples) == 0 || c.res.Samples[len(c.res.Samples)-1].T != horizon {
 		c.res.Samples = append(c.res.Samples, Sample{
-			T: horizon, CostPerH: cost, Pending: len(c.queue),
+			T: horizon, CostPerH: cost, Pending: c.queueLen(),
 			Nodes: c.liveCount, UsedCPU: used, CapCPU: cap,
 		})
 	}
@@ -474,10 +576,63 @@ func (c *Cluster) count(name string) {
 	}
 }
 
+// score is the node's current most-requested score — the index sort key,
+// computed by the same cloudsim call the linear scan uses per candidate.
+func (c *Cluster) score(n *node) float64 {
+	return cloudsim.MostRequestedFraction(c.cat[n.typ], n.usedCPU, n.usedMem)
+}
+
+// touchNode re-indexes a node after its used sums changed (and keeps a
+// dead node out of the index). Reference mode maintains no index.
+func (c *Cluster) touchNode(n *node) {
+	if c.cfg.Reference {
+		return
+	}
+	if n.indexed {
+		c.idx.remove(n, n.idxScore)
+		n.indexed = false
+	}
+	if n.live {
+		n.idxScore = c.score(n)
+		c.idx.add(n, n.idxScore)
+		n.indexed = true
+	}
+}
+
+// markDirty notes a node as touched since the last Hostlo optimize pass
+// (the dirty set bounds the incremental re-pack).
+func (c *Cluster) markDirty(n *node) {
+	c.dirty = true
+	if c.cfg.Policy != Hostlo {
+		return
+	}
+	if !n.dirty {
+		n.dirty = true
+		c.dirtyList = append(c.dirtyList, n)
+	}
+}
+
+// podNodeLink records that node nid now holds containers of pod i
+// (indexed mode's placement map; no-op for duplicates).
+func (c *Cluster) podNodeLink(i, nid int) {
+	if c.cfg.Reference {
+		return
+	}
+	p := &c.pods[i]
+	for _, have := range p.onNodes {
+		if have == nid {
+			return
+		}
+	}
+	p.onNodes = append(p.onNodes, nid)
+}
+
 // Leaks audits the post-run state and returns human-readable invariant
 // violations (empty = clean). It is the cluster analog of
 // vmm.Host.Leaks(): chaos runs call it after every schedule to prove
-// that node kills displace pods without losing or duplicating them.
+// that node kills displace pods without losing or duplicating them. In
+// indexed mode it additionally reconciles the capacity index and the
+// pod→node placement map against the authoritative per-node state.
 func (c *Cluster) Leaks() []string {
 	var leaks []string
 	leakf := func(format string, args ...interface{}) {
@@ -490,10 +645,14 @@ func (c *Cluster) Leaks() []string {
 		items    int
 		cpu, mem float64
 	}{}
+	itemNodes := map[string]map[int]bool{} // pod ID → nodes holding its items
 	for _, n := range c.nodes {
 		if !n.live {
 			if len(n.items) != 0 {
 				leakf("dead node %s still holds %d items", n.name, len(n.items))
+			}
+			if n.indexed {
+				leakf("dead node %s still in the capacity index", n.name)
 			}
 			continue
 		}
@@ -513,6 +672,10 @@ func (c *Cluster) Leaks() []string {
 			s.items++
 			s.cpu += it.CPU
 			s.mem += it.Mem
+			if itemNodes[it.Pod] == nil {
+				itemNodes[it.Pod] = map[int]bool{}
+			}
+			itemNodes[it.Pod][n.id] = true
 		}
 		if diff := n.usedCPU - cpu; diff > eps || diff < -eps {
 			leakf("node %s: usedCPU %v != item sum %v", n.name, n.usedCPU, cpu)
@@ -524,13 +687,23 @@ func (c *Cluster) Leaks() []string {
 			leakf("node %s (%s) overcommitted: %v/%v cpu, %v/%v mem",
 				n.name, c.cat[n.typ].Name, n.usedCPU, c.cat[n.typ].RelCPU, n.usedMem, c.cat[n.typ].RelMem)
 		}
+		if !c.cfg.Reference {
+			if !n.indexed {
+				leakf("live node %s missing from the capacity index", n.name)
+			} else if n.idxScore != c.score(n) {
+				leakf("node %s: stale index key %v (current score %v)", n.name, n.idxScore, c.score(n))
+			}
+		}
 	}
 	if live != c.liveCount {
 		leakf("liveCount %d != %d live nodes", c.liveCount, live)
 	}
+	if !c.cfg.Reference && c.idx.size != live {
+		leakf("capacity index holds %d nodes, %d live", c.idx.size, live)
+	}
 	// Per-pod placement reconciliation.
 	inQueue := map[int]int{}
-	for _, i := range c.queue {
+	for _, i := range c.queuedIndices() {
 		inQueue[i]++
 	}
 	for i := range c.pods {
@@ -558,6 +731,25 @@ func (c *Cluster) Leaks() []string {
 			if p.state == statePending && p.arrivedAt >= 0 && c.finalized {
 				if arrived := p.pod.Arrival <= c.cfg.Horizon; arrived && inQueue[i] != 1 {
 					leakf("pending pod %s appears %d times in the queue", p.pod.ID, inQueue[i])
+				}
+			}
+		}
+		// Placement-map reconciliation: nid ∈ onNodes ⟺ node nid holds an
+		// item of the pod (indexed mode only).
+		if !c.cfg.Reference {
+			onMap := map[int]bool{}
+			for _, nid := range p.onNodes {
+				if onMap[nid] {
+					leakf("pod %s placement map lists node %d twice", p.pod.ID, nid)
+				}
+				onMap[nid] = true
+				if !itemNodes[p.pod.ID][nid] {
+					leakf("pod %s placement map lists node %d, which holds none of its items", p.pod.ID, nid)
+				}
+			}
+			for nid := range itemNodes[p.pod.ID] {
+				if !onMap[nid] {
+					leakf("pod %s has items on node %d missing from its placement map", p.pod.ID, nid)
 				}
 			}
 		}

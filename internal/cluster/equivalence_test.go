@@ -1,0 +1,257 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"nestless/internal/cluster"
+	"nestless/internal/faults"
+	"nestless/internal/telemetry"
+	"nestless/internal/trace"
+)
+
+// The indexed-vs-reference equivalence suite: the capacity index, the
+// heap pending queue and the index-backed neighborhood selection must
+// reproduce the linear-scan reference implementation byte for byte —
+// same Result (placements, fleet composition, costs, trajectories),
+// same telemetry trace — under churn, node kills and fault schedules,
+// for every scheduling regime. "Byte-identical placement" is the whole
+// contract of the indexed core; these tests are what pins it.
+
+// policyModes are the three scheduling regimes the suite covers:
+// the Kubernetes baseline, Hostlo with the dirty-set incremental
+// optimizer (the default), and Hostlo pinned to full-fleet passes.
+var policyModes = []struct {
+	name   string
+	adjust func(*cluster.Config)
+}{
+	{"kubernetes", func(c *cluster.Config) { c.Policy = cluster.Kubernetes }},
+	{"hostlo", func(c *cluster.Config) { c.Policy = cluster.Hostlo }},
+	{"hostlo-full", func(c *cluster.Config) { c.Policy = cluster.Hostlo; c.FullRepack = true }},
+}
+
+// runMode executes one lifecycle run and returns its result plus the
+// textual telemetry trace.
+func runMode(t *testing.T, cfg cluster.Config, reference bool) (cluster.Result, string) {
+	t.Helper()
+	cfg.Reference = reference
+	rec := telemetry.New()
+	cfg.Rec = rec
+	c := cluster.New(cfg)
+	res := c.Run()
+	if leaks := c.Leaks(); len(leaks) != 0 {
+		t.Fatalf("reference=%v: leaks:\n  %s", reference, strings.Join(leaks, "\n  "))
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTextTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.String()
+}
+
+// requireIdentical runs cfg in both modes and fails on any divergence.
+func requireIdentical(t *testing.T, cfg cluster.Config) cluster.Result {
+	t.Helper()
+	indexed, itrace := runMode(t, cfg, false)
+	linear, ltrace := runMode(t, cfg, true)
+	if !reflect.DeepEqual(indexed, linear) {
+		t.Fatalf("indexed run diverged from linear reference:\nindexed: %+v\nlinear:  %+v", indexed, linear)
+	}
+	if itrace != ltrace {
+		t.Fatalf("telemetry diverged (%d vs %d bytes)", len(itrace), len(ltrace))
+	}
+	if itrace == "" {
+		t.Fatal("empty telemetry trace — recorder not wired")
+	}
+	return indexed
+}
+
+// TestIndexedMatchesReferenceChurn sweeps seeded churned workloads
+// through all three regimes.
+func TestIndexedMatchesReferenceChurn(t *testing.T) {
+	var scheduled int
+	for _, seed := range []int64{1, 2, 3, 4} {
+		users := trace.Generate(churnConfig(seed, 6))
+		for ui, u := range users {
+			if ui%2 == 1 {
+				continue // half the users keeps the sweep fast
+			}
+			for _, mode := range policyModes {
+				cfg := cluster.Config{
+					Seed:      seed,
+					Pods:      u.Pods,
+					Horizon:   4 * time.Hour,
+					BootDelay: 30 * time.Second,
+				}
+				mode.adjust(&cfg)
+				res := requireIdentical(t, cfg)
+				scheduled += res.Scheduled
+			}
+		}
+	}
+	if scheduled == 0 {
+		t.Fatal("no pod was ever scheduled — the sweep exercised nothing")
+	}
+}
+
+// TestIndexedMatchesReferenceFaults adds node kills, provisioning
+// failures and delays on top of churn.
+func TestIndexedMatchesReferenceFaults(t *testing.T) {
+	specs := []string{
+		"node/*:crash:p=0.03",
+		"node/n0:crash:n=1;node/provision:fail:p=0.2",
+		"node/*:crash:p=0.01;node/provision:delay:n=2:d=90s",
+	}
+	users := trace.Generate(churnConfig(17, 6))
+	var kills int
+	for si, spec := range specs {
+		sched, err := faults.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		for _, mode := range policyModes {
+			cfg := cluster.Config{
+				Seed:      int64(100 + si),
+				Pods:      users[si%len(users)].Pods,
+				Horizon:   6 * time.Hour,
+				BootDelay: 45 * time.Second,
+				Faults:    sched,
+				MaxSteps:  2_000_000,
+			}
+			mode.adjust(&cfg)
+			res := requireIdentical(t, cfg)
+			kills += res.Kills
+		}
+	}
+	if kills == 0 {
+		t.Error("no run killed a node — the displacement path went unexercised")
+	}
+}
+
+// TestIndexedMatchesReferenceSplit pins the split-placement path: pods
+// wider than the largest machine, which only Hostlo can run, placed
+// container by container across nodes.
+func TestIndexedMatchesReferenceSplit(t *testing.T) {
+	var pods []trace.Pod
+	for i := 0; i < 4; i++ {
+		// Each pod totals 1.6 rel CPU — wider than the largest machine
+		// (1.0) — in 8 containers of 0.2.
+		var ctrs []trace.Container
+		for j := 0; j < 8; j++ {
+			ctrs = append(ctrs, trace.Container{CPU: 0.2, Mem: 0.2})
+		}
+		pods = append(pods, trace.Pod{
+			ID:         fmt.Sprintf("wide%d", i),
+			Arrival:    time.Duration(i) * 10 * time.Minute,
+			Lifetime:   90 * time.Minute,
+			Containers: ctrs,
+		})
+	}
+	// A couple of small pods churning around them.
+	for i := 0; i < 6; i++ {
+		pods = append(pods, trace.Pod{
+			ID:         fmt.Sprintf("small%d", i),
+			Arrival:    time.Duration(i) * 7 * time.Minute,
+			Lifetime:   40 * time.Minute,
+			Containers: []trace.Container{{CPU: 0.01, Mem: 0.01}},
+		})
+	}
+	for _, full := range []bool{false, true} {
+		cfg := cluster.Config{
+			Seed:       5,
+			Pods:       pods,
+			Policy:     cluster.Hostlo,
+			Horizon:    5 * time.Hour,
+			BootDelay:  30 * time.Second,
+			FullRepack: full,
+		}
+		res := requireIdentical(t, cfg)
+		if res.Failed != 0 {
+			t.Fatalf("full=%v: %d wide pods failed — split placement did not engage", full, res.Failed)
+		}
+		if res.Scheduled != len(pods) {
+			t.Fatalf("full=%v: scheduled %d of %d pods", full, res.Scheduled, len(pods))
+		}
+	}
+	// Kubernetes must refuse the wide pods identically in both modes.
+	cfg := cluster.Config{
+		Seed: 5, Pods: pods, Policy: cluster.Kubernetes,
+		Horizon: 5 * time.Hour, BootDelay: 30 * time.Second,
+	}
+	res := requireIdentical(t, cfg)
+	if res.Failed != 4 {
+		t.Fatalf("kubernetes: failed %d, want the 4 wide pods", res.Failed)
+	}
+}
+
+// TestIncrementalOptimizerEngages proves the dirty-set policy actually
+// runs incremental passes under churn (and none when pinned full). The
+// workload is a large long-lived base fleet — so the dirty fraction
+// stays under the threshold — with a trickle of short-lived pods
+// churning a few nodes at a time.
+func TestIncrementalOptimizerEngages(t *testing.T) {
+	var pods []trace.Pod
+	for i := 0; i < 200; i++ {
+		pods = append(pods, trace.Pod{
+			ID:         fmt.Sprintf("base%d", i),
+			Containers: []trace.Container{{CPU: 0.22, Mem: 0.22}},
+		})
+	}
+	for i := 0; i < 12; i++ {
+		pods = append(pods, trace.Pod{
+			ID:         fmt.Sprintf("churn%d", i),
+			Arrival:    time.Duration(i+1) * 12 * time.Minute,
+			Lifetime:   25 * time.Minute,
+			Containers: []trace.Container{{CPU: 0.2, Mem: 0.2}},
+		})
+	}
+	base := cluster.Config{
+		Seed:      11,
+		Pods:      pods,
+		Policy:    cluster.Hostlo,
+		Horizon:   6 * time.Hour,
+		BootDelay: 30 * time.Second,
+	}
+	// This workload is the one that actually drives incremental passes,
+	// so pin the dual-path neighborhood selection (treap tail-walk vs
+	// fleet scan) on it too.
+	requireIdentical(t, base)
+	res := cluster.Simulate(base)
+	if res.OptimizerRuns == 0 {
+		t.Fatal("optimizer never ran")
+	}
+	if res.OptimizerRuns == res.OptimizerFull {
+		t.Fatalf("all %d passes were full-fleet — the incremental policy never engaged", res.OptimizerRuns)
+	}
+	full := base
+	full.FullRepack = true
+	fres := cluster.Simulate(full)
+	if fres.OptimizerRuns != fres.OptimizerFull {
+		t.Fatalf("FullRepack: %d of %d passes were incremental", fres.OptimizerRuns-fres.OptimizerFull, fres.OptimizerRuns)
+	}
+}
+
+// TestSteadyStateFullAndIncrementalAgree: with no churn the lifecycle
+// converges to the static packing whether or not the optimizer is
+// pinned to full passes — the incremental policy must not change where
+// a drained cluster settles.
+func TestSteadyStateFullAndIncrementalAgree(t *testing.T) {
+	users := trace.Generate(trace.DefaultConfig(13))
+	for _, u := range users[:8] {
+		base := cluster.Config{
+			Seed: 13, Pods: u.Pods, Policy: cluster.Hostlo, Horizon: 2 * time.Hour,
+		}
+		inc := cluster.Simulate(base)
+		full := base
+		full.FullRepack = true
+		fres := cluster.Simulate(full)
+		if inc.FinalCostPerH != fres.FinalCostPerH || inc.FinalNodes != fres.FinalNodes {
+			t.Errorf("user %d: incremental settled at $%v/h %d nodes, full at $%v/h %d nodes",
+				u.ID, inc.FinalCostPerH, inc.FinalNodes, fres.FinalCostPerH, fres.FinalNodes)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"sort"
+
+	"nestless/internal/cloudsim"
+)
+
+// Hostlo re-optimisation. The paper's step-4 optimizer
+// (cloudsim.OptimizeHostlo: consolidate / split / shrink, cost-monotone)
+// is expensive over a big fleet, and churn dirties only a few nodes
+// between passes. The incremental policy therefore re-packs just the
+// dirty set — nodes whose contents changed since the last pass — plus a
+// bounded neighborhood of consolidation targets (the emptiest live
+// nodes by most-requested score), falling back to a full-fleet pass
+// when the dirty fraction exceeds Config.RepackDirtyFrac or when
+// Config.FullRepack pins full passes. Candidate selection is
+// deterministic and identical between the indexed and reference
+// schedulers (the equivalence suite diffs them); whether it uses the
+// capacity index or a fleet scan is purely a wall-clock matter.
+
+// minNeighborhood is the floor on how many consolidation targets an
+// incremental pass considers alongside the dirty set.
+const minNeighborhood = 8
+
+// optimize runs the Hostlo optimizer over the candidate set and
+// reconciles those nodes to the improved placement. Containers move
+// between nodes (a migration the Hostlo device makes cheap — the pod's
+// network identity does not change); VMs the optimizer shrank or
+// emptied are retired, VMs it re-typed are replaced. Reconciliation is
+// instant in the model: migration latency is not priced, only fleet
+// time is.
+func (c *Cluster) optimize() {
+	c.dirty = false
+	cand, full := c.optimizeCandidates()
+	c.dirtyList = c.dirtyList[:0]
+	if len(cand) == 0 {
+		return
+	}
+	placedVMs := make([]cloudsim.PlacedVM, 0, len(cand))
+	for _, n := range cand {
+		n.dirty = false
+		placedVMs = append(placedVMs, cloudsim.PlacedVM{Type: n.typ, Items: n.items})
+	}
+	improved := cloudsim.OptimizeHostlo(placedVMs, c.cat)
+	c.res.OptimizerRuns++
+	c.count("cluster/optimizer_runs")
+	if full {
+		c.res.OptimizerFull++
+		c.count("cluster/optimizer_full_runs")
+	}
+	c.reconcile(cand, improved)
+}
+
+// optimizeCandidates picks the nodes the next pass will consider, in
+// creation order, and reports whether that is the whole live fleet.
+func (c *Cluster) optimizeCandidates() ([]*node, bool) {
+	// Live dirty nodes, in creation order (dirtyList is append-ordered;
+	// sort by id — ids are creation order).
+	dirty := c.dirtyList[:0:0]
+	for _, n := range c.dirtyList {
+		if n.live {
+			dirty = append(dirty, n)
+		} else {
+			n.dirty = false
+		}
+	}
+	full := c.cfg.FullRepack ||
+		float64(len(dirty)) > c.cfg.RepackDirtyFrac*float64(c.liveCount)
+	if full {
+		c.compactLive()
+		return append([]*node(nil), c.liveList...), true
+	}
+	k := 2 * len(dirty)
+	if k < minNeighborhood {
+		k = minNeighborhood
+	}
+	cand := append(append([]*node(nil), dirty...), c.neighborhood(k)...)
+	sort.Slice(cand, func(a, b int) bool { return cand[a].id < cand[b].id })
+	return cand, false
+}
+
+// neighborhood returns up to k live non-dirty consolidation targets:
+// the emptiest nodes by (most-requested score asc, id desc). Both
+// selection paths — treap tail-walk and fleet scan — apply the same
+// two-stage rule (up to k per catalog type, then k overall), so they
+// return the identical set.
+func (c *Cluster) neighborhood(k int) []*node {
+	var cand []*node
+	if c.cfg.Reference {
+		byType := make([][]*node, len(c.cat))
+		for _, n := range c.nodes {
+			if n.live && !n.dirty {
+				byType[n.typ] = append(byType[n.typ], n)
+			}
+		}
+		for _, ns := range byType {
+			sort.Slice(ns, func(a, b int) bool {
+				sa, sb := c.score(ns[a]), c.score(ns[b])
+				return sa < sb || (sa == sb && ns[a].id > ns[b].id)
+			})
+			if len(ns) > k {
+				ns = ns[:k]
+			}
+			cand = append(cand, ns...)
+		}
+	} else {
+		for _, root := range c.idx.trees {
+			taken := 0
+			root.revEach(func(n *node) bool {
+				if n.dirty {
+					return true
+				}
+				cand = append(cand, n)
+				taken++
+				return taken < k
+			})
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		sa, sb := c.score(cand[a]), c.score(cand[b])
+		return sa < sb || (sa == sb && cand[a].id > cand[b].id)
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}
+
+// reconcile maps an optimized placement onto the candidate nodes: nodes
+// whose type and contents are unchanged are kept (their cost clock
+// keeps running), the rest are retired and replacements created. The
+// moves counter records how much the optimizer actually churned.
+func (c *Cluster) reconcile(cand []*node, improved []cloudsim.PlacedVM) {
+	now := c.eng.Now()
+	// The placement map for every pod with items on a candidate node is
+	// rebuilt below; unlink the candidate nodes first.
+	c.unlinkPods(cand)
+	// Index surviving nodes by signature; each can absorb one VM.
+	avail := map[string][]*node{}
+	for _, n := range cand {
+		sig := cloudsim.VMSignature(n.typ, n.items)
+		avail[sig] = append(avail[sig], n)
+	}
+	matched := map[*node]bool{}
+	var created int
+	relink := func(n *node) {
+		for _, it := range n.items {
+			if i, ok := c.podIndex[it.Pod]; ok {
+				c.podNodeLink(i, n.id)
+			}
+		}
+	}
+	for _, pv := range improved {
+		sig := cloudsim.VMSignature(pv.Type, pv.Items)
+		if q := avail[sig]; len(q) > 0 {
+			n := q[0]
+			avail[sig] = q[1:]
+			matched[n] = true
+			// Canonicalize item order (and with it the used sums) to the
+			// optimizer's order, so future passes see identical input.
+			n.items = append(n.items[:0], pv.Items...)
+			n.recompute()
+			c.touchNode(n)
+			relink(n)
+			continue
+		}
+		n := c.createNode(pv.Type, now)
+		n.items = append(n.items, pv.Items...)
+		n.recompute()
+		c.touchNode(n)
+		relink(n)
+		if len(n.items) == 0 {
+			n.idleSince = now
+		}
+		created++
+	}
+	retired := 0
+	for _, n := range cand {
+		if matched[n] {
+			continue
+		}
+		n.items = n.items[:0]
+		n.recompute()
+		c.terminate(n, now)
+		retired++
+	}
+	if created > 0 || retired > 0 {
+		c.res.OptimizerMoves += created + retired
+		if c.rec != nil {
+			c.rec.Instant("cluster/optimizer", "repack", "moves", float64(created+retired))
+			c.rec.Metrics().Counter("cluster/optimizer_moves").Add(float64(created + retired))
+		}
+	}
+}
+
+// unlinkPods drops the candidate node ids from the placement maps of
+// every pod with items on them (reconcile re-adds the new homes).
+func (c *Cluster) unlinkPods(cand []*node) {
+	if c.cfg.Reference {
+		return
+	}
+	onCand := make(map[int]bool, len(cand))
+	for _, n := range cand {
+		onCand[n.id] = true
+	}
+	seen := map[int]bool{}
+	for _, n := range cand {
+		for _, it := range n.items {
+			i, ok := c.podIndex[it.Pod]
+			if !ok || seen[i] {
+				continue
+			}
+			seen[i] = true
+			p := &c.pods[i]
+			kept := p.onNodes[:0]
+			for _, nid := range p.onNodes {
+				if !onCand[nid] {
+					kept = append(kept, nid)
+				}
+			}
+			p.onNodes = kept
+		}
+	}
+}

@@ -1,9 +1,7 @@
 package cluster
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"nestless/internal/cloudsim"
@@ -15,33 +13,40 @@ import (
 // head-of-line blocking, mirroring the static packer's loop shape so a
 // no-churn run reproduces cloudsim's packing operation for operation.
 //
-// Each pass sorts the queue biggest-first (stable, so same-size pods
-// keep arrival order — exactly packKubernetesPolicy's sort) and places
-// pods one at a time: whole pod onto the most-requested live node that
-// fits, otherwise the autoscaler is asked for the cheapest type that
-// fits the whole pod and the pass stops until that node is live.
-// Blocking on the head pod is what keeps the dynamic placement sequence
-// identical to the static one — placing later pods first would let them
-// steal capacity the static packer gave the bigger pod.
+// The queue yields pods biggest-first with same-size pods in arrival
+// order — exactly packKubernetesPolicy's stable sort — and places pods
+// one at a time: whole pod onto the most-requested live node that fits,
+// otherwise the autoscaler is asked for the cheapest type that fits the
+// whole pod and the pass stops until that node is live. Blocking on the
+// head pod is what keeps the dynamic placement sequence identical to
+// the static one — placing later pods first would let them steal
+// capacity the static packer gave the bigger pod.
+//
+// In indexed mode the queue is the podQueue heap and the fitting node
+// comes from the capacity index (O(log fleet)); in reference mode both
+// revert to the original sorted slice and creation-order fleet scan.
+// The decisions are byte-identical (see capindex.go).
 
 // schedulePass drains the pending queue as far as capacity allows.
 func (c *Cluster) schedulePass() {
 	c.schedPend = false
-	c.sortQueue()
-	for len(c.queue) > 0 {
-		i := c.queue[0]
+	if c.cfg.Reference {
+		c.sortQueue()
+	}
+	for c.queueLen() > 0 {
+		i := c.queueHead()
 		p := &c.pods[i]
 		if p.state != statePending {
 			// Defensive: a stale queue entry (should not happen; Leaks
 			// would flag it).
-			c.queue = c.queue[1:]
+			c.queuePop()
 			continue
 		}
 		placed, blocked := c.tryPlace(i)
 		if blocked {
 			break
 		}
-		c.queue = c.queue[1:]
+		c.queuePop()
 		if placed {
 			c.markScheduled(i)
 		}
@@ -49,16 +54,34 @@ func (c *Cluster) schedulePass() {
 		// already ran inside tryPlace).
 	}
 	if c.rec != nil {
-		c.rec.Instant("cluster/scheduler", "pass", "pending", float64(len(c.queue)))
+		c.rec.Instant("cluster/scheduler", "pass", "pending", float64(c.queueLen()))
 	}
 	// Queue drained: let the Hostlo optimizer re-pack what churn (or
 	// the batch placement) fragmented.
-	if len(c.queue) == 0 && c.cfg.Policy == Hostlo && c.dirty {
+	if c.queueLen() == 0 && c.cfg.Policy == Hostlo && c.dirty {
 		c.optimize()
 	}
 }
 
-// sortQueue orders pending pods biggest-first (stable).
+// queueHead returns the next pod to place without removing it.
+func (c *Cluster) queueHead() int {
+	if c.cfg.Reference {
+		return c.queue[0]
+	}
+	return c.pq.peek().idx
+}
+
+// queuePop removes the head entry.
+func (c *Cluster) queuePop() {
+	if c.cfg.Reference {
+		c.queue = c.queue[1:]
+		return
+	}
+	c.pq.pop()
+}
+
+// sortQueue orders pending pods biggest-first (stable) — reference mode
+// only; the heap maintains this order incrementally.
 func (c *Cluster) sortQueue() {
 	sort.SliceStable(c.queue, func(a, b int) bool {
 		pa, pb := &c.pods[c.queue[a]], &c.pods[c.queue[b]]
@@ -71,7 +94,8 @@ func (c *Cluster) sortQueue() {
 // flight). placed=false, blocked=false means the pod failed permanently.
 func (c *Cluster) tryPlace(i int) (placed, blocked bool) {
 	p := &c.pods[i]
-	if fits := cloudsim.CheapestFitting(c.cat, p.cpu, p.mem); fits < 0 {
+	fits := cloudsim.CheapestFitting(c.cat, p.cpu, p.mem)
+	if fits < 0 {
 		// Wider than the largest machine: under whole-pod placement the
 		// pod can never run (the static simulation's Skipped class).
 		// Hostlo can still run it container by container.
@@ -82,21 +106,47 @@ func (c *Cluster) tryPlace(i int) (placed, blocked bool) {
 		return c.tryPlaceSplit(i)
 	}
 	if n := c.bestWholeFit(p.cpu, p.mem); n != nil {
-		c.placeItems(n, p.pod)
+		c.placeItems(n, i, p.pod)
 		return true, false
 	}
 	// No live node fits: ask for the cheapest type that holds the whole
 	// pod, one request in flight at a time.
 	if c.inflight == 0 {
-		c.requestNode(cloudsim.CheapestFitting(c.cat, p.cpu, p.mem))
+		c.requestNode(fits)
 	}
 	return false, true
 }
 
-// bestWholeFit scans live nodes in creation order for the
-// most-requested node that fits (cpu, mem) — the same comparator, in
-// the same order, as the static packer.
+// bestWholeFit returns the most-requested live node that fits
+// (cpu, mem), ties broken by creation order — the static packer's
+// comparator. Indexed mode combines the per-type treap queries; the
+// reference path is the original creation-order fleet scan.
 func (c *Cluster) bestWholeFit(cpu, mem float64) *node {
+	if c.cfg.Reference {
+		return c.bestWholeFitScan(cpu, mem)
+	}
+	var best *node
+	var bestScore float64
+	for typ, root := range c.idx.trees {
+		if root == nil {
+			continue
+		}
+		t := c.cat[typ]
+		n := root.firstFit(t.RelCPU, t.RelMem, cpu, mem)
+		if n == nil {
+			continue
+		}
+		if best == nil || n.idxScore > bestScore ||
+			(n.idxScore == bestScore && n.id < best.id) {
+			best, bestScore = n, n.idxScore
+		}
+	}
+	return best
+}
+
+// bestWholeFitScan is the O(fleet) reference implementation: scan live
+// nodes in creation order for the most-requested node that fits.
+func (c *Cluster) bestWholeFitScan(cpu, mem float64) *node {
 	var best *node
 	var bestScore float64
 	for _, n := range c.nodes {
@@ -114,15 +164,27 @@ func (c *Cluster) bestWholeFit(cpu, mem float64) *node {
 	return best
 }
 
+// addItem lands one container on a node, maintaining the used sums, the
+// capacity index and the placement map.
+func (c *Cluster) addItem(n *node, i int, it cloudsim.PlacedItem) {
+	n.items = append(n.items, it)
+	n.usedCPU += it.CPU
+	n.usedMem += it.Mem
+	c.touchNode(n)
+	c.podNodeLink(i, n.id)
+}
+
 // placeItems lands every container of a pod on one node, in container
 // order (matching the static packer's accumulation order).
-func (c *Cluster) placeItems(n *node, pod trace.Pod) {
+func (c *Cluster) placeItems(n *node, i int, pod trace.Pod) {
 	for _, ct := range pod.Containers {
 		n.items = append(n.items, cloudsim.PlacedItem{Pod: pod.ID, CPU: ct.CPU, Mem: ct.Mem})
 		n.usedCPU += ct.CPU
 		n.usedMem += ct.Mem
 	}
-	c.dirty = true
+	c.touchNode(n)
+	c.podNodeLink(i, n.id)
+	c.markDirty(n)
 }
 
 // tryPlaceSplit places an oversized pod container by container across
@@ -146,10 +208,15 @@ func (c *Cluster) tryPlaceSplit(i int) (placed, blocked bool) {
 			d := done[k]
 			d.n.items = d.n.items[:d.prev]
 			d.n.recompute()
+			c.touchNode(d.n)
+		}
+		if !c.cfg.Reference {
+			p.onNodes = p.onNodes[:0]
 		}
 	}
 	for _, ct := range ctrs {
-		if cloudsim.CheapestFitting(c.cat, ct.CPU, ct.Mem) < 0 {
+		fits := cloudsim.CheapestFitting(c.cat, ct.CPU, ct.Mem)
+		if fits < 0 {
 			// A single container wider than the largest machine can
 			// never run anywhere.
 			revert()
@@ -160,16 +227,16 @@ func (c *Cluster) tryPlaceSplit(i int) (placed, blocked bool) {
 		if n == nil {
 			revert()
 			if c.inflight == 0 {
-				c.requestNode(cloudsim.CheapestFitting(c.cat, ct.CPU, ct.Mem))
+				c.requestNode(fits)
 			}
 			return false, true
 		}
 		done = append(done, placement{n: n, prev: len(n.items)})
-		n.items = append(n.items, cloudsim.PlacedItem{Pod: p.pod.ID, CPU: ct.CPU, Mem: ct.Mem})
-		n.usedCPU += ct.CPU
-		n.usedMem += ct.Mem
+		c.addItem(n, i, cloudsim.PlacedItem{Pod: p.pod.ID, CPU: ct.CPU, Mem: ct.Mem})
 	}
-	c.dirty = true
+	for _, d := range done {
+		c.markDirty(d.n)
+	}
 	return true, false
 }
 
@@ -208,95 +275,5 @@ func (c *Cluster) markFailed(i int) {
 	c.count("cluster/failed")
 	if c.rec != nil {
 		c.rec.Instant("cluster/scheduler", "unschedulable", "pod", float64(i))
-	}
-}
-
-// optimize runs the Hostlo step-4 optimizer over the live fleet and
-// reconciles nodes to the improved placement. Containers move between
-// nodes (a migration the Hostlo device makes cheap — the pod's network
-// identity does not change); VMs the optimizer shrank or emptied are
-// retired, VMs it re-typed are replaced. Reconciliation is instant in
-// the model: migration latency is not priced, only fleet time is.
-func (c *Cluster) optimize() {
-	c.dirty = false
-	live := make([]*node, 0, c.liveCount)
-	placedVMs := make([]cloudsim.PlacedVM, 0, c.liveCount)
-	for _, n := range c.nodes {
-		if !n.live {
-			continue
-		}
-		live = append(live, n)
-		placedVMs = append(placedVMs, cloudsim.PlacedVM{Type: n.typ, Items: n.items})
-	}
-	if len(live) == 0 {
-		return
-	}
-	improved := cloudsim.OptimizeHostlo(placedVMs, c.cat)
-	c.res.OptimizerRuns++
-	c.count("cluster/optimizer_runs")
-	c.reconcile(live, improved)
-}
-
-// vmSignature is a canonical content digest used to match optimized VMs
-// back onto existing nodes (type + sorted item multiset).
-func vmSignature(typ int, items []cloudsim.PlacedItem) string {
-	keys := make([]string, len(items))
-	for i, it := range items {
-		keys[i] = fmt.Sprintf("%s|%.6f|%.6f", it.Pod, it.CPU, it.Mem)
-	}
-	sort.Strings(keys)
-	return fmt.Sprintf("%d;%s", typ, strings.Join(keys, ";"))
-}
-
-// reconcile maps an optimized placement onto the fleet: nodes whose
-// type and contents are unchanged are kept (their cost clock keeps
-// running), the rest are retired and replacements created. The moves
-// counter records how much the optimizer actually churned.
-func (c *Cluster) reconcile(live []*node, improved []cloudsim.PlacedVM) {
-	now := c.eng.Now()
-	// Index surviving nodes by signature; each can absorb one VM.
-	avail := map[string][]*node{}
-	for _, n := range live {
-		sig := vmSignature(n.typ, n.items)
-		avail[sig] = append(avail[sig], n)
-	}
-	matched := map[*node]bool{}
-	var created int
-	for _, pv := range improved {
-		sig := vmSignature(pv.Type, pv.Items)
-		if q := avail[sig]; len(q) > 0 {
-			n := q[0]
-			avail[sig] = q[1:]
-			matched[n] = true
-			// Canonicalize item order (and with it the used sums) to the
-			// optimizer's order, so future passes see identical input.
-			n.items = append(n.items[:0], pv.Items...)
-			n.recompute()
-			continue
-		}
-		n := c.createNode(pv.Type, now)
-		n.items = append(n.items, pv.Items...)
-		n.recompute()
-		if len(n.items) == 0 {
-			n.idleSince = now
-		}
-		created++
-	}
-	retired := 0
-	for _, n := range live {
-		if matched[n] {
-			continue
-		}
-		n.items = n.items[:0]
-		n.recompute()
-		c.terminate(n, now)
-		retired++
-	}
-	if created > 0 || retired > 0 {
-		c.res.OptimizerMoves += created + retired
-		if c.rec != nil {
-			c.rec.Instant("cluster/optimizer", "repack", "moves", float64(created+retired))
-			c.rec.Metrics().Counter("cluster/optimizer_moves").Add(float64(created + retired))
-		}
 	}
 }

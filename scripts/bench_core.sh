@@ -6,7 +6,11 @@
 #
 # Custom metrics ride along with the built-in ones — notably the
 # cluster scheduler throughput (BenchmarkSchedulerThroughput, pods/s
-# per policy), the capacity-planning number for population sweeps.
+# per policy) and the trace-scale lifecycle family
+# (BenchmarkLifecycleScale, 1k/10k/100k pods per policy and scheduler
+# mode). CI gates on the committed copy: benchjson -baseline fails the
+# build when a LifecycleScale/1k pods/s figure drops more than 20%
+# below this file (see .github/workflows/ci.yml).
 #
 # Usage, from the repository root:
 #
