@@ -18,8 +18,21 @@
 //	costsim -lifecycle -horizon 8h -gap 2m -life 45m
 //	costsim -lifecycle -faults 'node/*:crash:p=0.01'
 //
+// The -replay flag feeds a recorded cluster trace file (CSV or JSONL,
+// optionally gzipped — see internal/ctrace) through the sharded
+// multi-cluster replay (internal/shard) instead of generating a
+// synthetic population. Both policies run over the same stream; the
+// trace is reopened per policy. -shards picks the execution
+// parallelism (byte-identical output for any value), -worlds the
+// logical partition count (part of the experiment):
+//
+//	ctracegen -users 200 -out t.csv.gz
+//	costsim -replay t.csv.gz -shards 4
+//	costsim -replay t.csv.gz -worlds 8 -migrate-after 20m
+//
 // Add -trace out.json for a per-user trace of the placement run and
-// -metrics for the telemetry tables.
+// -metrics for the telemetry tables. (-trace names the telemetry
+// OUTPUT; the trace INPUT is -replay.)
 package main
 
 import (
@@ -31,9 +44,11 @@ import (
 	"nestless/internal/cli"
 	"nestless/internal/cloudsim"
 	"nestless/internal/cluster"
+	"nestless/internal/ctrace"
 	"nestless/internal/faults"
 	"nestless/internal/figures"
 	"nestless/internal/report"
+	"nestless/internal/shard"
 	"nestless/internal/sim"
 	"nestless/internal/telemetry"
 	"nestless/internal/trace"
@@ -54,6 +69,18 @@ func main() {
 		"lifecycle: use the linear-scan reference scheduler instead of the capacity index (same placements, O(fleet) per decision — a debugging aid)")
 	fullRepack := flag.Bool("full-repack", false,
 		"lifecycle: pin the Hostlo optimizer to full-fleet passes instead of dirty-set incremental ones")
+	replay := flag.String("replay", "",
+		"replay a recorded cluster trace file (csv/jsonl, .gz ok; see internal/ctrace) through the sharded lifecycle simulation instead of generating a workload")
+	shards := flag.Int("shards", 1,
+		"replay: goroutines executing the cluster worlds (any value is byte-identical to -shards 1)")
+	worlds := flag.Int("worlds", 8,
+		"replay: logical cluster worlds the trace is hash-partitioned over (changes the experiment, unlike -shards)")
+	barrier := flag.Duration("barrier", 15*time.Minute,
+		"replay: epoch length between world synchronization barriers")
+	migrateAfter := flag.Duration("migrate-after", 0,
+		"replay: transfer pods pending longer than this to another world at each barrier (0 = off)")
+	lenient := flag.Bool("lenient", false,
+		"replay: skip malformed trace rows instead of failing")
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
@@ -61,13 +88,39 @@ func main() {
 	flag.Parse()
 	cli.CheckParallel(*workers)
 	sched := cli.ParseFaults(*faultSpec)
+	if *shards < 1 {
+		cli.BadFlag("costsim: -shards must be >= 1, got %d", *shards)
+	}
+	if *worlds < 1 {
+		cli.BadFlag("costsim: -worlds must be >= 1, got %d", *worlds)
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *replay != "" {
+		// The trace IS the workload: generator knobs are ambiguous next
+		// to it.
+		for _, name := range []string{"users", "gap", "life"} {
+			if explicit[name] {
+				cli.BadFlag("costsim: -%s shapes the generated workload and conflicts with -replay (the trace is the workload)", name)
+			}
+		}
+		if _, err := os.Stat(*replay); err != nil {
+			cli.BadFlag("costsim: -replay: %v", err)
+		}
+	} else {
+		for _, name := range []string{"shards", "worlds", "barrier", "migrate-after", "lenient"} {
+			if explicit[name] {
+				cli.BadFlag("costsim: -%s only applies to a trace replay (add -replay FILE)", name)
+			}
+		}
+	}
 	prof.Start("costsim")
 	defer prof.Stop("costsim")
 	// The static placement run is engine-less: the spec is validated for
-	// command-line uniformity, but only -lifecycle has a datapath to
+	// command-line uniformity, but only the simulated datapaths can
 	// fault.
-	if sched != nil && !*lifecycle {
-		fmt.Fprintln(os.Stderr, "costsim: note: -faults validated but ignored (static placement has no simulated datapath; use -lifecycle)")
+	if sched != nil && !*lifecycle && *replay == "" {
+		fmt.Fprintln(os.Stderr, "costsim: note: -faults validated but ignored (static placement has no simulated datapath; use -lifecycle or -replay)")
 	}
 
 	emit := func(t *report.Table) {
@@ -88,6 +141,18 @@ func main() {
 	}
 	if *users <= 0 {
 		cli.BadFlag("costsim: -users must be positive, got %d", *users)
+	}
+
+	if *replay != "" {
+		runReplay(replayOpts{
+			path: *replay, seed: *seed, horizon: *horizon, boot: *boot,
+			shards: *shards, worlds: *worlds, barrier: *barrier,
+			migrateAfter: *migrateAfter, lenient: *lenient, sched: sched,
+			reference: *reference, fullRepack: *fullRepack,
+			rec: tf.Recorder(), emit: emit,
+		})
+		tf.EmitOrDie("costsim")
+		return
 	}
 
 	if *lifecycle {
@@ -229,12 +294,121 @@ func runLifecycle(o lifecycleOpts) {
 	o.emit(tj)
 }
 
+// replayOpts bundles the -replay run parameters.
+type replayOpts struct {
+	path         string
+	seed         int64
+	horizon      time.Duration
+	boot         time.Duration
+	shards       int
+	worlds       int
+	barrier      time.Duration
+	migrateAfter time.Duration
+	lenient      bool
+	sched        *faults.Schedule
+	reference    bool
+	fullRepack   bool
+	rec          *telemetry.Recorder
+	emit         func(*report.Table)
+}
+
+// runReplay streams a recorded trace through the sharded multi-cluster
+// replay under both policies and prints the stream stats, the
+// cost/disruption summary and the merged trajectory.
+func runReplay(o replayOpts) {
+	run := func(policy cluster.Policy) (shard.Result, ctrace.Stats) {
+		// Reopen per policy: both runs consume the identical stream.
+		r, err := ctrace.Open(o.path, ctrace.Options{Lenient: o.lenient})
+		if err != nil {
+			cli.Fatal("costsim", err)
+		}
+		defer r.Close()
+		res, err := shard.Replay(r, shard.Config{
+			Worlds:       o.worlds,
+			Shards:       o.shards,
+			BarrierEvery: o.barrier,
+			MigrateAfter: o.migrateAfter,
+			Cluster: cluster.Config{
+				Policy:     policy,
+				Seed:       o.seed,
+				Horizon:    o.horizon,
+				BootDelay:  o.boot,
+				Faults:     o.sched,
+				Reference:  o.reference,
+				FullRepack: o.fullRepack,
+				Rec:        o.rec,
+			},
+		})
+		if err != nil {
+			cli.Fatal("costsim", err)
+		}
+		return res, r.Stats()
+	}
+	kubeRes, stats := run(cluster.Kubernetes)
+	hostloRes, _ := run(cluster.Hostlo)
+
+	// The title names only the experiment (worlds), never the execution
+	// (-shards): stdout is byte-identical for every shard count.
+	st := report.New(fmt.Sprintf("Trace replay: %s over %d worlds", o.path, o.worlds),
+		"metric", "value")
+	st.AddRow("trace rows read", stats.Rows)
+	st.AddRow("rows ignored (non-lifecycle)", stats.Ignored)
+	st.AddRow("rows skipped (-lenient)", stats.Skipped)
+	st.AddRow("pod submits", kubeRes.Submits)
+	st.AddRow("pod ends", kubeRes.Ends)
+	st.AddRow("submits beyond horizon", kubeRes.BeyondHorizon)
+	st.AddRow("barrier epochs", kubeRes.Epochs)
+	st.AddRow("migrations kube / hostlo", fmt.Sprintf("%d / %d", kubeRes.Migrations, hostloRes.Migrations))
+	st.AddRow("state digest kube", fmt.Sprintf("%016x", kubeRes.Digest))
+	st.AddRow("state digest hostlo", fmt.Sprintf("%016x", hostloRes.Digest))
+	o.emit(st)
+	fmt.Println()
+
+	var kube, hostlo aggregate
+	kube.add(kubeRes.Merged)
+	hostlo.add(hostloRes.Merged)
+	t := report.New(fmt.Sprintf("Sharded trace replay, %v horizon", o.horizon),
+		"metric", "kubernetes", "hostlo")
+	t.AddRow("pods arrived", kube.arrived, hostlo.arrived)
+	t.AddRow("pods scheduled", kube.scheduled, hostlo.scheduled)
+	t.AddRow("pods departed", kube.departed, hostlo.departed)
+	t.AddRow("pods failed (unschedulable)", kube.failed, hostlo.failed)
+	t.AddRow("pods pending at horizon", kube.pending, hostlo.pending)
+	t.AddRow("pods transferred across worlds", kube.transfers, hostlo.transfers)
+	t.AddRow("cost over horizon $", kube.dollars, hostlo.dollars)
+	t.AddRow("final fleet $/h", kube.finalRate, hostlo.finalRate)
+	t.AddRow("final fleet nodes", kube.finalNodes, hostlo.finalNodes)
+	t.AddRow("peak fleet nodes", kube.peakNodes, hostlo.peakNodes)
+	t.AddRow("mean time-to-schedule", kube.ttsMean(), hostlo.ttsMean())
+	t.AddRow("scale-ups / scale-downs", fmt.Sprintf("%d / %d", kube.scaleUps, kube.scaleDowns),
+		fmt.Sprintf("%d / %d", hostlo.scaleUps, hostlo.scaleDowns))
+	t.AddRow("node kills (faults)", kube.kills, hostlo.kills)
+	t.AddRow("pods displaced / rescheduled", fmt.Sprintf("%d / %d", kube.displaced, kube.reschedules),
+		fmt.Sprintf("%d / %d", hostlo.displaced, hostlo.reschedules))
+	if kube.dollars > 0 {
+		t.AddRow("hostlo savings", "-", report.Percent((kube.dollars-hostlo.dollars)/kube.dollars))
+	}
+	o.emit(t)
+
+	fmt.Println()
+	tj := report.New("Cost-over-time trajectory (merged worlds)",
+		"t", "kube_$/h", "hostlo_$/h", "kube_pending", "hostlo_pending", "kube_util", "hostlo_util")
+	mk := kubeRes.Merged.Samples
+	mh := hostloRes.Merged.Samples
+	for i := range mk {
+		tj.AddRow(mk[i].T, mk[i].CostPerH, mh[i].CostPerH,
+			mk[i].Pending, mh[i].Pending,
+			report.Percent(mk[i].Util()), report.Percent(mh[i].Util()))
+	}
+	o.emit(tj)
+}
+
 // aggregate sums Result fields across a population.
 type aggregate struct {
 	arrived, scheduled, departed, failed, pending    int
 	finalNodes, peakNodes, scaleUps, scaleDowns      int
 	kills, displaced, reschedules, optRuns, optMoves int
-	optFull                                          int
+	optFull, transfers                               int
 	dollars, finalRate                               float64
 	ttsSum                                           time.Duration
 }
@@ -252,6 +426,7 @@ func (a *aggregate) add(r cluster.Result) {
 	a.kills += r.Kills
 	a.displaced += r.Displaced
 	a.reschedules += r.Reschedules
+	a.transfers += r.TransferredIn
 	a.optRuns += r.OptimizerRuns
 	a.optFull += r.OptimizerFull
 	a.optMoves += r.OptimizerMoves

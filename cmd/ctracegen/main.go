@@ -1,0 +1,95 @@
+// ctracegen emits a seeded sample cluster trace in either on-disk
+// format internal/ctrace reads back: the Google task_events-compatible
+// CSV or the pod-level JSONL. The workload comes from the synthetic
+// generator (internal/trace) with churn stamped on, flattened into a
+// time-ordered event stream — so tests, benchmarks and the worked
+// examples in EXPERIMENTS.md can replay a realistic trace without
+// shipping a real one in the repo.
+//
+//	ctracegen -users 100 -seed 7 -out trace.csv.gz
+//	ctracegen -format jsonl -pods 1000 -out trace.jsonl
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nestless/internal/cli"
+	"nestless/internal/ctrace"
+	"nestless/internal/trace"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output path ('' = stdout; a .gz suffix gzips)")
+		format = flag.String("format", "csv", "trace format: csv (task_events-compatible) or jsonl (pod-level)")
+		users  = flag.Int("users", 100, "users in the generated population")
+		pods   = flag.Int("pods", 0, "cap the total pod count (0 = no cap)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		gap    = flag.Duration("gap", 2*time.Minute, "mean per-user arrival gap")
+		life   = flag.Duration("life", 45*time.Minute, "mean pod lifetime (Pareto-tailed)")
+	)
+	flag.Parse()
+
+	f, err := ctrace.ParseFormat(*format)
+	if err != nil {
+		cli.BadFlag("-format: %v", err)
+	}
+	if *users < 1 {
+		cli.BadFlag("-users must be >= 1 (got %d)", *users)
+	}
+	if *pods < 0 {
+		cli.BadFlag("-pods must be >= 0 (got %d)", *pods)
+	}
+	if *gap <= 0 || *life <= 0 {
+		cli.BadFlag("-gap and -life must be positive (a trace needs churn)")
+	}
+
+	gcfg := trace.DefaultConfig(*seed)
+	gcfg.Users = *users
+	gcfg.MeanArrivalGap = *gap
+	gcfg.MeanLifetime = *life
+	population := trace.Generate(gcfg)
+	if *pods > 0 {
+		population = capPods(population, *pods)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			cli.Fatal("ctracegen", err)
+		}
+		defer file.Close()
+		w = file
+		if strings.HasSuffix(*out, ".gz") {
+			gz := gzip.NewWriter(file)
+			defer gz.Close()
+			w = gz
+		}
+	}
+	if err := ctrace.Write(w, ctrace.NewSynth(population), f); err != nil {
+		cli.Fatal("ctracegen", err)
+	}
+}
+
+// capPods truncates the population to the first n pods in user order,
+// keeping the per-user seeded streams intact up to the cut.
+func capPods(users []trace.User, n int) []trace.User {
+	out := make([]trace.User, 0, len(users))
+	for _, u := range users {
+		if n <= 0 {
+			break
+		}
+		if len(u.Pods) > n {
+			u.Pods = u.Pods[:n]
+		}
+		n -= len(u.Pods)
+		out = append(out, u)
+	}
+	return out
+}

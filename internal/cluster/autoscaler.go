@@ -209,6 +209,7 @@ func (c *Cluster) displace(i int, now sim.Time) {
 	}
 	p.departGen++
 	p.state = statePending
+	p.waitSince = now
 	p.displaced = true
 	c.res.Displaced++
 	c.count("cluster/displacements")

@@ -236,6 +236,45 @@ func (q *podQueue) push(e podEntry) {
 
 func (q podQueue) peek() podEntry { return q[0] }
 
+// removeIdx deletes the entry naming pod idx: O(n) locate, then a
+// bottom-up re-heapify. It only runs on the rare paths that retire a
+// still-pending pod — a trace end event or a shard transfer-out — never
+// per placement decision, so linear cost is fine.
+func (q *podQueue) removeIdx(idx int) bool {
+	h := *q
+	for i := range h {
+		if h[i].idx == idx {
+			h[i] = h[len(h)-1]
+			h = h[:len(h)-1]
+			for j := len(h)/2 - 1; j >= 0; j-- {
+				h.siftDown(j)
+			}
+			*q = h
+			return true
+		}
+	}
+	return false
+}
+
+// siftDown restores the heap property below j.
+func (q podQueue) siftDown(j int) {
+	for {
+		l, r := 2*j+1, 2*j+2
+		best := j
+		if l < len(q) && q.entryBefore(q[l], q[best]) {
+			best = l
+		}
+		if r < len(q) && q.entryBefore(q[r], q[best]) {
+			best = r
+		}
+		if best == j {
+			return
+		}
+		q[j], q[best] = q[best], q[j]
+		j = best
+	}
+}
+
 func (q *podQueue) pop() podEntry {
 	h := *q
 	top := h[0]

@@ -176,7 +176,8 @@ type Result struct {
 	Policy Policy
 
 	// Pod accounting. Conservation invariant (checked by Leaks):
-	// Arrived == Departed + Running + StillPending + Failed.
+	// Arrived + TransferredIn ==
+	//   Departed + Running + StillPending + Failed + TransferredOut.
 	Arrived       int // pods whose arrival fell within the horizon
 	BeyondHorizon int // pods whose arrival fell past the horizon (not simulated)
 	Scheduled     int // pods placed at least once
@@ -189,6 +190,12 @@ type Result struct {
 	Displaced   int // pod displacement events (node kills)
 	Reschedules int // successful re-placements of displaced pods
 	Kills       int // nodes killed by fault injection
+
+	// Cross-world transfer accounting (shard replay only; both zero in
+	// a standalone run). A transferred-out pod leaves this world's
+	// books entirely — it is the receiving world's to depart or fail.
+	TransferredIn  int
+	TransferredOut int
 
 	// Fleet accounting.
 	ScaleUps         int // nodes provisioned by the autoscaler
@@ -226,15 +233,24 @@ const (
 	stateRunning
 	stateDeparted
 	stateFailed
+	// stateTransferred: handed to another shard world through a
+	// transfer mailbox (internal/shard); this world is done with it.
+	stateTransferred
 )
 
 // podRun is the per-pod mutable state.
 type podRun struct {
 	pod      trace.Pod
+	user     string // owning tenant (stream mode; carried through transfers)
 	cpu, mem float64 // whole-pod totals
 	state    podState
 
-	arrivedAt     sim.Time
+	arrivedAt sim.Time
+	// waitSince is when the pod last (re-)entered the pending queue —
+	// arrival, displacement or transfer-in. The shard runner's
+	// migration eligibility uses it (arrivedAt would make a freshly
+	// transferred pod instantly eligible again).
+	waitSince     sim.Time
 	placedAt      sim.Time      // last placement
 	remaining     time.Duration // lifetime left (0 = forever)
 	departGen     int           // invalidates stale departure events
@@ -300,6 +316,7 @@ type Cluster struct {
 	liveCount int
 	inflight  int // provisioning requests not yet live
 	dirty     bool
+	started   bool // streaming mode armed (Start called; exclusive with Run)
 	dirtyList []*node // Hostlo: nodes touched since the last optimize
 	schedPend bool
 	tts       sim.Series
@@ -369,6 +386,7 @@ func (c *Cluster) Run() Result {
 func (c *Cluster) arrive(i int) {
 	p := &c.pods[i]
 	p.arrivedAt = c.eng.Now()
+	p.waitSince = p.arrivedAt
 	c.res.Arrived++
 	c.count("cluster/arrivals")
 	c.enqueue(i)
@@ -701,10 +719,15 @@ func (c *Cluster) Leaks() []string {
 	if !c.cfg.Reference && c.idx.size != live {
 		leakf("capacity index holds %d nodes, %d live", c.idx.size, live)
 	}
-	// Per-pod placement reconciliation.
+	// Per-pod placement reconciliation. Every queue entry must name a
+	// pending pod: departures, failures and transfers remove their
+	// entries eagerly, so a stale entry is a leak.
 	inQueue := map[int]int{}
 	for _, i := range c.queuedIndices() {
 		inQueue[i]++
+		if c.pods[i].state != statePending {
+			leakf("queue entry for %v pod %s", c.pods[i].state, c.pods[i].pod.ID)
+		}
 	}
 	for i := range c.pods {
 		p := &c.pods[i]
@@ -754,11 +777,15 @@ func (c *Cluster) Leaks() []string {
 			}
 		}
 	}
-	// Conservation.
+	// Conservation: every pod that entered this world (arrival or
+	// transfer-in) left it exactly one way.
 	if c.finalized {
-		if got := c.res.Departed + c.res.Running + c.res.StillPending + c.res.Failed; got != c.res.Arrived {
-			leakf("conservation broken: departed %d + running %d + pending %d + failed %d != arrived %d",
-				c.res.Departed, c.res.Running, c.res.StillPending, c.res.Failed, c.res.Arrived)
+		got := c.res.Departed + c.res.Running + c.res.StillPending + c.res.Failed + c.res.TransferredOut
+		want := c.res.Arrived + c.res.TransferredIn
+		if got != want {
+			leakf("conservation broken: departed %d + running %d + pending %d + failed %d + xfer-out %d != arrived %d + xfer-in %d",
+				c.res.Departed, c.res.Running, c.res.StillPending, c.res.Failed,
+				c.res.TransferredOut, c.res.Arrived, c.res.TransferredIn)
 		}
 	}
 	return leaks

@@ -1,0 +1,93 @@
+package ctrace
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceLine drives both line parsers — the CSV task row and
+// the JSONL pod row — plus a whole strict-mode reader pass over the
+// input as a two-line document. Properties: no panics ever; anything
+// the CSV parser accepts satisfies the row invariants the consumers
+// rely on; the reader never yields an event that violates the
+// normalized-event contract (non-negative time, known kind, non-empty
+// pod id, finite in-range requests).
+func FuzzParseTraceLine(f *testing.F) {
+	seeds := []string{
+		"1000,0,j1,0,alice,0.25,0.5",
+		"1000,4,j1,0,alice,0,0",
+		"1000,kill,j1,0,alice,0,0",
+		"1000,SUBMIT,j1,1,alice,0.0625,0.125",
+		`{"t_us":1000,"ev":"submit","pod":"p1","user":"a","containers":[{"cpu":0.25,"mem":0.5}]}`,
+		`{"t_us":9000,"ev":"finish","pod":"p1"}`,
+		// Malformed shapes the parser must reject without panicking.
+		"1000,0,j1,0,alice,0.25",           // missing field
+		"xx,0,j1,0,alice,0.25,0.5",         // bad time
+		"-7,0,j1,0,alice,0.25,0.5",         // negative time
+		"1000,0,j1,0,alice,NaN,0.5",        // NaN request
+		"1000,0,j1,0,alice,-0.25,0.5",      // negative request
+		"1000,0,j1,0,alice,1e308,0.5",      // out-of-range request
+		"1000,0,,0,alice,0.25,0.5",         // empty job
+		"1000,99,j1,0,alice,0.25,0.5",      // unknown code
+		"1000,0,j1,-1,alice,0.25,0.5",      // negative task
+		`{"t_us":1000,"ev":"submit"}`,      // no pod, no containers
+		`{"t_us":-1,"ev":"kill","pod":"p"}`, // negative time
+		`{"bogus":true}`,                   // unknown field soup
+		"\x00\xff,",                        // binary garbage
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		if row, err := parseCSVLine(line); err == nil {
+			if row.code < 0 || row.code > 8 {
+				t.Fatalf("accepted code %d", row.code)
+			}
+			if row.job == "" {
+				t.Fatal("accepted empty job")
+			}
+			if row.task < 0 {
+				t.Fatalf("accepted task %d", row.task)
+			}
+		}
+		parseJSONLine(line)
+
+		// Whole-reader pass: the line as a document body (with the CSV
+		// header when it does not sniff as JSON). Strict mode may error;
+		// it must not panic, and yielded events must be well-formed.
+		body := line + "\n"
+		if !strings.HasPrefix(strings.TrimLeft(line, " \t"), "{") {
+			body = header + "\n" + body
+		}
+		r, err := NewReader(strings.NewReader(body), Options{})
+		if err != nil {
+			return
+		}
+		for {
+			ev, err := r.Next()
+			if err != nil {
+				if err != io.EOF {
+					return // rejected: fine
+				}
+				return
+			}
+			if ev.Time < 0 {
+				t.Fatalf("yielded negative time %v", ev.Time)
+			}
+			if ev.Kind != Submit && ev.Kind != Finish && ev.Kind != Kill {
+				t.Fatalf("yielded kind %v", ev.Kind)
+			}
+			if ev.Pod == "" {
+				t.Fatal("yielded empty pod id")
+			}
+			for _, c := range ev.Containers {
+				if math.IsNaN(c.CPU) || c.CPU < 0 || c.CPU > 1 ||
+					math.IsNaN(c.Mem) || c.Mem < 0 || c.Mem > 1 {
+					t.Fatalf("yielded out-of-range request %+v", c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package ctrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// The trace writer: serializes an event Source back into either on-disk
+// format. ctracegen (cmd/ctracegen) pairs it with NewSynth to emit
+// seeded sample traces for tests, benchmarks and worked examples; the
+// golden-file round-trip test pins that Write∘Read is the identity.
+
+// Format selects the on-disk encoding.
+type Format int
+
+const (
+	// CSV is the Google task_events-compatible per-task form.
+	CSV Format = iota
+	// JSONL is the native pod-level form, one JSON object per line.
+	JSONL
+)
+
+// ParseFormat resolves a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "csv":
+		return CSV, nil
+	case "jsonl", "json":
+		return JSONL, nil
+	}
+	return 0, fmt.Errorf("unknown trace format %q (want csv or jsonl)", s)
+}
+
+// Write drains src into w in the given format. Events must be
+// time-ordered (every Source in this package is). CSV expands each pod
+// event into per-task rows — submit rows carry the container requests,
+// end rows close every task — so the output is also a valid corpus for
+// schema-compatible external tools.
+func Write(w io.Writer, src Source, format Format) error {
+	bw := bufio.NewWriter(w)
+	if format == CSV {
+		if _, err := fmt.Fprintln(bw, header); err != nil {
+			return err
+		}
+	}
+	// Open-pod container counts: CSV end rows must close each task.
+	tasks := map[string]int{}
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := writeEvent(bw, ev, format, tasks); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeEvent emits one normalized event.
+func writeEvent(bw *bufio.Writer, ev Event, format Format, tasks map[string]int) error {
+	us := int64(ev.Time / time.Microsecond)
+	if format == JSONL {
+		return writeJSONL(bw, ev, us)
+	}
+	switch ev.Kind {
+	case Submit:
+		tasks[ev.Pod] = len(ev.Containers)
+		for i, c := range ev.Containers {
+			if _, err := fmt.Fprintf(bw, "%d,0,%s,%d,%s,%s,%s\n",
+				us, ev.Pod, i, ev.User, fmtFloat(c.CPU), fmtFloat(c.Mem)); err != nil {
+				return err
+			}
+		}
+	default:
+		code := 5 // KILL
+		if ev.Kind == Finish {
+			code = 4
+		}
+		n := tasks[ev.Pod]
+		delete(tasks, ev.Pod)
+		for i := 0; i < n; i++ {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%s,%d,%s,0,0\n",
+				us, code, ev.Pod, i, ev.User); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeJSONL emits one pod-level JSON line. The fields are flat and
+// ordered by hand so output is byte-stable (golden tests diff it).
+func writeJSONL(bw *bufio.Writer, ev Event, us int64) error {
+	if ev.Kind == Submit {
+		if _, err := fmt.Fprintf(bw, `{"t_us":%d,"ev":"submit","pod":%q,"user":%q,"containers":[`,
+			us, ev.Pod, ev.User); err != nil {
+			return err
+		}
+		for i, c := range ev.Containers {
+			sep := ","
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(bw, `%s{"cpu":%s,"mem":%s}`, sep, fmtFloat(c.CPU), fmtFloat(c.Mem)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(bw, "]}")
+		return err
+	}
+	_, err := fmt.Fprintf(bw, `{"t_us":%d,"ev":%q,"pod":%q,"user":%q}`+"\n",
+		us, ev.Kind.String(), ev.Pod, ev.User)
+	return err
+}
+
+// fmtFloat renders a request with exact round-trip precision.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,434 @@
+package ctrace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nestless/internal/trace"
+)
+
+// Options configures a Reader.
+type Options struct {
+	// Lenient downgrades validation errors (malformed rows, bad
+	// requests, out-of-order timestamps, duplicate submits, ends for
+	// unknown jobs) to counted skips. The default is strict: the first
+	// bad row is an error naming the line.
+	Lenient bool
+}
+
+// header is the canonical CSV header line, skipped when present.
+const header = "time_us,event,job,task,user,cpu,mem"
+
+// maxLine bounds one physical line (a JSONL pod with very many
+// containers); beyond it the file is malformed.
+const maxLine = 4 << 20
+
+// Reader streams normalized events out of a trace file. Memory is
+// bounded by the number of concurrently live pods (the open-pod table
+// and the current-timestamp submit groups), never by file size.
+type Reader struct {
+	opts    Options
+	sc      *bufio.Scanner
+	json    bool
+	line    int
+	lastUS  int64 // last accepted row timestamp (order validation)
+	started bool
+
+	// CSV submit coalescing: jobs whose SUBMIT rows are accumulating at
+	// curUS, flushed in first-seen order when time advances.
+	curUS    int64
+	order    []string
+	building map[string][]trace.Container
+	user     map[string]string
+	// open maps a job to its live task count; a pod's end event fires
+	// when the count hits zero.
+	open map[string]int
+
+	ready   []Event // emission queue (flushes can release several at once)
+	stats   Stats
+	err     error // sticky terminal error
+	closers []io.Closer
+}
+
+// Open opens a trace file for streaming. Gzip compression and the
+// CSV/JSONL format are sniffed from the content, not the name.
+func Open(path string, opts Options) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closers = append(r.closers, f)
+	return r, nil
+}
+
+// NewReader wraps an arbitrary stream. See Open for file paths.
+func NewReader(src io.Reader, opts Options) (*Reader, error) {
+	br := bufio.NewReader(src)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("ctrace: gzip: %w", err)
+		}
+		br = bufio.NewReader(gz)
+	}
+	r := &Reader{
+		opts:     opts,
+		building: map[string][]trace.Container{},
+		user:     map[string]string{},
+		open:     map[string]int{},
+	}
+	// Format sniff: the first non-space byte of a JSONL trace is '{'.
+	if first, err := br.Peek(1); err == nil && (first[0] == '{' || first[0] == '[') {
+		r.json = true
+	}
+	r.sc = bufio.NewScanner(br)
+	r.sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	return r, nil
+}
+
+// Close releases the underlying file (if Open was used).
+func (r *Reader) Close() error {
+	var err error
+	for i := len(r.closers) - 1; i >= 0; i-- {
+		if cerr := r.closers[i].Close(); err == nil {
+			err = cerr
+		}
+	}
+	r.closers = nil
+	return err
+}
+
+// Stats reports consumption counters (complete once Next returned
+// io.EOF).
+func (r *Reader) Stats() Stats { return r.stats }
+
+// Next yields the next normalized event in time order, io.EOF at the
+// end, or the first validation error in strict mode.
+func (r *Reader) Next() (Event, error) {
+	for {
+		if len(r.ready) > 0 {
+			ev := r.ready[0]
+			r.ready = r.ready[1:]
+			return ev, nil
+		}
+		if r.err != nil {
+			return Event{}, r.err
+		}
+		if !r.sc.Scan() {
+			if err := r.sc.Err(); err != nil {
+				r.err = fmt.Errorf("ctrace: line %d: %w", r.line+1, err)
+			} else {
+				r.flushSubmits()
+				r.err = io.EOF
+			}
+			continue
+		}
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || (!r.json && line == header) {
+			continue
+		}
+		r.stats.Rows++
+		if err := r.consume(line); err != nil {
+			if r.opts.Lenient {
+				r.stats.Skipped++
+				continue
+			}
+			r.err = fmt.Errorf("ctrace: line %d: %w", r.line, err)
+		}
+	}
+}
+
+// badf builds a row-level validation error.
+func badf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}
+
+// checkRequest validates one resource request (relative to the largest
+// machine, so [0,1] and finite).
+func checkRequest(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return badf("%s request is not finite", name)
+	}
+	if v < 0 || v > 1 {
+		return badf("%s request %v outside [0,1]", name, v)
+	}
+	return nil
+}
+
+// checkTime validates and registers a row timestamp: non-negative and
+// non-decreasing across the file.
+func (r *Reader) checkTime(us int64) error {
+	if us < 0 {
+		return badf("negative timestamp %d", us)
+	}
+	if r.started && us < r.lastUS {
+		return badf("timestamp %dus before previous row at %dus (trace must be time-ordered)", us, r.lastUS)
+	}
+	return nil
+}
+
+// accept commits a validated row timestamp, flushing submit groups from
+// earlier instants first.
+func (r *Reader) accept(us int64) {
+	if !r.started || us > r.curUS {
+		r.flushSubmits()
+		r.curUS = us
+	}
+	r.started = true
+	r.lastUS = us
+}
+
+// consume parses and applies one physical line.
+func (r *Reader) consume(line string) error {
+	if r.json {
+		return r.consumeJSON(line)
+	}
+	return r.consumeCSV(line)
+}
+
+// csvRow is one parsed CSV line.
+type csvRow struct {
+	us       int64
+	code     int
+	job      string
+	task     int
+	user     string
+	cpu, mem float64
+}
+
+// parseCSVLine parses (without applying) one CSV row. It is the CSV
+// half of the fuzz surface.
+func parseCSVLine(line string) (csvRow, error) {
+	var row csvRow
+	f := strings.Split(line, ",")
+	if len(f) != 7 {
+		return row, badf("want 7 fields time_us,event,job,task,user,cpu,mem; got %d", len(f))
+	}
+	us, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+	if err != nil {
+		return row, badf("time_us: %v", err)
+	}
+	row.us = us
+	ev := strings.ToLower(strings.TrimSpace(f[1]))
+	switch ev {
+	case "submit":
+		row.code = 0
+	case "finish":
+		row.code = 4
+	case "kill":
+		row.code = 5
+	default:
+		code, err := strconv.Atoi(ev)
+		if err != nil || code < 0 || code > 8 {
+			return row, badf("event %q is neither a Google code 0-8 nor submit/finish/kill", f[1])
+		}
+		row.code = code
+	}
+	row.job = strings.TrimSpace(f[2])
+	if row.job == "" {
+		return row, badf("empty job id")
+	}
+	task, err := strconv.Atoi(strings.TrimSpace(f[3]))
+	if err != nil || task < 0 {
+		return row, badf("task index %q is not a non-negative integer", f[3])
+	}
+	row.task = task
+	row.user = strings.TrimSpace(f[4])
+	if row.cpu, err = strconv.ParseFloat(strings.TrimSpace(f[5]), 64); err != nil {
+		return row, badf("cpu: %v", err)
+	}
+	if row.mem, err = strconv.ParseFloat(strings.TrimSpace(f[6]), 64); err != nil {
+		return row, badf("mem: %v", err)
+	}
+	return row, nil
+}
+
+// consumeCSV applies one task-level row: submits coalesce into pod
+// submit groups, task ends decrement the job's live count and emit the
+// pod end when it empties.
+func (r *Reader) consumeCSV(line string) error {
+	row, err := parseCSVLine(line)
+	if err != nil {
+		return err
+	}
+	if err := r.checkTime(row.us); err != nil {
+		return err
+	}
+	switch row.code {
+	case 1, 7, 8: // SCHEDULE / UPDATE_PENDING / UPDATE_RUNNING: not lifecycle
+		r.stats.Ignored++
+		r.accept(row.us)
+		return nil
+	case 0: // SUBMIT
+		if err := checkRequest("cpu", row.cpu); err != nil {
+			return err
+		}
+		if err := checkRequest("mem", row.mem); err != nil {
+			return err
+		}
+		if _, already := r.open[row.job]; already {
+			return badf("job %s submitted while already live", row.job)
+		}
+		r.accept(row.us)
+		if _, ok := r.building[row.job]; !ok {
+			r.order = append(r.order, row.job)
+			r.user[row.job] = row.user
+		}
+		r.building[row.job] = append(r.building[row.job], trace.Container{CPU: row.cpu, Mem: row.mem})
+		return nil
+	case 2, 3, 4, 5, 6: // EVICT / FAIL / FINISH / KILL / LOST: task ends
+		// accept flushes groups from earlier instants; an end at the
+		// submit instant itself closes the same-instant groups explicitly
+		// so the submit event precedes its own end.
+		r.accept(row.us)
+		if _, building := r.building[row.job]; building {
+			r.flushSubmits()
+		}
+		n, ok := r.open[row.job]
+		if !ok {
+			return badf("end event for unknown job %s", row.job)
+		}
+		if n--; n > 0 {
+			r.open[row.job] = n
+			return nil
+		}
+		delete(r.open, row.job)
+		kind := Kill
+		if row.code == 4 {
+			kind = Finish
+		}
+		r.emitEnd(row.us, kind, row.job, r.user[row.job])
+		return nil
+	}
+	// code 0-8 was validated above; anything else is unreachable.
+	return badf("unhandled event code %d", row.code)
+}
+
+// jsonRow is one parsed JSONL line: a pod-level event.
+type jsonRow struct {
+	US         int64  `json:"t_us"`
+	Ev         string `json:"ev"`
+	Pod        string `json:"pod"`
+	User       string `json:"user"`
+	Containers []struct {
+		CPU float64 `json:"cpu"`
+		Mem float64 `json:"mem"`
+	} `json:"containers"`
+}
+
+// parseJSONLine parses (without applying) one JSONL row — the JSON half
+// of the fuzz surface.
+func parseJSONLine(line string) (jsonRow, EventKind, error) {
+	var row jsonRow
+	dec := json.NewDecoder(strings.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&row); err != nil {
+		return row, 0, badf("json: %v", err)
+	}
+	var kind EventKind
+	switch strings.ToLower(row.Ev) {
+	case "submit":
+		kind = Submit
+	case "finish":
+		kind = Finish
+	case "kill":
+		kind = Kill
+	default:
+		return row, 0, badf("event %q (want submit/finish/kill)", row.Ev)
+	}
+	if row.Pod == "" {
+		return row, 0, badf("empty pod id")
+	}
+	if kind == Submit && len(row.Containers) == 0 {
+		return row, 0, badf("submit without containers")
+	}
+	for i, c := range row.Containers {
+		if err := checkRequest(fmt.Sprintf("container %d cpu", i), c.CPU); err != nil {
+			return row, 0, err
+		}
+		if err := checkRequest(fmt.Sprintf("container %d mem", i), c.Mem); err != nil {
+			return row, 0, err
+		}
+	}
+	return row, kind, nil
+}
+
+// consumeJSON applies one pod-level row.
+func (r *Reader) consumeJSON(line string) error {
+	row, kind, err := parseJSONLine(line)
+	if err != nil {
+		return err
+	}
+	if err := r.checkTime(row.US); err != nil {
+		return err
+	}
+	switch kind {
+	case Submit:
+		if _, already := r.open[row.Pod]; already {
+			return badf("pod %s submitted while already live", row.Pod)
+		}
+		r.accept(row.US)
+		ctrs := make([]trace.Container, len(row.Containers))
+		for i, c := range row.Containers {
+			ctrs[i] = trace.Container{CPU: c.CPU, Mem: c.Mem}
+		}
+		r.open[row.Pod] = 1
+		r.user[row.Pod] = row.User
+		r.stats.Pods++
+		r.ready = append(r.ready, Event{
+			Time: time.Duration(row.US) * time.Microsecond, Kind: Submit,
+			Pod: row.Pod, User: row.User, Containers: ctrs,
+		})
+	default:
+		if _, ok := r.open[row.Pod]; !ok {
+			return badf("end event for unknown pod %s", row.Pod)
+		}
+		r.accept(row.US)
+		delete(r.open, row.Pod)
+		// The submit's recorded user wins: an end row with a missing or
+		// different user must still partition to the submit's world.
+		r.emitEnd(row.US, kind, row.Pod, r.user[row.Pod])
+	}
+	return nil
+}
+
+// flushSubmits releases the submit groups built at the current
+// timestamp, in first-seen job order, and registers their live task
+// counts. The per-job user survives until the job ends, so end events
+// partition to the same world as their submit.
+func (r *Reader) flushSubmits() {
+	for _, job := range r.order {
+		ctrs := r.building[job]
+		r.open[job] = len(ctrs)
+		r.stats.Pods++
+		r.ready = append(r.ready, Event{
+			Time: time.Duration(r.curUS) * time.Microsecond, Kind: Submit,
+			Pod: job, User: r.user[job], Containers: ctrs,
+		})
+		delete(r.building, job)
+	}
+	r.order = r.order[:0]
+}
+
+// emitEnd queues a pod end event and drops the job's retained user.
+func (r *Reader) emitEnd(us int64, kind EventKind, pod, user string) {
+	r.stats.Ends++
+	r.ready = append(r.ready, Event{
+		Time: time.Duration(us) * time.Microsecond, Kind: kind, Pod: pod, User: user,
+	})
+	delete(r.user, pod)
+}

@@ -1,0 +1,59 @@
+package ctrace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nestless/internal/trace"
+)
+
+// NewSynth adapts a synthetic population (internal/trace's generator
+// output, churn stamps included) into the same event stream a recorded
+// trace file yields: one Submit per pod at its arrival, one Finish at
+// arrival+lifetime for pods that depart. Times are quantized to the
+// trace formats' microsecond resolution so a population written with
+// Write and read back through a Reader replays identically.
+//
+// This is the Source the cluster simulator consumes when no file is in
+// play — synthetic churn and real traces enter through one interface.
+func NewSynth(users []trace.User) *Slice {
+	var evs []Event
+	// Submits first, then ends: the stable sort keeps that relative
+	// order at equal timestamps, so a zero-lifetime pod still submits
+	// before it finishes.
+	for _, u := range users {
+		user := fmt.Sprintf("u%d", u.ID)
+		for _, p := range u.Pods {
+			evs = append(evs, Event{
+				Time:       quantize(p.Arrival),
+				Kind:       Submit,
+				Pod:        p.ID,
+				User:       user,
+				Containers: p.Containers,
+			})
+		}
+	}
+	for _, u := range users {
+		user := fmt.Sprintf("u%d", u.ID)
+		for _, p := range u.Pods {
+			if p.Lifetime <= 0 {
+				continue // runs forever
+			}
+			evs = append(evs, Event{
+				Time: quantize(p.Arrival + p.Lifetime),
+				Kind: Finish,
+				Pod:  p.ID,
+				User: user,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].Time < evs[b].Time })
+	return NewSlice(evs)
+}
+
+// quantize truncates a duration to the microsecond resolution of the
+// on-disk formats.
+func quantize(d time.Duration) time.Duration {
+	return d - d%time.Microsecond
+}

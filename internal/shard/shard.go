@@ -1,0 +1,337 @@
+// Package shard replays one trace event stream across N independent
+// cluster shards. Each logical world is an authoritative cluster
+// simulation on its own engine — its own clock, fault stream and
+// autoscaler — fed a deterministic hash-partition of the trace (by
+// user, so one tenant's pods land together). Worlds only touch at
+// epoch barriers: every BarrierEvery of virtual time the runner stops
+// all worlds at the same instant, folds their state digests, and
+// drains the explicit transfer mailboxes that carry pods between
+// worlds (cross-shard migration of long-pending pods).
+//
+// The determinism contract: the number of logical WORLDS fixes the
+// partition and every barrier decision, while Shards only picks how
+// many goroutines execute those worlds between barriers. Worlds never
+// share mutable state and the barrier phases run serially in world
+// index order, so the merged results, trajectories, digests and
+// telemetry are byte-identical for any shard count — replaying at
+// -shards 8 is a wall-clock optimisation, never a different
+// experiment. The equivalence suite pins this bit for bit, fault
+// schedules included.
+package shard
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nestless/internal/cluster"
+	"nestless/internal/ctrace"
+	"nestless/internal/parallel"
+	"nestless/internal/sim"
+)
+
+// worldSeedStride decorrelates per-world fault streams, a large prime
+// (distinct from the population runner's user stride) so world and
+// user seed ladders never collide.
+const worldSeedStride = 999_983
+
+// Config shapes one sharded replay.
+type Config struct {
+	// Worlds is the number of logical cluster worlds the trace is
+	// hash-partitioned over (default 8). This — not Shards — defines
+	// the experiment: changing it changes the partition and therefore
+	// the results.
+	Worlds int
+	// Shards is the number of goroutines executing worlds between
+	// barriers (default 1). Any value produces byte-identical output; a
+	// telemetry recorder forces 1 (single shared timeline).
+	Shards int
+	// BarrierEvery is the epoch length: how often all worlds stop at
+	// the same virtual instant for the digest fold and the transfer
+	// drain (default 15m).
+	BarrierEvery time.Duration
+	// MigrateAfter enables cross-world migration: at each barrier,
+	// pods pending longer than this are transferred to the
+	// least-loaded other world. Zero disables migration.
+	MigrateAfter time.Duration
+	// Cluster is the per-world template. Pods must be empty (the trace
+	// is the workload); world w runs with Seed + w*worldSeedStride.
+	Cluster cluster.Config
+	// Audit runs the leak/conservation checker on every world after
+	// the horizon and fails the replay on any finding (tests).
+	Audit bool
+}
+
+// Result is the merged outcome of one sharded replay.
+type Result struct {
+	// Worlds holds each world's full result, in world index order.
+	Worlds []cluster.Result
+	// Merged is the population view: counters summed across worlds,
+	// trajectories merged pointwise. TTSP95 and FleetTypes do not
+	// compose across worlds and are left zero/nil; TTSMean is the
+	// exact population mean recomputed from the summed TTSSum.
+	Merged cluster.Result
+	// Digest folds every world's per-epoch state digest in (epoch,
+	// world) order — the replay's schedule-independence fingerprint.
+	Digest uint64
+	// Epochs is the number of barrier intervals executed.
+	Epochs int
+	// Migrations counts pods transferred between worlds.
+	Migrations int
+	// Event accounting for the consumed stream.
+	Events, Submits, Ends int
+	// BeyondHorizon counts submits past the horizon (never fed).
+	BeyondHorizon int
+}
+
+// Replay drains src through cfg.Worlds cluster worlds to the horizon
+// and merges the results. src must yield time-ordered events (every
+// ctrace source does).
+func Replay(src ctrace.Source, cfg Config) (Result, error) {
+	if cfg.Worlds <= 0 {
+		cfg.Worlds = 8
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.BarrierEvery <= 0 {
+		cfg.BarrierEvery = 15 * time.Minute
+	}
+	if len(cfg.Cluster.Pods) != 0 {
+		return Result{}, fmt.Errorf("shard: Cluster.Pods must be empty (the trace is the workload)")
+	}
+	serial := cfg.Cluster.Rec != nil
+	if serial {
+		cfg.Shards = 1
+	}
+
+	worlds := make([]*cluster.Cluster, cfg.Worlds)
+	for w := range worlds {
+		wcfg := cfg.Cluster
+		wcfg.Seed = cfg.Cluster.Seed + int64(w)*worldSeedStride
+		worlds[w] = cluster.New(wcfg)
+		worlds[w].Start()
+	}
+	horizon := worlds[0].Horizon()
+	epoch := sim.Time(cfg.BarrierEvery)
+
+	var res Result
+	// moved routes a migrated pod's later end events to the world that
+	// now owns it, overriding the hash partition.
+	moved := map[string]int{}
+	route := func(ev ctrace.Event) int {
+		if ev.Kind != ctrace.Submit {
+			if w, ok := moved[ev.Pod]; ok {
+				return w
+			}
+		}
+		return ctrace.Partition(ev, cfg.Worlds)
+	}
+	feed := func(ev ctrace.Event) error {
+		res.Events++
+		if ev.Kind == ctrace.Submit {
+			res.Submits++
+		} else {
+			res.Ends++
+		}
+		if ev.Time > time.Duration(horizon) && ev.Kind == ctrace.Submit {
+			res.BeyondHorizon++
+			worlds[route(ev)].NoteBeyondHorizon()
+			return nil
+		}
+		return worlds[route(ev)].FeedEvent(ev)
+	}
+
+	var held *ctrace.Event
+	eof := false
+	for t := sim.Time(0); t < horizon; {
+		end := t + epoch
+		if end > horizon {
+			end = horizon
+		}
+		// Feed phase: route every event up to the barrier. Engines are
+		// parked at t, so scheduling is cheap appends to their heaps.
+		for !eof {
+			var ev ctrace.Event
+			if held != nil {
+				ev, held = *held, nil
+			} else {
+				var err error
+				ev, err = src.Next()
+				if err == io.EOF {
+					eof = true
+					break
+				}
+				if err != nil {
+					return Result{}, err
+				}
+			}
+			if sim.Time(ev.Time) > end {
+				held = &ev
+				break
+			}
+			if err := feed(ev); err != nil {
+				return Result{}, err
+			}
+		}
+		// Advance phase: every world runs independently to the barrier.
+		if serial {
+			for w := range worlds {
+				worlds[w].Activate(fmt.Sprintf("world-%d", w))
+				worlds[w].Advance(end)
+			}
+		} else {
+			parallel.Run(cfg.Worlds, cfg.Shards, func(w int) {
+				worlds[w].Advance(end)
+			})
+		}
+		res.Epochs++
+		// Digest phase: fold world fingerprints in index order.
+		for w := range worlds {
+			res.Digest = fold(res.Digest, worlds[w].Digest())
+		}
+		// Transfer phase: drain mailboxes, serially, in index order.
+		// Skipped at the final barrier — a pod injected at the horizon
+		// would never see a schedule pass.
+		if cfg.MigrateAfter > 0 && cfg.Worlds > 1 && end < horizon {
+			if err := drainTransfers(worlds, moved, cfg.MigrateAfter, &res); err != nil {
+				return Result{}, err
+			}
+		}
+		t = end
+	}
+	// Tail drain: whatever the trace holds past the horizon is counted
+	// but never fed.
+	if held != nil {
+		if err := pastHorizon(*held, worlds, route, &res); err != nil {
+			return Result{}, err
+		}
+	}
+	for !eof {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		if err := pastHorizon(ev, worlds, route, &res); err != nil {
+			return Result{}, err
+		}
+	}
+	// Finish phase: close every world's books in index order.
+	res.Worlds = make([]cluster.Result, cfg.Worlds)
+	for w := range worlds {
+		res.Worlds[w] = worlds[w].Finish()
+		if cfg.Audit {
+			if leaks := worlds[w].Leaks(); len(leaks) > 0 {
+				return Result{}, fmt.Errorf("shard: world %d leaks: %v", w, leaks)
+			}
+		}
+	}
+	res.Merged = merge(res.Worlds)
+	return res, nil
+}
+
+// pastHorizon books one unfed tail event.
+func pastHorizon(ev ctrace.Event, worlds []*cluster.Cluster, route func(ctrace.Event) int, res *Result) error {
+	res.Events++
+	if ev.Kind == ctrace.Submit {
+		res.Submits++
+		res.BeyondHorizon++
+		worlds[route(ev)].NoteBeyondHorizon()
+	} else {
+		res.Ends++
+	}
+	return nil
+}
+
+// drainTransfers is the barrier's migration phase: every world's
+// transfer-out mailbox empties into the least-loaded other world
+// (pending-queue depth, ties to the lowest index), and the moved map
+// re-routes the pods' future end events. Serial and index-ordered, so
+// the outcome is independent of how worlds were executed.
+func drainTransfers(worlds []*cluster.Cluster, moved map[string]int, olderThan time.Duration, res *Result) error {
+	for w := range worlds {
+		for _, tr := range worlds[w].TransferOut(olderThan) {
+			dest := -1
+			for d := range worlds {
+				if d == w {
+					continue
+				}
+				if dest < 0 || worlds[d].QueueLen() < worlds[dest].QueueLen() {
+					dest = d
+				}
+			}
+			if err := worlds[dest].InjectTransfer(tr); err != nil {
+				return err
+			}
+			moved[tr.Pod.ID] = dest
+			res.Migrations++
+		}
+	}
+	return nil
+}
+
+// fold mixes one world digest into the running replay digest (FNV-1a
+// over the digest's bytes).
+func fold(h, v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	if h == 0 {
+		h = offset
+	}
+	for s := 0; s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// merge sums world results into the population view. Counters and
+// integrals add; the trajectory merges pointwise (worlds share
+// SampleEvery and Horizon); TTSMean is recomputed from the exact sums;
+// TTSMax is the max of maxes. TTSP95 and FleetTypes do not compose
+// across independent worlds and stay zero/nil — read them per world.
+func merge(worlds []cluster.Result) cluster.Result {
+	var m cluster.Result
+	if len(worlds) == 0 {
+		return m
+	}
+	m.Policy = worlds[0].Policy
+	for _, r := range worlds {
+		m.Arrived += r.Arrived
+		m.BeyondHorizon += r.BeyondHorizon
+		m.Scheduled += r.Scheduled
+		m.Departed += r.Departed
+		m.Running += r.Running
+		m.StillPending += r.StillPending
+		m.Failed += r.Failed
+		m.Displaced += r.Displaced
+		m.Reschedules += r.Reschedules
+		m.Kills += r.Kills
+		m.TransferredIn += r.TransferredIn
+		m.TransferredOut += r.TransferredOut
+		m.ScaleUps += r.ScaleUps
+		m.ScaleDowns += r.ScaleDowns
+		m.ProvisionRetries += r.ProvisionRetries
+		m.OptimizerRuns += r.OptimizerRuns
+		m.OptimizerFull += r.OptimizerFull
+		m.OptimizerMoves += r.OptimizerMoves
+		m.PeakNodes += r.PeakNodes
+		m.FinalNodes += r.FinalNodes
+		m.CostDollars += r.CostDollars
+		m.FinalCostPerH += r.FinalCostPerH
+		m.TTSSum += r.TTSSum
+		if r.TTSMax > m.TTSMax {
+			m.TTSMax = r.TTSMax
+		}
+	}
+	if m.Scheduled > 0 {
+		m.TTSMean = m.TTSSum / time.Duration(m.Scheduled)
+	}
+	m.Samples = cluster.MergeTrajectories(worlds)
+	return m
+}

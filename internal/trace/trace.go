@@ -9,6 +9,17 @@
 // this generator reproduces its documented marginals (task count and
 // request-size tails) with a seeded deterministic sampler, which is what
 // the packing experiment actually exercises.
+//
+// Three packages say "trace" and mean different things:
+//
+//   - trace (this package) GENERATES synthetic workloads in memory —
+//     no files involved.
+//   - ctrace READS recorded cluster-trace FILES (task_events CSV or
+//     pod-level JSONL, gzipped or not) as a streaming event source, and
+//     writes them back (cmd/ctracegen).
+//   - telemetry WRITES Chrome trace-event dumps of a simulation run —
+//     the -trace out.json flag on every cmd/ tool names that OUTPUT;
+//     the replay INPUT flag is -replay.
 package trace
 
 import (

@@ -6,11 +6,13 @@
 #
 # Custom metrics ride along with the built-in ones — notably the
 # cluster scheduler throughput (BenchmarkSchedulerThroughput, pods/s
-# per policy) and the trace-scale lifecycle family
+# per policy), the trace-scale lifecycle family
 # (BenchmarkLifecycleScale, 1k/10k/100k pods per policy and scheduler
-# mode). CI gates on the committed copy: benchjson -baseline fails the
-# build when a LifecycleScale/1k pods/s figure drops more than 20%
-# below this file (see .github/workflows/ci.yml).
+# mode), and the sharded trace replay (BenchmarkTraceReplay, pods/s at
+# 1/4/8 shards over a ~100k-pod stream). CI gates on the committed
+# copy: benchjson -baseline fails the build when a LifecycleScale/1k or
+# TraceReplay/1shard pods/s figure drops more than 20% below this file
+# (see .github/workflows/ci.yml).
 #
 # Usage, from the repository root:
 #
