@@ -69,6 +69,10 @@ func main() {
 		"lifecycle: use the linear-scan reference scheduler instead of the capacity index (same placements, O(fleet) per decision — a debugging aid)")
 	fullRepack := flag.Bool("full-repack", false,
 		"lifecycle: pin the Hostlo optimizer to full-fleet passes instead of dirty-set incremental ones")
+	repackWorkers := flag.Int("repack-workers", 0,
+		"lifecycle: goroutines one incremental optimize pass fans candidate groups across (0 = GOMAXPROCS; any value is byte-identical)")
+	repackCache := flag.Int("repack-cache", 0,
+		"lifecycle: packing-cache entries per cluster world (0 = default 4096, negative = caching off; placements are byte-identical either way)")
 	replay := flag.String("replay", "",
 		"replay a recorded cluster trace file (csv/jsonl, .gz ok; see internal/ctrace) through the sharded lifecycle simulation instead of generating a workload")
 	shards := flag.Int("shards", 1,
@@ -93,6 +97,9 @@ func main() {
 	}
 	if *worlds < 1 {
 		cli.BadFlag("costsim: -worlds must be >= 1, got %d", *worlds)
+	}
+	if *repackWorkers < 0 {
+		cli.BadFlag("costsim: -repack-workers must be >= 0, got %d", *repackWorkers)
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -149,6 +156,7 @@ func main() {
 			shards: *shards, worlds: *worlds, barrier: *barrier,
 			migrateAfter: *migrateAfter, lenient: *lenient, sched: sched,
 			reference: *reference, fullRepack: *fullRepack,
+			repackWorkers: *repackWorkers, repackCache: *repackCache,
 			rec: tf.Recorder(), emit: emit,
 		})
 		tf.EmitOrDie("costsim")
@@ -160,6 +168,7 @@ func main() {
 			users: *users, seed: *seed, horizon: *horizon, gap: *gap,
 			life: *life, boot: *boot, workers: *workers, sched: sched,
 			reference: *reference, fullRepack: *fullRepack,
+			repackWorkers: *repackWorkers, repackCache: *repackCache,
 			rec: tf.Recorder(), emit: emit,
 		})
 		tf.EmitOrDie("costsim")
@@ -212,18 +221,20 @@ func main() {
 
 // lifecycleOpts bundles the -lifecycle run parameters.
 type lifecycleOpts struct {
-	users      int
-	seed       int64
-	horizon    time.Duration
-	gap        time.Duration
-	life       time.Duration
-	boot       time.Duration
-	workers    int
-	sched      *faults.Schedule
-	reference  bool
-	fullRepack bool
-	rec        *telemetry.Recorder
-	emit       func(*report.Table)
+	users         int
+	seed          int64
+	horizon       time.Duration
+	gap           time.Duration
+	life          time.Duration
+	boot          time.Duration
+	workers       int
+	sched         *faults.Schedule
+	reference     bool
+	fullRepack    bool
+	repackWorkers int
+	repackCache   int
+	rec           *telemetry.Recorder
+	emit          func(*report.Table)
 }
 
 // runLifecycle simulates the population's cluster lifecycle under both
@@ -237,13 +248,15 @@ func runLifecycle(o lifecycleOpts) {
 	pop := trace.Generate(cfg)
 
 	runs := cluster.SimulatePopulation(pop, cluster.Config{
-		Seed:       o.seed,
-		Horizon:    o.horizon,
-		BootDelay:  o.boot,
-		Faults:     o.sched,
-		Reference:  o.reference,
-		FullRepack: o.fullRepack,
-		Rec:        o.rec,
+		Seed:          o.seed,
+		Horizon:       o.horizon,
+		BootDelay:     o.boot,
+		Faults:        o.sched,
+		Reference:     o.reference,
+		FullRepack:    o.fullRepack,
+		RepackWorkers: o.repackWorkers,
+		PackCacheSize: o.repackCache,
+		Rec:           o.rec,
 	}, o.workers)
 
 	var kube, hostlo aggregate
@@ -276,6 +289,8 @@ func runLifecycle(o lifecycleOpts) {
 	t.AddRow("optimizer runs / moves", "-", fmt.Sprintf("%d / %d", hostlo.optRuns, hostlo.optMoves))
 	t.AddRow("optimizer passes incremental / full", "-",
 		fmt.Sprintf("%d / %d", hostlo.optRuns-hostlo.optFull, hostlo.optFull))
+	t.AddRow("packing cache hits / misses", "-",
+		fmt.Sprintf("%d / %d", hostlo.cacheHits, hostlo.cacheMisses))
 	if kube.dollars > 0 {
 		t.AddRow("hostlo savings", "-", report.Percent((kube.dollars-hostlo.dollars)/kube.dollars))
 	}
@@ -296,20 +311,22 @@ func runLifecycle(o lifecycleOpts) {
 
 // replayOpts bundles the -replay run parameters.
 type replayOpts struct {
-	path         string
-	seed         int64
-	horizon      time.Duration
-	boot         time.Duration
-	shards       int
-	worlds       int
-	barrier      time.Duration
-	migrateAfter time.Duration
-	lenient      bool
-	sched        *faults.Schedule
-	reference    bool
-	fullRepack   bool
-	rec          *telemetry.Recorder
-	emit         func(*report.Table)
+	path          string
+	seed          int64
+	horizon       time.Duration
+	boot          time.Duration
+	shards        int
+	worlds        int
+	barrier       time.Duration
+	migrateAfter  time.Duration
+	lenient       bool
+	sched         *faults.Schedule
+	reference     bool
+	fullRepack    bool
+	repackWorkers int
+	repackCache   int
+	rec           *telemetry.Recorder
+	emit          func(*report.Table)
 }
 
 // runReplay streams a recorded trace through the sharded multi-cluster
@@ -329,14 +346,16 @@ func runReplay(o replayOpts) {
 			BarrierEvery: o.barrier,
 			MigrateAfter: o.migrateAfter,
 			Cluster: cluster.Config{
-				Policy:     policy,
-				Seed:       o.seed,
-				Horizon:    o.horizon,
-				BootDelay:  o.boot,
-				Faults:     o.sched,
-				Reference:  o.reference,
-				FullRepack: o.fullRepack,
-				Rec:        o.rec,
+				Policy:        policy,
+				Seed:          o.seed,
+				Horizon:       o.horizon,
+				BootDelay:     o.boot,
+				Faults:        o.sched,
+				Reference:     o.reference,
+				FullRepack:    o.fullRepack,
+				RepackWorkers: o.repackWorkers,
+				PackCacheSize: o.repackCache,
+				Rec:           o.rec,
 			},
 		})
 		if err != nil {
@@ -408,7 +427,7 @@ type aggregate struct {
 	arrived, scheduled, departed, failed, pending    int
 	finalNodes, peakNodes, scaleUps, scaleDowns      int
 	kills, displaced, reschedules, optRuns, optMoves int
-	optFull, transfers                               int
+	optFull, transfers, cacheHits, cacheMisses       int
 	dollars, finalRate                               float64
 	ttsSum                                           time.Duration
 }
@@ -430,6 +449,8 @@ func (a *aggregate) add(r cluster.Result) {
 	a.optRuns += r.OptimizerRuns
 	a.optFull += r.OptimizerFull
 	a.optMoves += r.OptimizerMoves
+	a.cacheHits += r.OptimizerCacheHits
+	a.cacheMisses += r.OptimizerCacheMisses
 	a.dollars += r.CostDollars
 	a.finalRate += r.FinalCostPerH
 	a.ttsSum += r.TTSSum

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nestless/internal/trace"
 )
@@ -63,6 +64,70 @@ func (v *vm) remove(i int) item {
 type fleet struct {
 	catalog []VMType
 	vms     []*vm
+	// scratch holds the optimizer's reusable per-call buffers. A fleet
+	// and all its clones share one instance: passes within an
+	// improveHostlo call run strictly sequentially, and every
+	// OptimizeHostlo call owns a private fleet chain, so sharing stays
+	// safe even when calls run on parallel goroutines.
+	scratch *optScratch
+}
+
+// optScratch is the shared buffer set (see fleet.scratch). The zero
+// value is ready to use; buffers grow to the high-water mark of the
+// call and stay there.
+type optScratch struct {
+	order []int      // consolidate: candidate visit order
+	items []item     // consolidate: sorted copy of the source VM's items
+	plan  []consMove // consolidate: tentative moves, kept for revert
+	ffd   []item     // packContainersFFD: sorted copy of the input
+
+	// packContainersFFD's sub-fleet arenas. The returned fleet aliases
+	// them, so it is only valid until the next call with the same
+	// scratch — splitPass copies the sub-VMs out on the (rare) accept.
+	subVMs    []vm   // VM arena
+	subPtrs   []*vm  // the returned fleet's vms slice
+	subAssign []int  // item k → VM index
+	subCounts []int  // items per VM
+	subItems  []item // final per-VM item storage, one flat arena
+	subFleet  fleet  // the returned fleet header itself
+
+	vmix  vmIndex   // consolidate: recycled target index storage
+	spine []*vmNode // consolidate: Cartesian-build stack
+
+	// improveHostlo's clone double-buffer: at most two optimizer fleets
+	// are alive at once (cur and the clone being evaluated), so clones
+	// alternate between two recycled buffers instead of allocating.
+	cbuf  [2]cloneBuf
+	cbufN int // clones handed out; parity picks the buffer
+}
+
+// cloneBuf backs one recycled optimizer fleet (see optScratch.cbuf).
+type cloneBuf struct {
+	f      fleet
+	vms    []*vm
+	varena []vm
+	iarena []item
+}
+
+// scratchPool recycles optimizer scratch across OptimizeHostlo calls.
+// Each call checks one out for its private fleet chain, so concurrent
+// calls (the cluster's parallel repack fan-out) never share state.
+var scratchPool = sync.Pool{New: func() any { return &optScratch{} }}
+
+// sc returns the fleet's scratch, creating it on first use (fleets
+// built outside the optimizer entry points start without one).
+func (f *fleet) sc() *optScratch {
+	if f.scratch == nil {
+		f.scratch = &optScratch{}
+	}
+	return f.scratch
+}
+
+// consMove records one tentative consolidate relocation.
+type consMove struct {
+	target *vm
+	ord    int
+	it     item
 }
 
 // cost prices the fleet per hour.
@@ -75,14 +140,74 @@ func (f *fleet) cost() float64 {
 }
 
 // clone deep-copies the fleet (for revertable optimisation passes).
+// The copy is built in two arena allocations — one for the vm structs,
+// one flat item store sliced full-capacity per VM so a later place()
+// grows a private copy instead of clobbering a neighbor — because the
+// lifecycle optimizer clones small fleets millions of times and the
+// old per-VM allocations dominated its heap profile.
 func (f *fleet) clone() *fleet {
-	nf := &fleet{catalog: f.catalog, vms: make([]*vm, len(f.vms))}
+	nf := &fleet{catalog: f.catalog, vms: make([]*vm, len(f.vms)), scratch: f.scratch}
+	total := 0
+	for _, v := range f.vms {
+		total += len(v.items)
+	}
+	varena := make([]vm, len(f.vms))
+	iarena := make([]item, 0, total)
 	for i, v := range f.vms {
-		cp := *v
-		cp.items = append([]item(nil), v.items...)
-		nf.vms[i] = &cp
+		cp := &varena[i]
+		*cp = *v
+		is := len(iarena)
+		iarena = append(iarena, v.items...)
+		cp.items = iarena[is:len(iarena):len(iarena)]
+		nf.vms[i] = cp
 	}
 	return nf
+}
+
+// cloneBuffered is clone into one of the scratch's two recycled
+// buffers (improveHostlo keeps at most two optimizer fleets alive, and
+// the caller of the last clone copies the result out via fromFleet
+// before the scratch is recycled). Semantics match clone exactly: the
+// vm structs and one flat item store are rebuilt per call, and each
+// VM's items are capped sub-slices so a later place() grows a private
+// copy instead of clobbering a neighbor.
+func (f *fleet) cloneBuffered() *fleet {
+	sc := f.sc()
+	b := &sc.cbuf[sc.cbufN&1]
+	sc.cbufN++
+	total := 0
+	for _, v := range f.vms {
+		total += len(v.items)
+	}
+	if cap(b.vms) < len(f.vms) {
+		b.vms = make([]*vm, len(f.vms))
+		b.varena = make([]vm, len(f.vms))
+	} else {
+		b.vms = b.vms[:len(f.vms)]
+		b.varena = b.varena[:len(f.vms)]
+	}
+	// Each VM's region carries cloneSlack spare capacity so the first
+	// few place() calls consolidate aims at it extend in place instead
+	// of reallocating (placements past the slack fall back to a private
+	// append copy, same as before).
+	const cloneSlack = 32
+	need := total + cloneSlack*len(f.vms)
+	if cap(b.iarena) < need {
+		b.iarena = make([]item, need)
+	} else {
+		b.iarena = b.iarena[:need]
+	}
+	pos := 0
+	for i, v := range f.vms {
+		cp := &b.varena[i]
+		*cp = *v
+		n := copy(b.iarena[pos:], v.items)
+		cp.items = b.iarena[pos : pos+n : pos+n+cloneSlack]
+		b.vms[i] = cp
+		pos += n + cloneSlack
+	}
+	b.f = fleet{catalog: f.catalog, vms: b.vms, scratch: sc}
+	return &b.f
 }
 
 // shrink retypes every VM to the cheapest model that still holds its
@@ -166,13 +291,13 @@ func packKubernetesPolicy(user trace.User, catalog []VMType, pol Policy) (*fleet
 // a pass that does not help is reverted, so the result never costs more
 // than the baseline.
 func improveHostlo(base *fleet) *fleet {
-	cur := base.clone()
+	cur := base.cloneBuffered()
 	cur.shrink()
 	if cur.cost() > base.cost() {
-		cur = base.clone()
+		cur = base.cloneBuffered()
 	}
 	for pass := 0; pass < 10; pass++ {
-		next := cur.clone()
+		next := cur.cloneBuffered()
 		moved := next.consolidate()
 		split := next.splitPass()
 		next.shrink()
@@ -183,12 +308,23 @@ func improveHostlo(base *fleet) *fleet {
 	}
 	// A final split attempt catches single-VM fleets (nothing to
 	// consolidate, but the pod may still be cheaper in pieces — the
-	// paper's §2 motivating example).
-	final := cur.clone()
-	if final.splitPass() {
-		final.shrink()
-		if final.cost() < cur.cost() {
-			cur = final
+	// paper's §2 motivating example). Skipped when every VM is already
+	// trivially unsplittable or memoized clean: splitPass would report
+	// false without mutating anything, so the clone is pure waste.
+	needFinal := false
+	for _, v := range cur.vms {
+		if len(v.items) >= 2 && !(v.splitClean && v.splitCleanTyp == v.typ) {
+			needFinal = true
+			break
+		}
+	}
+	if needFinal {
+		final := cur.cloneBuffered()
+		if final.splitPass() {
+			final.shrink()
+			if final.cost() < cur.cost() {
+				cur = final
+			}
 		}
 	}
 	return cur
@@ -226,14 +362,19 @@ func (f *fleet) splitPass() bool {
 		if rates.repackBound(v.usedCPU, v.usedMem)*(1-1e-9) >= f.catalog[v.typ].PricePerH {
 			continue
 		}
-		sub := packContainersFFD(v.items, f.catalog)
+		sub := packContainersFFD(v.items, f.catalog, f.sc())
 		if sub == nil || sub.cost() >= f.catalog[v.typ].PricePerH {
 			v.splitClean, v.splitCleanTyp = true, v.typ
 			continue
 		}
-		// Replace v by the sub-fleet.
+		// Replace v by the sub-fleet, copying the VMs out of the
+		// scratch arenas the next packContainersFFD call will recycle.
 		f.vms = append(f.vms[:i], f.vms[i+1:]...)
-		f.vms = append(f.vms, sub.vms...)
+		for _, sv := range sub.vms {
+			nv := &vm{typ: sv.typ, usedCPU: sv.usedCPU, usedMem: sv.usedMem,
+				items: append([]item(nil), sv.items...)}
+			f.vms = append(f.vms, nv)
+		}
 		i--
 		changed = true
 	}
@@ -331,30 +472,80 @@ func (r catalogRates) repackBound(usedCPU, usedMem float64) float64 {
 
 // packContainersFFD packs items container-by-container: biggest first,
 // most-requested existing VM that fits, else buy the cheapest fitting
-// type. Returns nil if some item fits no machine.
-func packContainersFFD(items []item, catalog []VMType) *fleet {
-	sorted := append([]item(nil), items...)
+// type. Returns nil if some item fits no machine. The sort copy lives
+// in sc (the items themselves are copied by value into the new VMs, so
+// reusing the buffer across calls is safe); pass nil for a one-shot
+// call outside the optimizer loop.
+func packContainersFFD(items []item, catalog []VMType, sc *optScratch) *fleet {
+	if sc == nil {
+		sc = &optScratch{}
+	}
+	sorted := append(sc.ffd[:0], items...)
+	sc.ffd = sorted
 	sortItemsBySize(sorted, true)
-	f := &fleet{catalog: catalog}
+	// Two-pass arena build. FFD's per-item choice reads only the used
+	// sums, never the item slices, so pass 1 assigns every item to a VM
+	// index while accumulating the sums in exactly the order the old
+	// per-item place() calls did (identical floats), and pass 2 lays the
+	// item slices out contiguously in one arena. The hot path — this
+	// runs once per split probe, and most probes are discarded —
+	// allocates nothing once the scratch arenas have warmed up.
+	vms := sc.subVMs[:0]
+	assign := sc.subAssign[:0]
 	for _, it := range sorted {
-		var best *vm
-		for _, v := range f.vms {
+		best := -1
+		for j := range vms {
+			v := &vms[j]
 			if v.freeCPU(catalog) >= it.cpu && v.freeMem(catalog) >= it.mem {
-				if best == nil || v.requestedFraction(catalog) > best.requestedFraction(catalog) {
-					best = v
+				if best < 0 || v.requestedFraction(catalog) > vms[best].requestedFraction(catalog) {
+					best = j
 				}
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			t := cheapestFitting(catalog, it.cpu, it.mem)
 			if t < 0 {
+				sc.subVMs, sc.subAssign = vms, assign
 				return nil
 			}
-			best = &vm{typ: t}
-			f.vms = append(f.vms, best)
+			vms = append(vms, vm{typ: t})
+			best = len(vms) - 1
 		}
-		best.place(it)
+		vms[best].usedCPU += it.cpu
+		vms[best].usedMem += it.mem
+		assign = append(assign, best)
 	}
+	counts := sc.subCounts[:0]
+	for range vms {
+		counts = append(counts, 0)
+	}
+	for _, j := range assign {
+		counts[j]++
+	}
+	arena := sc.subItems[:0]
+	if cap(arena) < len(sorted) {
+		arena = make([]item, 0, len(sorted))
+	}
+	arena = arena[:len(sorted)]
+	offs := counts // reuse: counts[j] becomes the next write offset for VM j
+	next := 0
+	for j := range vms {
+		c := offs[j]
+		offs[j] = next
+		vms[j].items = arena[next : next : next+c]
+		next += c
+	}
+	for k, j := range assign {
+		vms[j].items = append(vms[j].items, sorted[k])
+	}
+	ptrs := sc.subPtrs[:0]
+	for j := range vms {
+		ptrs = append(ptrs, &vms[j])
+	}
+	sc.subVMs, sc.subAssign, sc.subCounts, sc.subItems, sc.subPtrs =
+		vms, assign, counts, arena, ptrs
+	sc.subFleet = fleet{catalog: catalog, vms: ptrs}
+	f := &sc.subFleet
 	// Shrink the sub-fleet so "cheapest fitting at purchase" does not
 	// leave oversized types behind.
 	f.shrink()
@@ -375,10 +566,12 @@ var consolidateIndexThreshold = 24
 // smallest containers first"). A candidate whose containers cannot all
 // be rehomed is left untouched. Reports whether anything moved.
 func (f *fleet) consolidate() bool {
-	order := make([]int, len(f.vms))
-	for i := range order {
-		order[i] = i
+	sc := f.sc()
+	order := sc.order[:0]
+	for i := range f.vms {
+		order = append(order, i)
 	}
+	sc.order = order
 	sort.SliceStable(order, func(a, b int) bool {
 		return f.vms[order[a]].waste(f.catalog) > f.vms[order[b]].waste(f.catalog)
 	})
@@ -389,10 +582,9 @@ func (f *fleet) consolidate() bool {
 	// capacities always equal the scan's live ones.
 	var ix *vmIndex
 	if len(f.vms) >= consolidateIndexThreshold {
-		ix = newVMIndex(f.catalog)
-		for i, v := range f.vms {
-			ix.add(v, i, v.waste(f.catalog))
-		}
+		ix = &sc.vmix
+		ix.reset(f.catalog, len(f.vms))
+		sc.spine = ix.buildSorted(f, order, sc.spine)
 	}
 
 	moved := false
@@ -435,14 +627,10 @@ func (f *fleet) consolidate() bool {
 			continue
 		}
 		// Tentatively rehome every container, smallest first.
-		items := append([]item(nil), src.items...)
+		items := append(sc.items[:0], src.items...)
+		sc.items = items
 		sortItemsBySize(items, false)
-		type placement struct {
-			target *vm
-			ord    int
-			it     item
-		}
-		var plan []placement
+		plan := sc.plan[:0]
 		ok := true
 		for _, it := range items {
 			var best *vm
@@ -471,8 +659,9 @@ func (f *fleet) consolidate() bool {
 			if ix != nil {
 				ix.refresh(best, ord, best.waste(f.catalog))
 			}
-			plan = append(plan, placement{target: best, ord: ord, it: it})
+			plan = append(plan, consMove{target: best, ord: ord, it: it})
 		}
+		sc.plan = plan[:0]
 		if !ok {
 			// Revert tentative placements.
 			for _, p := range plan {
@@ -492,7 +681,11 @@ func (f *fleet) consolidate() bool {
 			}
 			continue
 		}
-		src.items = nil
+		// Truncate rather than nil: the emptied VM is now the most-wasted
+		// machine in the fleet, i.e. the prime target for every later
+		// candidate's containers, and keeping its slice capacity lets
+		// those moves append in place instead of reallocating.
+		src.items = src.items[:0]
 		src.usedCPU, src.usedMem = 0, 0
 		if ix != nil {
 			// Emptied: back in the index at full waste — later candidates

@@ -38,27 +38,51 @@ func MostRequestedFraction(t VMType, usedCPU, usedMem float64) float64 {
 // toFleet converts an exported placement into the internal fleet form,
 // preserving VM order and item order — the optimizer's passes use
 // stable sorts, so order is part of its determinism contract.
+// Like fleet.clone, the conversion builds into two arenas (vm structs,
+// one flat full-capacity-sliced item store): the lifecycle optimizer
+// runs this per candidate group, millions of times at trace scale. The
+// used sums accumulate in item order, exactly as the old per-item
+// place() calls did, so the floats come out bit-identical.
 func toFleet(vms []PlacedVM, catalog []VMType) *fleet {
-	f := &fleet{catalog: catalog, vms: make([]*vm, 0, len(vms))}
-	for _, pv := range vms {
-		v := &vm{typ: pv.Type}
+	total := 0
+	for i := range vms {
+		total += len(vms[i].Items)
+	}
+	f := &fleet{catalog: catalog, vms: make([]*vm, len(vms))}
+	varena := make([]vm, len(vms))
+	iarena := make([]item, 0, total)
+	for i := range vms {
+		pv := &vms[i]
+		v := &varena[i]
+		v.typ = pv.Type
+		is := len(iarena)
 		for _, it := range pv.Items {
-			v.place(item{pod: it.Pod, cpu: it.CPU, mem: it.Mem})
+			iarena = append(iarena, item{pod: it.Pod, cpu: it.CPU, mem: it.Mem})
+			v.usedCPU += it.CPU
+			v.usedMem += it.Mem
 		}
-		f.vms = append(f.vms, v)
+		v.items = iarena[is:len(iarena):len(iarena)]
+		f.vms[i] = v
 	}
 	return f
 }
 
-// fromFleet converts back, preserving order.
+// fromFleet converts back, preserving order, into one flat item arena
+// (full-capacity sub-slices keep any later append from clobbering a
+// neighbor).
 func fromFleet(f *fleet) []PlacedVM {
-	out := make([]PlacedVM, 0, len(f.vms))
+	total := 0
 	for _, v := range f.vms {
-		pv := PlacedVM{Type: v.typ, Items: make([]PlacedItem, 0, len(v.items))}
+		total += len(v.items)
+	}
+	out := make([]PlacedVM, 0, len(f.vms))
+	arena := make([]PlacedItem, 0, total)
+	for _, v := range f.vms {
+		is := len(arena)
 		for _, it := range v.items {
-			pv.Items = append(pv.Items, PlacedItem{Pod: it.pod, CPU: it.cpu, Mem: it.mem})
+			arena = append(arena, PlacedItem{Pod: it.pod, CPU: it.cpu, Mem: it.mem})
 		}
-		out = append(out, pv)
+		out = append(out, PlacedVM{Type: v.typ, Items: arena[is:len(arena):len(arena)]})
 	}
 	return out
 }
@@ -73,33 +97,57 @@ func OptimizeHostlo(vms []PlacedVM, catalog []VMType) []PlacedVM {
 	if len(vms) == 0 {
 		return nil
 	}
-	return fromFleet(improveHostlo(toFleet(vms, catalog)))
+	f := toFleet(vms, catalog)
+	// Check a recycled scratch out of the pool for this call's private
+	// fleet chain; everything the optimizer built aliases it, so it
+	// goes back only after fromFleet has copied the result out.
+	sc := scratchPool.Get().(*optScratch)
+	f.scratch = sc
+	out := fromFleet(improveHostlo(f))
+	scratchPool.Put(sc)
+	return out
 }
 
-// VMSignature is a canonical content digest of one placed VM: its type,
-// item count and an order-independent 128-bit hash of the item multiset
-// (two independent accumulators over per-item FNV-1a hashes; summing
-// makes the digest invariant under item order, which is what "same
-// machine" means). The cluster simulator's incremental reconciliation
-// uses it to match optimizer output back onto existing nodes: a VM
-// whose signature survives a pass is the same machine, so its cost
-// clock keeps running. This is the reconciliation hot path — hashing
-// raw float bits beats formatting decimals by an order of magnitude.
-func VMSignature(typ int, items []PlacedItem) string {
+// VMSig is the canonical content digest of one placed VM in comparable
+// struct form: catalog type, item count and an order-independent
+// 128-bit hash of the item multiset (two independent accumulators over
+// per-item FNV-1a hashes; summing makes the digest invariant under
+// item order, which is what "same machine" means). The cluster
+// simulator's incremental reconciliation uses it as a map key to match
+// optimizer output back onto existing nodes — a VM whose signature
+// survives a pass is the same machine, so its cost clock keeps running
+// — and the packing cache folds it into group keys. This is the
+// reconciliation hot path: a comparable struct costs no allocation at
+// all, where even raw-bit string formatting allocated per call.
+type VMSig struct {
+	Type  int
+	Count int
+	A, B  uint64
+}
+
+// VMSigOf digests one placed VM (see VMSig).
+func VMSigOf(typ int, items []PlacedItem) VMSig {
 	var a, b uint64
 	for _, it := range items {
 		h := itemHash(it)
 		a += h
 		b += mix64(h)
 	}
+	return VMSig{Type: typ, Count: len(items), A: a, B: b}
+}
+
+// VMSignature is VMSigOf rendered as a string, the original exported
+// form (kept for callers that want a printable digest).
+func VMSignature(typ int, items []PlacedItem) string {
+	s := VMSigOf(typ, items)
 	buf := make([]byte, 0, 48)
-	buf = strconv.AppendInt(buf, int64(typ), 10)
+	buf = strconv.AppendInt(buf, int64(s.Type), 10)
 	buf = append(buf, ';')
-	buf = strconv.AppendInt(buf, int64(len(items)), 10)
+	buf = strconv.AppendInt(buf, int64(s.Count), 10)
 	buf = append(buf, ';')
-	buf = strconv.AppendUint(buf, a, 16)
+	buf = strconv.AppendUint(buf, s.A, 16)
 	buf = append(buf, ';')
-	buf = strconv.AppendUint(buf, b, 16)
+	buf = strconv.AppendUint(buf, s.B, 16)
 	return string(buf)
 }
 

@@ -142,49 +142,134 @@ func (t *vmNode) firstFit(cpu, mem float64) *vmNode {
 	return t.r.firstFit(cpu, mem)
 }
 
-// vmIndex wraps the treap with the by-ordinal handle map the mutation
-// paths need (a VM's node must be findable to remove + re-insert it).
+// vmIndex wraps the treap with the by-ordinal handle table the
+// mutation paths need (a VM's node must be findable to remove +
+// re-insert it). Node storage is a flat arena indexed by ordinal:
+// consolidate builds a fresh index per call over ordinals 0..n-1, so
+// sizing the arena up front turns what used to be one heap node plus a
+// map insert per VM into two slice allocations per call. Ordinals at
+// or past the arena (only the tests' growing workloads produce them)
+// fall back to individually allocated nodes; arena pointers stay valid
+// because the arena itself never grows.
 type vmIndex struct {
-	root  *vmNode
-	nodes map[int]*vmNode
-	cat   []VMType
+	root    *vmNode
+	arena   []vmNode
+	handles []*vmNode // by ordinal; nil = not indexed
+	cat     []VMType
 }
 
-func newVMIndex(cat []VMType) *vmIndex {
-	return &vmIndex{nodes: map[int]*vmNode{}, cat: cat}
+// newVMIndex sizes the index for ordinals 0..n-1.
+func newVMIndex(cat []VMType, n int) *vmIndex {
+	return &vmIndex{arena: make([]vmNode, n), handles: make([]*vmNode, n), cat: cat}
+}
+
+// reset prepares a recycled index for a fresh build over ordinals
+// 0..n-1, growing the arenas to fit and clearing the handle table —
+// consolidate rebuilds its index on every call, and recycling the
+// backing storage through the optimizer scratch keeps that off the
+// heap profile.
+func (ix *vmIndex) reset(cat []VMType, n int) {
+	ix.root, ix.cat = nil, cat
+	if cap(ix.arena) < n {
+		ix.arena = make([]vmNode, n)
+		ix.handles = make([]*vmNode, n)
+		return
+	}
+	ix.arena = ix.arena[:n]
+	ix.handles = ix.handles[:n]
+	for i := range ix.handles {
+		ix.handles[i] = nil
+	}
+}
+
+// buildSorted bulk-loads the index from VMs already sorted in tree
+// order — (score desc, ordinal asc), exactly consolidate's visit order
+// — using the stack-based Cartesian-tree construction: O(n) total, no
+// rotations, against n O(log n) rotating inserts. The stack holds the
+// right spine; a node's aggregates are finalized when it leaves the
+// spine (its subtree is complete then), and the leftover spine is
+// finalized bottom-up at the end. The result is a valid treap — BST
+// order by construction, min-heap on prio by the pop invariant — so
+// the incremental add/remove/refresh paths operate on it unchanged,
+// and queries are shape-independent anyway (first in-order fit).
+// spine is caller-owned scratch; the grown slice is returned for
+// reuse.
+func (ix *vmIndex) buildSorted(f *fleet, order []int, spine []*vmNode) []*vmNode {
+	spine = spine[:0]
+	for _, ord := range order {
+		v := f.vms[ord]
+		n := &ix.arena[ord]
+		ix.handles[ord] = n
+		*n = vmNode{
+			v: v, score: v.waste(ix.cat), ord: ord, prio: mix64(uint64(ord) + 1),
+			freeCPU: v.freeCPU(ix.cat), freeMem: v.freeMem(ix.cat),
+		}
+		var last *vmNode
+		for len(spine) > 0 && spine[len(spine)-1].prio > n.prio {
+			last = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+			last.update()
+		}
+		n.l = last
+		if len(spine) > 0 {
+			spine[len(spine)-1].r = n
+		}
+		spine = append(spine, n)
+	}
+	for i := len(spine) - 1; i >= 0; i-- {
+		spine[i].update()
+	}
+	if len(spine) > 0 {
+		ix.root = spine[0]
+	}
+	return spine
 }
 
 // add indexes v under the given score, freezing its current free
 // capacities.
 func (ix *vmIndex) add(v *vm, ord int, score float64) {
-	n := &vmNode{
+	for ord >= len(ix.handles) {
+		ix.handles = append(ix.handles, nil)
+	}
+	n := ix.handles[ord]
+	if n == nil {
+		if ord < len(ix.arena) {
+			n = &ix.arena[ord]
+		} else {
+			n = &vmNode{}
+		}
+		ix.handles[ord] = n
+	}
+	*n = vmNode{
 		v: v, score: score, ord: ord, prio: mix64(uint64(ord) + 1),
 		freeCPU: v.freeCPU(ix.cat), freeMem: v.freeMem(ix.cat),
 	}
-	ix.nodes[ord] = n
 	ix.root = vmInsert(ix.root, n)
 }
 
 // remove drops the VM with this ordinal, if indexed.
 func (ix *vmIndex) remove(ord int) {
-	n, ok := ix.nodes[ord]
-	if !ok {
+	if ord >= len(ix.handles) || ix.handles[ord] == nil {
 		return
 	}
-	delete(ix.nodes, ord)
+	n := ix.handles[ord]
+	if n.v == nil {
+		return
+	}
 	ix.root = vmDelete(ix.root, n.score, n.ord)
 	n.l, n.r = nil, nil
+	n.v = nil
 }
 
 // refresh re-indexes the VM with this ordinal under a new score after
 // its contents changed, reusing its treap node (no allocation — this
 // runs once per tentative container move in consolidate).
 func (ix *vmIndex) refresh(v *vm, ord int, score float64) {
-	n, ok := ix.nodes[ord]
-	if !ok {
+	if ord >= len(ix.handles) || ix.handles[ord] == nil || ix.handles[ord].v == nil {
 		ix.add(v, ord, score)
 		return
 	}
+	n := ix.handles[ord]
 	ix.root = vmDelete(ix.root, n.score, n.ord)
 	n.l, n.r = nil, nil
 	n.score = score

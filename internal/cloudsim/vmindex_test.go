@@ -65,7 +65,7 @@ func TestVMIndexFirstFitMatchesScan(t *testing.T) {
 	cat := Catalog()
 	for seed := int64(1); seed <= 5; seed++ {
 		r := rand.New(rand.NewSource(seed))
-		ix := newVMIndex(cat)
+		ix := newVMIndex(cat, 8)
 		var vms []*vm
 		live := map[int]bool{}
 		score := func(v *vm) float64 { return v.waste(cat) }

@@ -1,5 +1,7 @@
 package cluster
 
+import "nestless/internal/cloudsim"
+
 // The indexed scheduling core: incremental data structures that replace
 // the scheduler's per-decision fleet scans without changing a single
 // placement decision. Two structures live here:
@@ -35,20 +37,53 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// capNode is one treap entry. It snapshots the node's used sums at
-// insert time; the cluster removes and re-inserts a node around every
-// mutation, so the snapshot always equals the live value (Leaks audits
-// this).
+// capNode is one treap entry. It snapshots the node's free capacities
+// at insert time; the cluster removes and re-inserts a node around
+// every mutation, so the snapshot always equals the live value (Leaks
+// audits this). Entries are allocated fresh on every add on purpose:
+// Go's bump allocator places capNodes touched around the same time
+// next to each other, so the query crawl over the recently-churned
+// high-score plateau walks a compact memory region. (Embedding the
+// capNode in the ~200-byte node struct was tried — zero allocations,
+// but one cache line per visited node made firstFit ~40% slower.)
+//
+// Free capacity is stored instead of the used sums: the fit test
+// `free >= req` needs no catalog lookup at query time, and the free
+// values are computed by the exact `Rel - used` expression the
+// reference scan evaluates, so the comparison outcomes are
+// bit-identical. Trees are per catalog type on purpose — all entries
+// of one tree share a machine size, so free capacity anti-correlates
+// with score and the subtree maxima actually prune the near-full
+// high-score plateau. (A single global tree was tried and measured
+// ~3.5x worse: a nearly-full big machine still has more absolute free
+// room than an empty small one, so mixed-type aggregates never cut.)
+// Field order is deliberate: the first 64 bytes hold everything the
+// query crawl reads per visited node (prune aggregates, fit snapshot,
+// sort key, left child), so a visit costs one cache line; n and prio
+// sit in the second line and are only touched on a hit or an insert.
 type capNode struct {
-	n     *node
-	score float64 // MostRequestedFraction at insert time (the sort key)
-	ucpu  float64 // usedCPU snapshot
-	umem  float64 // usedMem snapshot
-	prio  uint64
-	l, r  *capNode
-	// Subtree minima of the used snapshots: a subtree whose least-loaded
+	// Subtree maxima of the free snapshots: a subtree whose roomiest
 	// corner cannot fit the request holds no fitting node at all.
-	minCPU, minMem float64
+	// maxSum is the subtree maximum of fcpu+fmem — the sharper prune on
+	// the tree's too-full prefix, exactly where a most-requested-first
+	// query starts: fitting (cpu, mem) requires fcpu+fmem >= cpu+mem,
+	// and float addition is monotone, so a fitting node's free sum can
+	// never round below the request sum and the prune can never skip a
+	// node the scan would accept.
+	maxCPU, maxMem, maxSum float64
+	// maxMin is the subtree maximum of min(fcpu, fmem) — the balance
+	// cut. A fitting node has fcpu >= cpu AND fmem >= mem, hence
+	// min(fcpu, fmem) >= min(cpu, mem) (pure comparisons, no float
+	// arithmetic at all). It is what lets a nil query die at the root:
+	// when every node is full in at least one dimension, maxCPU and
+	// maxMem still look healthy (different nodes supply each), but no
+	// node has *both*, and maxMin says so directly.
+	maxMin     float64
+	fcpu, fmem float64 // free capacity snapshots (Rel - used at insert)
+	score      float64 // MostRequestedFraction at insert time (the sort key)
+	l, r       *capNode
+	n          *node
+	prio       uint64
 }
 
 // before is the in-order comparator: higher score first, then earlier
@@ -59,21 +94,38 @@ func (a *capNode) before(score float64, id int) bool {
 
 // update recomputes the subtree aggregates from the children.
 func (t *capNode) update() {
-	t.minCPU, t.minMem = t.ucpu, t.umem
+	t.maxCPU, t.maxMem = t.fcpu, t.fmem
+	t.maxSum = t.fcpu + t.fmem
+	t.maxMin = t.fcpu
+	if t.fmem < t.fcpu {
+		t.maxMin = t.fmem
+	}
 	if t.l != nil {
-		if t.l.minCPU < t.minCPU {
-			t.minCPU = t.l.minCPU
+		if t.l.maxCPU > t.maxCPU {
+			t.maxCPU = t.l.maxCPU
 		}
-		if t.l.minMem < t.minMem {
-			t.minMem = t.l.minMem
+		if t.l.maxMem > t.maxMem {
+			t.maxMem = t.l.maxMem
+		}
+		if t.l.maxSum > t.maxSum {
+			t.maxSum = t.l.maxSum
+		}
+		if t.l.maxMin > t.maxMin {
+			t.maxMin = t.l.maxMin
 		}
 	}
 	if t.r != nil {
-		if t.r.minCPU < t.minCPU {
-			t.minCPU = t.r.minCPU
+		if t.r.maxCPU > t.maxCPU {
+			t.maxCPU = t.r.maxCPU
 		}
-		if t.r.minMem < t.minMem {
-			t.minMem = t.r.minMem
+		if t.r.maxMem > t.maxMem {
+			t.maxMem = t.r.maxMem
+		}
+		if t.r.maxSum > t.maxSum {
+			t.maxSum = t.r.maxSum
+		}
+		if t.r.maxMin > t.maxMin {
+			t.maxMin = t.r.maxMin
 		}
 	}
 }
@@ -147,22 +199,35 @@ func capDelete(t *capNode, score float64, id int) *capNode {
 }
 
 // firstFit returns the first node in (score desc, id asc) order whose
-// free capacity covers (cpu, mem) on a machine with (relCPU, relMem)
-// total — i.e. the most-requested fitting node, earliest-created among
-// score ties. Subtrees are pruned through the aggregates with the same
-// arithmetic as the acceptance test, so pruning can never skip a node
-// the scan would have accepted.
-func (t *capNode) firstFit(relCPU, relMem, cpu, mem float64) *node {
-	if t == nil || relCPU-t.minCPU < cpu || relMem-t.minMem < mem {
-		return nil
+// free capacity covers (cpu, mem) — i.e. the most-requested fitting
+// node, earliest-created among score ties. sum is cpu+mem, computed
+// once by the caller. Subtrees are pruned through the aggregates; the
+// per-dimension maxima use the same `free >= req` comparison as the
+// acceptance test, and the free-sum maximum adds a necessary-condition
+// cut (float addition is monotone, so a fitting node's free sum never
+// rounds below the request sum) — pruning can never skip a node the
+// scan would have accepted.
+//
+// (best, bestScore) is the incumbent from earlier trees in the
+// cross-type combine: in-order position is monotone in preference, so
+// the crawl stops outright at the first node that cannot beat it.
+func (t *capNode) firstFit(cpu, mem, sum, qmin float64, best *node, bestScore float64) *node {
+	for t != nil {
+		if t.maxCPU < cpu || t.maxMem < mem || t.maxSum < sum || t.maxMin < qmin {
+			return nil
+		}
+		if n := t.l.firstFit(cpu, mem, sum, qmin, best, bestScore); n != nil {
+			return n
+		}
+		if best != nil && !t.before(bestScore, best.id) {
+			return nil
+		}
+		if t.fcpu >= cpu && t.fmem >= mem {
+			return t.n
+		}
+		t = t.r
 	}
-	if n := t.l.firstFit(relCPU, relMem, cpu, mem); n != nil {
-		return n
-	}
-	if relCPU-t.ucpu >= cpu && relMem-t.umem >= mem {
-		return t.n
-	}
-	return t.r.firstFit(relCPU, relMem, cpu, mem)
+	return nil
 }
 
 // revEach walks the subtree in reverse order (score asc, id desc among
@@ -180,30 +245,43 @@ func (t *capNode) revEach(visit func(*node) bool) bool {
 	return t.l.revEach(visit)
 }
 
-// capIndex is the per-type forest plus bookkeeping.
+// capIndex is the capacity index: one tree per catalog type, combined
+// at query time by bestWholeFit and walked in reverse by the
+// optimizer's neighborhood selection. Each node carries one embedded
+// capNode, so maintenance never allocates.
 type capIndex struct {
-	trees []*capNode // one root per catalog type index
+	trees []*capNode // one root per catalog type
+	cat   []cloudsim.VMType
 	size  int
+	// ver counts mutations. Two equal ver values bracket a window in
+	// which the indexed node multiset — and therefore every query
+	// answer — was unchanged; the scheduler's blocked-head memo keys on
+	// it to skip provably identical re-queries.
+	ver uint64
 }
 
-func newCapIndex(types int) *capIndex {
-	return &capIndex{trees: make([]*capNode, types)}
+func newCapIndex(cat []cloudsim.VMType) *capIndex {
+	return &capIndex{trees: make([]*capNode, len(cat)), cat: cat}
 }
 
-// add indexes a live node under its current used sums and score.
+// add indexes a live node under its current free capacities and score.
 func (ci *capIndex) add(n *node, score float64) {
+	t := ci.cat[n.typ]
 	cn := &capNode{
-		n: n, score: score, ucpu: n.usedCPU, umem: n.usedMem,
+		n: n, score: score,
+		fcpu: t.RelCPU - n.usedCPU, fmem: t.RelMem - n.usedMem,
 		prio: splitmix64(uint64(n.id)),
 	}
 	ci.trees[n.typ] = capInsert(ci.trees[n.typ], cn)
 	ci.size++
+	ci.ver++
 }
 
 // remove unindexes a node via its stored key.
 func (ci *capIndex) remove(n *node, score float64) {
 	ci.trees[n.typ] = capDelete(ci.trees[n.typ], score, n.id)
 	ci.size--
+	ci.ver++
 }
 
 // podEntry is one pending-queue entry.

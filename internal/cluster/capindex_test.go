@@ -34,19 +34,15 @@ func oracleBestFit(nodes []*node, cat []cloudsim.VMType, cpu, mem float64) *node
 // idxBestFit is bestWholeFit's cross-type combine, reimplemented over a
 // bare capIndex so the test does not need a full Cluster.
 func idxBestFit(ci *capIndex, cat []cloudsim.VMType, cpu, mem float64) *node {
+	sum := cpu + mem
+	qmin := cpu
+	if mem < cpu {
+		qmin = mem
+	}
 	var best *node
 	var bestScore float64
-	for typ, root := range ci.trees {
-		if root == nil {
-			continue
-		}
-		t := cat[typ]
-		n := root.firstFit(t.RelCPU, t.RelMem, cpu, mem)
-		if n == nil {
-			continue
-		}
-		if best == nil || n.idxScore > bestScore ||
-			(n.idxScore == bestScore && n.id < best.id) {
+	for _, root := range ci.trees {
+		if n := root.firstFit(cpu, mem, sum, qmin, best, bestScore); n != nil {
 			best, bestScore = n, n.idxScore
 		}
 	}
@@ -60,7 +56,7 @@ func TestCapIndexMatchesScan(t *testing.T) {
 	cat := cloudsim.Catalog()
 	for seed := int64(1); seed <= 5; seed++ {
 		r := rand.New(rand.NewSource(seed))
-		ci := newCapIndex(len(cat))
+		ci := newCapIndex(cat)
 		var nodes []*node
 		reindex := func(n *node) {
 			if n.indexed {
@@ -124,7 +120,7 @@ func TestCapIndexMatchesScan(t *testing.T) {
 // neighborhood selection depends on: (score asc, id desc).
 func TestCapIndexRevEachOrder(t *testing.T) {
 	cat := cloudsim.Catalog()
-	ci := newCapIndex(len(cat))
+	ci := newCapIndex(cat)
 	var nodes []*node
 	r := rand.New(rand.NewSource(42))
 	for i := 0; i < 200; i++ {

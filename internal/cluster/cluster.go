@@ -36,6 +36,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"nestless/internal/cloudsim"
@@ -124,7 +125,22 @@ type Config struct {
 	// pass, the optimizer falls back to a full-fleet pass (default
 	// 0.25). Values >= 1 never fall back.
 	RepackDirtyFrac float64
+	// RepackWorkers bounds the goroutines one incremental optimize pass
+	// fans its candidate groups across (0 = GOMAXPROCS, 1 = serial).
+	// Same contract as every other -parallel knob: output is
+	// byte-identical at any worker count, parallelism is wall-clock
+	// only.
+	RepackWorkers int
+	// PackCacheSize bounds the per-cluster packing cache in entries
+	// (0 = default 4096, negative = caching off). A cache hit returns
+	// the placement a fresh optimizer call would produce, so results
+	// are byte-identical with the cache on or off — only the
+	// OptimizerCacheHits/Misses counters (and their telemetry) differ.
+	PackCacheSize int
 }
+
+// defaultPackCacheSize bounds the packing cache when Config leaves it 0.
+const defaultPackCacheSize = 4096
 
 // withDefaults fills the zero fields.
 func (c Config) withDefaults() Config {
@@ -148,6 +164,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RepackDirtyFrac <= 0 {
 		c.RepackDirtyFrac = 0.25
+	}
+	if c.RepackWorkers <= 0 {
+		c.RepackWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.PackCacheSize == 0 {
+		c.PackCacheSize = defaultPackCacheSize
 	}
 	return c
 }
@@ -204,8 +226,16 @@ type Result struct {
 	OptimizerRuns    int // Hostlo re-pack passes executed
 	OptimizerFull    int // of those, full-fleet passes (the rest were dirty-set incremental)
 	OptimizerMoves   int // nodes retired + created by those passes
-	PeakNodes        int
-	FinalNodes       int
+	// Incremental-pass partition and packing-cache accounting.
+	// OptimizerGroups counts per-type candidate groups optimized (each
+	// one an independent unit of parallel work); hits and misses count
+	// packing-cache outcomes (both zero with the cache disabled —
+	// everything else in Result is identical either way).
+	OptimizerGroups      int
+	OptimizerCacheHits   int
+	OptimizerCacheMisses int
+	PeakNodes            int
+	FinalNodes           int
 	// FleetTypes lists the live nodes' catalog type indices at the
 	// horizon, in node creation order — the exact fleet composition, for
 	// equivalence checks against the static packer.
@@ -241,7 +271,7 @@ const (
 // podRun is the per-pod mutable state.
 type podRun struct {
 	pod      trace.Pod
-	user     string // owning tenant (stream mode; carried through transfers)
+	user     string  // owning tenant (stream mode; carried through transfers)
 	cpu, mem float64 // whole-pod totals
 	state    podState
 
@@ -315,14 +345,65 @@ type Cluster struct {
 	idx       *capIndex
 	liveCount int
 	inflight  int // provisioning requests not yet live
-	dirty     bool
-	started   bool // streaming mode armed (Start called; exclusive with Run)
-	dirtyList []*node // Hostlo: nodes touched since the last optimize
-	schedPend bool
-	tts       sim.Series
-	res       Result
-	finalized bool
+
+	// Blocked-head memo (indexed mode): the pod index that last
+	// returned blocked from tryPlace and the capacity-index version it
+	// blocked at. While both still match and a request is in flight,
+	// schedulePass skips the provably identical retry (see the comment
+	// at the check).
+	blockedPod int
+	blockedVer uint64
+	dirty      bool
+	started    bool    // streaming mode armed (Start called; exclusive with Run)
+	dirtyList  []*node // Hostlo: nodes touched since the last optimize
+	schedPend  bool
+	tts        sim.Series
+	res        Result
+	finalized  bool
+
+	// pack memoizes Hostlo sub-solutions across incremental optimize
+	// passes (nil = caching off). Strictly per-world: parallel
+	// population fan-outs and shard worlds never share a cache.
+	pack *cloudsim.PackCache
+
+	// Optimizer scratch, reused arena-style across optimize() calls so
+	// the steady-state repack path does not allocate. Each slice is
+	// truncated (not freed) per pass; the mark arrays use a generation
+	// stamp instead of clearing.
+	candScratch     []*node
+	neighScratch    []*node
+	scoredScratch   []scoredNode
+	typeCount       []int
+	placedScratch   []cloudsim.PlacedVM
+	itemScratch     []cloudsim.PlacedItem
+	groupScratch    [][]cloudsim.PlacedVM
+	outScratch      [][]cloudsim.PlacedVM
+	missScratch     []int32
+	improvedScratch []cloudsim.PlacedVM
+	sigScratch      []cloudsim.VMSig
+	avail           map[cloudsim.VMSig]sigChain
+	availNext       []int32
+	matchScratch    []int32
+	eqScratch       []bool
+	candMatched     []bool
+	touchedScratch  []*node
+	podMark         []uint32
+	nodeMark        []uint32
+	markGen         uint32
 }
+
+// scoredNode pairs a node with its precomputed most-requested score so
+// neighborhood ordering sorts without recomputing the score per
+// comparison.
+type scoredNode struct {
+	n     *node
+	score float64
+}
+
+// sigChain is a FIFO of candidate indices sharing one VM signature,
+// threaded through Cluster.availNext (arena-linked, no per-pass
+// allocation).
+type sigChain struct{ head, tail int32 }
 
 // New builds a cluster world; call Run to simulate it.
 func New(cfg Config) *Cluster {
@@ -336,7 +417,10 @@ func New(cfg Config) *Cluster {
 		inj: faults.New(eng, cfg.Faults, cfg.Rec),
 		rec: cfg.Rec,
 		cat: cfg.Catalog,
-		idx: newCapIndex(len(cfg.Catalog)),
+		idx: newCapIndex(cfg.Catalog),
+
+		blockedPod: -1,
+		pack:       cloudsim.NewPackCache(cfg.PackCacheSize),
 	}
 	c.res.Policy = cfg.Policy
 	c.pods = make([]podRun, len(cfg.Pods))

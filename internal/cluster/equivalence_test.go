@@ -255,3 +255,129 @@ func TestSteadyStateFullAndIncrementalAgree(t *testing.T) {
 		}
 	}
 }
+
+// repackWorkload builds a churned mixed-size workload (including pods
+// wider than the largest machine) big enough that incremental passes
+// carry several per-type candidate groups — the shape that actually
+// exercises the parallel fan-out and the packing cache.
+func repackWorkload(seed int64) []trace.Pod {
+	users := trace.Generate(churnConfig(seed, 8))
+	var pods []trace.Pod
+	for _, u := range users {
+		pods = append(pods, u.Pods...)
+	}
+	// A few wide pods so split placement runs under repack too.
+	for i := 0; i < 3; i++ {
+		var ctrs []trace.Container
+		for j := 0; j < 8; j++ {
+			ctrs = append(ctrs, trace.Container{CPU: 0.2, Mem: 0.15})
+		}
+		pods = append(pods, trace.Pod{
+			ID:         fmt.Sprintf("wide%d", i),
+			Arrival:    time.Duration(i+1) * 20 * time.Minute,
+			Lifetime:   2 * time.Hour,
+			Containers: ctrs,
+		})
+	}
+	return pods
+}
+
+// TestRepackWorkerCountEquivalence pins the parallel fan-out contract:
+// one incremental pass fans cache-missing candidate groups across
+// Config.RepackWorkers goroutines, and the Result and telemetry trace
+// must be byte-identical at any worker count — parallelism is a
+// wall-clock knob, never a behavior knob. Runs under churn, node kills
+// and provisioning faults so displacement-heavy repacks are covered.
+func TestRepackWorkerCountEquivalence(t *testing.T) {
+	sched, err := faults.ParseSpec("node/*:crash:p=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cluster.Config{
+		Seed:      23,
+		Pods:      repackWorkload(23),
+		Policy:    cluster.Hostlo,
+		Horizon:   6 * time.Hour,
+		BootDelay: 30 * time.Second,
+		Faults:    sched,
+	}
+	var want cluster.Result
+	var wantTrace string
+	for i, workers := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.RepackWorkers = workers
+		res, tr := runMode(t, cfg, false)
+		if i == 0 {
+			want, wantTrace = res, tr
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("workers=%d diverged from workers=1:\n%+v\nvs\n%+v", workers, res, want)
+		}
+		if tr != wantTrace {
+			t.Fatalf("workers=%d: telemetry diverged (%d vs %d bytes)", workers, len(tr), len(wantTrace))
+		}
+	}
+	if want.OptimizerRuns == want.OptimizerFull {
+		t.Fatal("every pass was full-fleet — the group fan-out went unexercised")
+	}
+	if want.OptimizerGroups < 2 {
+		t.Fatalf("only %d candidate groups across the run — nothing to fan out", want.OptimizerGroups)
+	}
+	if want.Kills == 0 {
+		t.Fatal("no node was killed — the fault path went unexercised")
+	}
+}
+
+// stripCacheLines drops the optimizer-cache counter lines from a text
+// trace — the only telemetry allowed to differ between cache-on and
+// cache-off runs.
+func stripCacheLines(trace string) string {
+	lines := strings.Split(trace, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.Contains(l, "optimizer_cache") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestPackCacheEquivalence pins the cache contract: a run with the
+// packing cache enabled must produce the same Result and telemetry as
+// one with caching off, except for the cache hit/miss counters
+// themselves. A memoized sub-solution substitutes for a fresh
+// OptimizeHostlo call byte for byte.
+func TestPackCacheEquivalence(t *testing.T) {
+	base := cluster.Config{
+		Seed:      29,
+		Pods:      repackWorkload(29),
+		Policy:    cluster.Hostlo,
+		Horizon:   6 * time.Hour,
+		BootDelay: 30 * time.Second,
+	}
+	on := base
+	off := base
+	off.PackCacheSize = -1
+	resOn, trOn := runMode(t, on, false)
+	resOff, trOff := runMode(t, off, false)
+	if resOn.OptimizerCacheHits == 0 {
+		t.Fatal("cache-on run never hit the cache — the memoization went unexercised")
+	}
+	if resOff.OptimizerCacheHits != 0 || resOff.OptimizerCacheMisses != 0 {
+		t.Fatalf("cache-off run recorded cache traffic: %d hits, %d misses",
+			resOff.OptimizerCacheHits, resOff.OptimizerCacheMisses)
+	}
+	a, b := resOn, resOff
+	a.OptimizerCacheHits, a.OptimizerCacheMisses = 0, 0
+	b.OptimizerCacheHits, b.OptimizerCacheMisses = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cache on/off diverged beyond the counters:\non:  %+v\noff: %+v", a, b)
+	}
+	if got, want := stripCacheLines(trOn), stripCacheLines(trOff); got != want {
+		t.Fatalf("telemetry diverged beyond cache counters (%d vs %d bytes)", len(got), len(want))
+	}
+	// The cached world must also still match the linear reference.
+	requireIdentical(t, on)
+}

@@ -42,8 +42,23 @@ func (c *Cluster) schedulePass() {
 			c.queuePop()
 			continue
 		}
+		// Blocked-head memo: schedulePass runs on every event, but most
+		// events (pod arrivals while a node boots) touch only the queue,
+		// not the capacity index. If the head pod is the one that
+		// blocked last time, the index multiset is unchanged since (ver
+		// match — tryPlace's tentative split placements bump it, so a
+		// revert can't alias), and a capacity request is already in
+		// flight, then re-running tryPlace would repeat the exact same
+		// failed queries and skip requestNode: a pure no-op. Skip it.
+		if !c.cfg.Reference && c.inflight > 0 &&
+			i == c.blockedPod && c.idx.ver == c.blockedVer {
+			break
+		}
 		placed, blocked := c.tryPlace(i)
 		if blocked {
+			if !c.cfg.Reference {
+				c.blockedPod, c.blockedVer = i, c.idx.ver
+			}
 			break
 		}
 		c.queuePop()
@@ -119,25 +134,23 @@ func (c *Cluster) tryPlace(i int) (placed, blocked bool) {
 
 // bestWholeFit returns the most-requested live node that fits
 // (cpu, mem), ties broken by creation order — the static packer's
-// comparator. Indexed mode combines the per-type treap queries; the
-// reference path is the original creation-order fleet scan.
+// comparator. Indexed mode combines the per-type treap queries,
+// threading the incumbent through so later trees stop at the first
+// entry that cannot beat it; the reference path is the original
+// creation-order fleet scan.
 func (c *Cluster) bestWholeFit(cpu, mem float64) *node {
 	if c.cfg.Reference {
 		return c.bestWholeFitScan(cpu, mem)
 	}
+	sum := cpu + mem
+	qmin := cpu
+	if mem < cpu {
+		qmin = mem
+	}
 	var best *node
 	var bestScore float64
-	for typ, root := range c.idx.trees {
-		if root == nil {
-			continue
-		}
-		t := c.cat[typ]
-		n := root.firstFit(t.RelCPU, t.RelMem, cpu, mem)
-		if n == nil {
-			continue
-		}
-		if best == nil || n.idxScore > bestScore ||
-			(n.idxScore == bestScore && n.id < best.id) {
+	for _, root := range c.idx.trees {
+		if n := root.firstFit(cpu, mem, sum, qmin, best, bestScore); n != nil {
 			best, bestScore = n, n.idxScore
 		}
 	}

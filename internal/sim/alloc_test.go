@@ -40,6 +40,37 @@ func TestScheduleDispatchZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSameInstantDrainZeroAllocs pins the batched equal-timestamp
+// drain: a burst scheduled for one shared future instant, plus an
+// At(now) cascade appended mid-batch, must dispatch without allocating
+// (run queue, DFS scratch and index scratch are all engine-owned and
+// reused).
+func TestSameInstantDrainZeroAllocs(t *testing.T) {
+	e := New(1)
+	e.Reserve(4096)
+	fn := func() {}
+	// Warm the run queue and drain scratch past their steady-state size.
+	for r := 0; r < 4; r++ {
+		at := e.Now() + time.Microsecond
+		for i := 0; i < 32; i++ {
+			e.At(at, fn)
+		}
+		e.Run()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		at := e.Now() + time.Microsecond
+		for i := 0; i < 16; i++ {
+			e.At(at, fn)
+		}
+		e.RunUntil(at)
+		e.At(e.Now(), fn) // same-instant append joins the batch in O(1)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("same-instant drain allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestStationJobZeroAllocs(t *testing.T) {
 	e := New(1)
 	s := NewStation(e, "alloc", 1)

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -115,6 +116,20 @@ type Engine struct {
 	events eventHeap
 	rng    *Rand
 
+	// runQ is the current instant's dispatch queue, ordered by seq with
+	// runHead marking the next event to fire. Two invariants hold at all
+	// times: the heap only ever stores events strictly in the future
+	// (At(now) appends here in O(1) instead of sifting the heap), and
+	// when the clock advances the whole run of equal-timestamp events is
+	// swept out of the heap in one pass (drainRun) rather than one full
+	// sift-down per pop.
+	runQ    []event
+	runHead int
+	// drainScratch / drainIdxs back drainRun's heap-index DFS (no
+	// per-advance allocation).
+	drainScratch []int32
+	drainIdxs    []int32
+
 	// Steps counts executed events; useful for budget guards in tests.
 	Steps uint64
 	// MaxSteps aborts Run with a panic when exceeded (0 = unlimited).
@@ -152,12 +167,19 @@ func (e *Engine) Reserve(n int) {
 }
 
 // At schedules fn to run at instant t. Scheduling in the past panics:
-// it would silently corrupt causality.
+// it would silently corrupt causality. Scheduling at the current
+// instant bypasses the heap entirely: the event joins the tail of the
+// running batch (seq order is append order), which makes the
+// After(0) cascade pattern O(1) per event.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
+	if t == e.now {
+		e.runQ = append(e.runQ, event{at: t, seq: e.seq, fn: fn})
+		return
+	}
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
@@ -170,22 +192,130 @@ func (e *Engine) After(d time.Duration, fn func()) {
 }
 
 // Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + len(e.runQ) - e.runHead }
 
-// step executes the earliest event. It reports false when no events remain.
-func (e *Engine) step() bool {
-	if len(e.events) == 0 {
-		return false
+// drainRun moves every heap event at instant t — the heap minimum's
+// timestamp — into runQ in seq order. The batch head comes out with one
+// ordinary pop; the rest of the equal-time run is then collected in a
+// single DFS over the heap array (a min-heap prunes the walk: an
+// element later than t has no descendants at t) and each vacated slot
+// is repaired in place, which beats a full root sift-down per event.
+func (e *Engine) drainRun(t Time) {
+	e.runQ = append(e.runQ, e.events.pop())
+	if len(e.events) == 0 || e.events[0].at != t {
+		return
 	}
-	ev := e.events.pop()
-	advanced := ev.at != e.now
-	e.now = ev.at
+	// DFS-collect the indices of the remaining equal-time events and
+	// stage the events themselves at the tail of runQ.
+	h := e.events
+	base := len(e.runQ)
+	stack := append(e.drainScratch[:0], 0)
+	idxs := e.drainIdxs[:0]
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h[i].at != t {
+			continue
+		}
+		idxs = append(idxs, i)
+		e.runQ = append(e.runQ, h[i])
+		c := i<<2 + 1
+		for k := c; k < c+4 && k < int32(len(h)); k++ {
+			stack = append(stack, k)
+		}
+	}
+	e.drainScratch = stack[:0]
+	// The heap is not seq-ordered; the batch must be.
+	slices.SortFunc(e.runQ[base:], func(a, b event) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	// Repair the heap: vacate the collected slots deepest-first, filling
+	// each hole with the array tail and re-sifting locally.
+	slices.Sort(idxs)
+	e.drainIdxs = idxs
+	for k := len(idxs) - 1; k >= 0; k-- {
+		e.events.removeAt(int(idxs[k]))
+	}
+}
+
+// removeAt deletes the element at index i, filling the hole with the
+// array tail and restoring the heap property around i.
+func (h *eventHeap) removeAt(i int) {
+	q := *h
+	n := len(q) - 1
+	moved := q[n]
+	q[n] = event{} // release the closure reference
+	q = q[:n]
+	*h = q
+	if i == n {
+		return
+	}
+	// Sift the moved element up if it beats its new parent...
+	j := i
+	for j > 0 {
+		p := (j - 1) >> 2
+		if !moved.before(&q[p]) {
+			break
+		}
+		q[j] = q[p]
+		j = p
+	}
+	if j != i {
+		q[j] = moved
+		return
+	}
+	// ...otherwise down among its new children.
+	for {
+		c := j<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if q[k].before(&q[m]) {
+				m = k
+			}
+		}
+		if !q[m].before(&moved) {
+			break
+		}
+		q[j] = q[m]
+		j = m
+	}
+	q[j] = moved
+}
+
+// step executes the next event: the head of the current instant's batch
+// when one is in flight, otherwise the heap minimum (advancing the
+// clock and draining its equal-time run into the batch queue first).
+// It reports false when no events remain.
+func (e *Engine) step() bool {
+	if e.runHead >= len(e.runQ) {
+		e.runQ = e.runQ[:0]
+		e.runHead = 0
+		if len(e.events) == 0 {
+			return false
+		}
+		t := e.events[0].at // > e.now by the runQ invariant
+		e.now = t
+		if e.Probe != nil {
+			e.Probe.EngineAdvance(t)
+		}
+		e.drainRun(t)
+	}
+	ev := e.runQ[e.runHead]
+	e.runQ[e.runHead] = event{} // release the closure reference
+	e.runHead++
 	e.Steps++
 	if e.MaxSteps != 0 && e.Steps > e.MaxSteps {
 		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
-	}
-	if advanced && e.Probe != nil {
-		e.Probe.EngineAdvance(ev.at)
 	}
 	if ev.st != nil {
 		ev.st.complete(ev.fn)
@@ -203,7 +333,12 @@ func (e *Engine) afterJob(d time.Duration, st *Station, done func()) {
 		d = 0
 	}
 	e.seq++
-	e.events.push(event{at: e.now + d, seq: e.seq, fn: done, st: st})
+	ev := event{at: e.now + d, seq: e.seq, fn: done, st: st}
+	if d == 0 {
+		e.runQ = append(e.runQ, ev)
+		return
+	}
+	e.events.push(ev)
 }
 
 // Run executes events until none remain.
@@ -215,7 +350,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t. Events scheduled exactly at t do run.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for e.runHead < len(e.runQ) || (len(e.events) > 0 && e.events[0].at <= t) {
 		e.step()
 	}
 	if t > e.now {

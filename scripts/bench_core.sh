@@ -11,8 +11,11 @@
 # mode), and the sharded trace replay (BenchmarkTraceReplay, pods/s at
 # 1/4/8 shards over a ~100k-pod stream). CI gates on the committed
 # copy: benchjson -baseline fails the build when a LifecycleScale/1k or
-# TraceReplay/1shard pods/s figure drops more than 20% below this file
-# (see .github/workflows/ci.yml).
+# TraceReplay/1shard pods/s figure drops more than 20% below this file,
+# or LifecycleScale/100k/hostlo by more than 30% (the wider margin
+# absorbs shared-runner noise on the long run); CI also smoke-runs the
+# BENCH_1M=1-gated 1M-pod Hostlo lifecycle and uploads the 100k CPU
+# profile as an artifact (see .github/workflows/ci.yml).
 #
 # Usage, from the repository root:
 #
