@@ -1,6 +1,7 @@
 package cloudsim
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -195,6 +196,97 @@ func (pc *PackCache) Put(group, improved []PlacedVM) {
 	e := &packEntry{key: key, input: copyPlacement(group), output: improved}
 	pc.m[key] = e
 	pc.pushFront(e)
+}
+
+// PackCacheEntry is one exported cache entry. Input and Output are the
+// cache-owned slices, immutable once installed (Put replaces the entry's
+// slice headers, never the backing arrays), so a snapshot and any number
+// of clones can share them copy-on-write.
+type PackCacheEntry struct {
+	Input  []PlacedVM
+	Output []PlacedVM
+}
+
+// PackCacheState is the complete state of a PackCache: capacity, the
+// entries in recency order (most recently used first), and the lifetime
+// counters. It is the snapshot form — RestorePackCache rebuilds an
+// identical cache, and because the entry slices are immutable the state
+// can share them with a live cache.
+type PackCacheState struct {
+	Cap       int
+	Entries   []PackCacheEntry
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// State captures the cache (nil cache → nil state). The entry slices
+// are shared, not copied: they are immutable by the cache's ownership
+// contract, so the state stays valid while the live cache keeps
+// mutating its map and LRU order.
+func (pc *PackCache) State() *PackCacheState {
+	if pc == nil {
+		return nil
+	}
+	st := &PackCacheState{
+		Cap:       pc.cap,
+		Entries:   make([]PackCacheEntry, 0, len(pc.m)),
+		Hits:      pc.hits,
+		Misses:    pc.misses,
+		Evictions: pc.evictions,
+	}
+	for e := pc.head; e != nil; e = e.next {
+		st.Entries = append(st.Entries, PackCacheEntry{Input: e.input, Output: e.output})
+	}
+	return st
+}
+
+// RestorePackCache rebuilds a cache from a captured state, sharing the
+// entry slices copy-on-write (the cache never mutates installed slices,
+// so N restored branches and the original can all hold the same
+// backing arrays). A nil state, or one with a non-positive capacity,
+// restores the nil always-miss cache.
+func RestorePackCache(st *PackCacheState) (*PackCache, error) {
+	if st == nil || st.Cap <= 0 {
+		return nil, nil
+	}
+	if len(st.Entries) > st.Cap {
+		return nil, fmt.Errorf("cloudsim: pack cache state holds %d entries, capacity %d", len(st.Entries), st.Cap)
+	}
+	pc := &PackCache{
+		cap:       st.Cap,
+		m:         make(map[packKey]*packEntry, st.Cap),
+		hits:      st.Hits,
+		misses:    st.Misses,
+		evictions: st.Evictions,
+	}
+	// Entries are in recency order; pushing front from the least recent
+	// end reproduces the LRU list exactly.
+	for i := len(st.Entries) - 1; i >= 0; i-- {
+		se := st.Entries[i]
+		key := GroupKey(se.Input)
+		if _, dup := pc.m[key]; dup {
+			return nil, fmt.Errorf("cloudsim: pack cache state has duplicate key (entry %d)", i)
+		}
+		e := &packEntry{key: key, input: se.Input, output: se.Output}
+		pc.m[key] = e
+		pc.pushFront(e)
+	}
+	return pc, nil
+}
+
+// Clone returns an independent cache with the same contents: private
+// map and LRU list, shared (immutable) entry slices. The clone and the
+// original diverge freely from here — the copy-on-write fork path.
+func (pc *PackCache) Clone() *PackCache {
+	if pc == nil {
+		return nil
+	}
+	clone, err := RestorePackCache(pc.State())
+	if err != nil { // unreachable: a live cache cannot hold duplicate keys
+		panic(err)
+	}
+	return clone
 }
 
 // Stats reports lifetime hit/miss/eviction counts.

@@ -31,7 +31,7 @@ func (c *Cluster) tryProvision(typ int) {
 		if c.rec != nil {
 			c.rec.Instant("cluster/autoscaler", "provision-retry", "type", float64(typ))
 		}
-		c.eng.After(sim.Time(c.cfg.ProvisionRetryEvery), func() { c.tryProvision(typ) })
+		c.schedEvent(c.eng.Now()+sim.Time(c.cfg.ProvisionRetryEvery), evProvRetry, int64(typ), 0)
 		return
 	}
 	delay := sim.Time(c.cfg.BootDelay) + sim.Time(c.inj.OpDelay("node/provision"))
@@ -39,7 +39,7 @@ func (c *Cluster) tryProvision(typ int) {
 		c.nodeReady(typ)
 		return
 	}
-	c.eng.After(delay, func() { c.nodeReady(typ) })
+	c.schedEvent(c.eng.Now()+delay, evNodeReady, int64(typ), 0)
 }
 
 // nodeReady turns a provisioning request into a live node and re-kicks
@@ -148,7 +148,7 @@ func (c *Cluster) tick() {
 	}
 	next := now + sim.Time(c.cfg.ScaleEvery)
 	if next <= sim.Time(c.cfg.Horizon) {
-		c.eng.At(next, c.tick)
+		c.schedEvent(next, evTick, 0, 0)
 	}
 }
 

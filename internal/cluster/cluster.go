@@ -198,7 +198,7 @@ type Result struct {
 	Policy Policy
 
 	// Pod accounting. Conservation invariant (checked by Leaks):
-	// Arrived + TransferredIn ==
+	// Arrived + TransferredIn + Adopted ==
 	//   Departed + Running + StillPending + Failed + TransferredOut.
 	Arrived       int // pods whose arrival fell within the horizon
 	BeyondHorizon int // pods whose arrival fell past the horizon (not simulated)
@@ -218,6 +218,11 @@ type Result struct {
 	// books entirely — it is the receiving world's to depart or fail.
 	TransferredIn  int
 	TransferredOut int
+	// Adopted counts pods materialized into this world after it started
+	// — AdoptPods on a restored/forked what-if branch. Like the transfer
+	// counters it extends the conservation left-hand side: an adopted
+	// pod entered the world without an Arrived tally.
+	Adopted int
 
 	// Fleet accounting.
 	ScaleUps         int // nodes provisioned by the autoscaler
@@ -354,12 +359,17 @@ type Cluster struct {
 	blockedPod int
 	blockedVer uint64
 	dirty      bool
-	started    bool    // streaming mode armed (Start called; exclusive with Run)
+	started    bool    // world armed (Arm or Start ran; idempotent)
 	dirtyList  []*node // Hostlo: nodes touched since the last optimize
 	schedPend  bool
 	tts        sim.Series
 	res        Result
 	finalized  bool
+
+	// ledger mirrors every pending typed event in the engine by its
+	// sequence number — the serializable face of the event heap (see
+	// events.go). Entries are erased as events fire.
+	ledger map[uint64]ledgerEvent
 
 	// pack memoizes Hostlo sub-solutions across incremental optimize
 	// passes (nil = caching off). Strictly per-world: parallel
@@ -421,6 +431,7 @@ func New(cfg Config) *Cluster {
 
 		blockedPod: -1,
 		pack:       cloudsim.NewPackCache(cfg.PackCacheSize),
+		ledger:     make(map[uint64]ledgerEvent),
 	}
 	c.res.Policy = cfg.Policy
 	c.pods = make([]podRun, len(cfg.Pods))
@@ -446,6 +457,21 @@ func Simulate(cfg Config) Result {
 
 // Run executes the lifecycle to the horizon and returns the result.
 func (c *Cluster) Run() Result {
+	c.Arm()
+	c.eng.RunUntil(sim.Time(c.cfg.Horizon))
+	c.finalize()
+	return c.res
+}
+
+// Arm schedules the Config.Pods workload and starts the autoscaler and
+// sample chains without running anything — the run-to-t face that
+// snapshotting needs: Arm, Advance to any instant, Capture, keep
+// advancing. Run is exactly Arm + Advance(horizon) + Finish. Idempotent;
+// exclusive with feeding a streaming workload (Start alone covers that).
+func (c *Cluster) Arm() {
+	if c.started {
+		return
+	}
 	// Arrivals.
 	c.eng.Reserve(len(c.pods))
 	for i := range c.pods {
@@ -454,16 +480,11 @@ func (c *Cluster) Run() Result {
 			c.res.BeyondHorizon++
 			continue
 		}
-		idx := i
-		c.eng.At(at, func() { c.arrive(idx) })
+		c.schedEvent(at, evArrive, int64(i), 0)
 	}
 	// Autoscaler ticks and trajectory samples, each a self-rescheduling
 	// chain so the event heap stays small.
-	c.eng.At(sim.Time(c.cfg.ScaleEvery), c.tick)
-	c.eng.At(sim.Time(c.cfg.SampleEvery), c.sample)
-	c.eng.RunUntil(sim.Time(c.cfg.Horizon))
-	c.finalize()
-	return c.res
+	c.Start()
 }
 
 // arrive admits one pod into the pending queue.
@@ -616,7 +637,7 @@ func (c *Cluster) sample() {
 	}
 	next := c.eng.Now() + sim.Time(c.cfg.SampleEvery)
 	if next <= sim.Time(c.cfg.Horizon) {
-		c.eng.At(next, c.sample)
+		c.schedEvent(next, evSample, 0, 0)
 	}
 }
 
@@ -865,11 +886,11 @@ func (c *Cluster) Leaks() []string {
 	// transfer-in) left it exactly one way.
 	if c.finalized {
 		got := c.res.Departed + c.res.Running + c.res.StillPending + c.res.Failed + c.res.TransferredOut
-		want := c.res.Arrived + c.res.TransferredIn
+		want := c.res.Arrived + c.res.TransferredIn + c.res.Adopted
 		if got != want {
-			leakf("conservation broken: departed %d + running %d + pending %d + failed %d + xfer-out %d != arrived %d + xfer-in %d",
+			leakf("conservation broken: departed %d + running %d + pending %d + failed %d + xfer-out %d != arrived %d + xfer-in %d + adopted %d",
 				c.res.Departed, c.res.Running, c.res.StillPending, c.res.Failed,
-				c.res.TransferredOut, c.res.Arrived, c.res.TransferredIn)
+				c.res.TransferredOut, c.res.Arrived, c.res.TransferredIn, c.res.Adopted)
 		}
 	}
 	return leaks

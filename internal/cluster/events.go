@@ -1,0 +1,79 @@
+package cluster
+
+import "nestless/internal/sim"
+
+// The typed event ledger: the piece that makes a running world
+// snapshotable. The sim engine's heap stores closures, which cannot be
+// serialized, so every event the cluster schedules for a future instant
+// goes through schedEvent instead of eng.At directly: the event's typed
+// description {kind, args} is recorded in a ledger keyed by the engine
+// sequence number the event got, and the closure erases its entry the
+// moment it fires. At any parked instant the ledger IS the pending event
+// set — Capture serializes it, and Restore replays it through schedEvent
+// in ascending original-sequence order, which reproduces the engine's
+// FIFO tie-break for same-instant events exactly (absolute sequence
+// numbers differ after a restore; only their relative order is
+// observable).
+//
+// The one scheduled closure that stays off the ledger is kickSchedule's
+// After(0) pass, guarded by schedPend: it exists only between an event
+// that touched the queue and the drain of the current instant, so a
+// parked engine has schedPend == false and Capture asserts it.
+
+// evKind is a typed pending event.
+type evKind uint8
+
+const (
+	evArrive    evKind = iota + 1 // a = pod index (Pods workload or stream submit)
+	evDepart                      // a = pod index, b = departure generation
+	evEnd                         // a = pod index, b = 1 for a trace kill
+	evTick                        // autoscaler tick chain
+	evSample                      // trajectory sample chain
+	evProvRetry                   // a = catalog type (failed provision retry)
+	evNodeReady                   // a = catalog type (boot completes)
+	evAdopt                       // a = pod index (what-if fork adoption)
+	evKindMax
+)
+
+// ledgerEvent is one pending event's serializable description.
+type ledgerEvent struct {
+	At   sim.Time
+	Seq  uint64
+	Kind evKind
+	A, B int64
+}
+
+// schedEvent schedules a typed event and records it in the ledger. The
+// closure deletes its entry before dispatching, so the ledger only ever
+// names events that have not fired.
+func (c *Cluster) schedEvent(at sim.Time, kind evKind, a, b int64) {
+	var seq uint64
+	c.eng.At(at, func() {
+		delete(c.ledger, seq)
+		c.fireEvent(kind, a, b)
+	})
+	seq = c.eng.Seq() // the seq At just assigned
+	c.ledger[seq] = ledgerEvent{At: at, Seq: seq, Kind: kind, A: a, B: b}
+}
+
+// fireEvent dispatches a typed event.
+func (c *Cluster) fireEvent(kind evKind, a, b int64) {
+	switch kind {
+	case evArrive:
+		c.arrive(int(a))
+	case evDepart:
+		c.depart(int(a), int(b))
+	case evEnd:
+		c.endPod(int(a), b != 0)
+	case evTick:
+		c.tick()
+	case evSample:
+		c.sample()
+	case evProvRetry:
+		c.tryProvision(int(a))
+	case evNodeReady:
+		c.nodeReady(int(a))
+	case evAdopt:
+		c.arriveAdopted(int(a))
+	}
+}

@@ -273,10 +273,9 @@ func (c *Cluster) markScheduled(i int) {
 	}
 	if p.remaining > 0 {
 		p.departGen++
-		gen := p.departGen
 		at := now + sim.Time(p.remaining)
 		if at <= sim.Time(c.cfg.Horizon) {
-			c.eng.At(at, func() { c.depart(i, gen) })
+			c.schedEvent(at, evDepart, int64(i), int64(p.departGen))
 		}
 	}
 }

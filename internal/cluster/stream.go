@@ -38,8 +38,8 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	c.eng.At(sim.Time(c.cfg.ScaleEvery), c.tick)
-	c.eng.At(sim.Time(c.cfg.SampleEvery), c.sample)
+	c.schedEvent(sim.Time(c.cfg.ScaleEvery), evTick, 0, 0)
+	c.schedEvent(sim.Time(c.cfg.SampleEvery), evSample, 0, 0)
 }
 
 // NoteBeyondHorizon books one submit whose timestamp fell past the
@@ -92,7 +92,7 @@ func (c *Cluster) FeedEvent(ev ctrace.Event) error {
 			mem:  p.TotalMem(),
 		})
 		c.podIndex[ev.Pod] = i
-		c.eng.At(sim.Time(ev.Time), func() { c.arrive(i) })
+		c.schedEvent(sim.Time(ev.Time), evArrive, int64(i), 0)
 	case ctrace.Finish, ctrace.Kill:
 		if ev.Time > c.cfg.Horizon {
 			return nil
@@ -102,8 +102,11 @@ func (c *Cluster) FeedEvent(ev ctrace.Event) error {
 			c.count("cluster/end_unknown")
 			return nil
 		}
-		killed := ev.Kind == ctrace.Kill
-		c.eng.At(sim.Time(ev.Time), func() { c.endPod(i, killed) })
+		var killed int64
+		if ev.Kind == ctrace.Kill {
+			killed = 1
+		}
+		c.schedEvent(sim.Time(ev.Time), evEnd, int64(i), killed)
 	default:
 		return fmt.Errorf("cluster: unknown event kind %v", ev.Kind)
 	}
@@ -302,6 +305,7 @@ func (c *Cluster) Digest() uint64 {
 	mix(uint64(c.res.ScaleDowns))
 	mix(uint64(c.res.TransferredIn))
 	mix(uint64(c.res.TransferredOut))
+	mix(uint64(c.res.Adopted))
 	mix(math.Float64bits(c.res.CostDollars))
 	return h
 }

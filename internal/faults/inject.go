@@ -61,6 +61,75 @@ func New(eng *sim.Engine, s *Schedule, rec *telemetry.Recorder) *Injector {
 	return inj
 }
 
+// RuleCursor is one rule's captured accounting: how often a matching
+// point consulted it and how often it actually injected.
+type RuleCursor struct {
+	Hits  uint64
+	Fires uint64
+}
+
+// InjectorState is the complete mid-run state of an Injector — the RNG
+// stream position plus every counter — relative to the Schedule it was
+// built from. Restore rebuilds a bit-identical injector from it.
+type InjectorState struct {
+	Rand   sim.RandState
+	Rules  []RuleCursor
+	Counts map[string]uint64
+	Total  uint64
+}
+
+// State captures the injector. Nil injectors (the fault-free world)
+// capture as nil.
+func (i *Injector) State() *InjectorState {
+	if i == nil {
+		return nil
+	}
+	st := &InjectorState{
+		Rand:   i.rng.State(),
+		Rules:  make([]RuleCursor, 0, len(i.rules)),
+		Counts: make(map[string]uint64, len(i.counts)),
+		Total:  i.total,
+	}
+	for _, r := range i.rules {
+		st.Rules = append(st.Rules, RuleCursor{Hits: r.hits, Fires: r.fires})
+	}
+	for k, v := range i.counts {
+		st.Counts[k] = v
+	}
+	return st
+}
+
+// Restore rebuilds an injector mid-run from a schedule and a captured
+// state. Unlike New it does NOT fork the engine's RNG — the captured
+// stream position already accounts for the fork draw, which stays on
+// the engine's books. A nil state restores the fault-free nil injector;
+// rec may be nil.
+func Restore(s *Schedule, rec *telemetry.Recorder, st *InjectorState) (*Injector, error) {
+	if st == nil {
+		return nil, nil
+	}
+	if s == nil || len(s.Rules) != len(st.Rules) {
+		have := 0
+		if s != nil {
+			have = len(s.Rules)
+		}
+		return nil, fmt.Errorf("faults: restore state names %d rules, schedule has %d", len(st.Rules), have)
+	}
+	inj := &Injector{
+		rng:    sim.NewRandFromState(st.Rand),
+		rec:    rec,
+		counts: make(map[string]uint64, len(st.Counts)),
+		total:  st.Total,
+	}
+	for k, v := range st.Counts {
+		inj.counts[k] = v
+	}
+	for ri, r := range s.Rules {
+		inj.rules = append(inj.rules, &ruleState{Rule: r, hits: st.Rules[ri].Hits, fires: st.Rules[ri].Fires})
+	}
+	return inj, nil
+}
+
 // fire runs one rule's arming logic for a hit at point and records the
 // injection if it triggers.
 func (i *Injector) fire(r *ruleState, point string) bool {

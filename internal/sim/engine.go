@@ -151,6 +151,44 @@ func New(seed int64) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Seq returns the sequence number assigned to the most recently
+// scheduled event. Callers that must identify the event they just
+// scheduled (the cluster's snapshot ledger) read it immediately after
+// At/After.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// EngineState is the snapshotable engine core: the clock, the event
+// sequence counter, the step budget spent, and the RNG stream position.
+// Pending events are NOT part of it — closures cannot be serialized, so
+// the owner of the events (the cluster's typed event ledger) re-schedules
+// them after RestoreEngine.
+type EngineState struct {
+	Now   Time
+	Seq   uint64
+	Steps uint64
+	Rand  RandState
+}
+
+// State captures the engine core. Meaningful only while the engine is
+// parked between RunUntil calls.
+func (e *Engine) State() EngineState {
+	return EngineState{Now: e.now, Seq: e.seq, Steps: e.Steps, Rand: e.rng.State()}
+}
+
+// RestoreEngine rebuilds an engine at a captured core state with an
+// empty event queue; the caller re-schedules its pending events (At
+// accepts t == Now, recreating the same-instant batch queue exactly).
+func RestoreEngine(st EngineState) *Engine {
+	e := &Engine{
+		now:    st.Now,
+		seq:    st.Seq,
+		rng:    NewRandFromState(st.Rand),
+		events: make(eventHeap, 0, initialHeapCap),
+	}
+	e.Steps = st.Steps
+	return e
+}
+
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 

@@ -5,16 +5,70 @@ import (
 	"math/rand"
 )
 
+// countingSource wraps the math/rand source and counts state advances.
+// Both Int63 and Uint64 advance the underlying generator by exactly one
+// step, so the pair (seed, draws) is a complete, replayable description
+// of the stream position: reseed and burn draws steps to land on the
+// identical state regardless of which draw mix produced it. That is what
+// lets a world snapshot capture an RNG without access to math/rand's
+// private state.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
 // Rand is a deterministic random source with the distributions the
 // simulator needs. It wraps math/rand with an explicit seed so that a
-// whole experiment is reproducible from a single integer.
+// whole experiment is reproducible from a single integer, and counts
+// draws so the stream position is snapshotable (State/NewRandFromState).
 type Rand struct {
-	src *rand.Rand
+	src  *rand.Rand
+	cs   countingSource
+	seed int64
+}
+
+// RandState is the complete replayable position of a Rand stream.
+type RandState struct {
+	Seed  int64
+	Draws uint64
 }
 
 // NewRand returns a Rand seeded with seed.
 func NewRand(seed int64) *Rand {
-	return &Rand{src: rand.New(rand.NewSource(seed))}
+	r := &Rand{seed: seed}
+	r.cs.src = rand.NewSource(seed).(rand.Source64)
+	r.src = rand.New(&r.cs)
+	return r
+}
+
+// State captures the stream position. Restoring it with
+// NewRandFromState yields a Rand whose future draws are bit-identical
+// to this one's.
+func (r *Rand) State() RandState {
+	return RandState{Seed: r.seed, Draws: r.cs.draws}
+}
+
+// NewRandFromState rebuilds a Rand at a captured stream position by
+// reseeding and burning the recorded number of state advances.
+func NewRandFromState(st RandState) *Rand {
+	r := NewRand(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		r.cs.src.Uint64() // advance without double-counting
+	}
+	r.cs.draws = st.Draws
+	return r
 }
 
 // Float64 returns a uniform sample in [0, 1).

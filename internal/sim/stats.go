@@ -123,6 +123,36 @@ func (s *Series) CDF() (values, fractions []float64) {
 	return values, fractions
 }
 
+// SeriesState is the exact internal state of a Series — raw samples in
+// their current order plus the running sums, whose float accumulation
+// order a recompute could not reproduce. Snapshot/restore round-trips
+// through it bit for bit.
+type SeriesState struct {
+	Samples []float64
+	Sorted  bool
+	Sum     float64
+	SumSq   float64
+}
+
+// State captures the series (the sample slice is copied).
+func (s *Series) State() SeriesState {
+	return SeriesState{
+		Samples: append([]float64(nil), s.samples...),
+		Sorted:  s.sorted,
+		Sum:     s.sum,
+		SumSq:   s.sumSq,
+	}
+}
+
+// SetState restores a captured series state (the sample slice is
+// copied).
+func (s *Series) SetState(st SeriesState) {
+	s.samples = append(s.samples[:0:0], st.Samples...)
+	s.sorted = st.Sorted
+	s.sum = st.Sum
+	s.sumSq = st.SumSq
+}
+
 func (s *Series) ensureSorted() {
 	if !s.sorted {
 		sort.Float64s(s.samples)

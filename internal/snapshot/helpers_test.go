@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"testing"
+	"time"
+
+	"nestless/internal/cluster"
+	"nestless/internal/faults"
+	"nestless/internal/trace"
+)
+
+// churnPods generates the merged multi-tenant churn workload every test
+// world runs: pod IDs are unique across users, so one cluster can hold
+// the whole population.
+func churnPods(seed int64, users int) []trace.Pod {
+	us := trace.Generate(trace.GenConfig{
+		Seed:              seed,
+		Users:             users,
+		MeanPodsPerUser:   6,
+		HeavyUserFraction: 0.2,
+		MeanArrivalGap:    2 * time.Minute,
+		MeanLifetime:      45 * time.Minute,
+	})
+	var pods []trace.Pod
+	for _, u := range us {
+		pods = append(pods, u.Pods...)
+	}
+	return pods
+}
+
+// mustSpec parses a fault spec or fails the test.
+func mustSpec(t testing.TB, spec string) *faults.Schedule {
+	t.Helper()
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return s
+}
+
+// worldSpec is one leg of the equivalence matrix.
+type worldSpec struct {
+	name string
+	cfg  cluster.Config
+}
+
+// equivalenceSpecs builds the matrix: both policies, churn, faults
+// (provisioning failures and node kills mid-run), and the reference
+// scheduler (whose pending queue snapshots in the other representation).
+func equivalenceSpecs(t testing.TB) []worldSpec {
+	const horizon = 4 * time.Hour
+	base := func(seed int64) cluster.Config {
+		return cluster.Config{
+			Seed:      seed,
+			Pods:      churnPods(seed, 25),
+			Horizon:   horizon,
+			BootDelay: 30 * time.Second,
+		}
+	}
+	kube := base(11)
+	hostlo := base(12)
+	hostlo.Policy = cluster.Hostlo
+	kubeFaults := base(13)
+	kubeFaults.Faults = mustSpec(t, "node/*:crash:p=0.02;node/provision:fail:p=0.1")
+	hostloFaults := base(14)
+	hostloFaults.Policy = cluster.Hostlo
+	hostloFaults.Faults = mustSpec(t, "node/*:crash:p=0.03;node/provision:delay:p=0.2:d=30s")
+	kubeRef := base(15)
+	kubeRef.Reference = true
+	return []worldSpec{
+		{"kube", kube},
+		{"hostlo", hostlo},
+		{"kube-faults", kubeFaults},
+		{"hostlo-faults", hostloFaults},
+		{"kube-reference", kubeRef},
+	}
+}

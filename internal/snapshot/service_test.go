@@ -1,0 +1,255 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"nestless/internal/cluster"
+)
+
+func newTestService(t testing.TB) *Service {
+	t.Helper()
+	svc, err := NewService(BaseConfig{
+		Seed:      5,
+		Users:     15,
+		Policy:    cluster.Hostlo,
+		Horizon:   2 * time.Hour,
+		SnapAt:    time.Hour,
+		BootDelay: 30 * time.Second,
+		FaultSpec: "node/*:crash:p=0.01",
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return svc
+}
+
+// TestServiceBaselineMatchesBase: the "baseline" branch reproduces the
+// uninterrupted base run — the service-level face of the equivalence
+// invariant.
+func TestServiceBaselineMatchesBase(t *testing.T) {
+	svc := newTestService(t)
+	rep, err := svc.Run(Query{Kind: "baseline"})
+	if err != nil {
+		t.Fatalf("baseline query: %v", err)
+	}
+	if len(rep.Leaks) > 0 {
+		t.Fatalf("baseline branch leaks: %v", rep.Leaks)
+	}
+	if want := fmt.Sprintf("%016x", svc.BaseDigest()); rep.Digest != want {
+		t.Errorf("baseline digest %s != base %s", rep.Digest, want)
+	}
+	base := svc.BaseResult()
+	if rep.Arrived != base.Arrived || rep.Departed != base.Departed ||
+		rep.Running != base.Running || rep.StillPending != base.StillPending ||
+		rep.FinalNodes != base.FinalNodes || rep.CostDollars != base.CostDollars {
+		t.Errorf("baseline reply %+v diverges from base result %+v", rep, base)
+	}
+}
+
+// TestServiceRepliesDeterministic: asking the same question twice gets
+// the same answer, bit for bit (wall-clock field aside).
+func TestServiceRepliesDeterministic(t *testing.T) {
+	svc := newTestService(t)
+	queries := []Query{
+		{Kind: "add-pods", Pods: 500, PodSeed: 7},
+		{Kind: "switch-policy", Policy: "kubernetes"},
+		{Kind: "kill-nodes", KillCount: 2},
+	}
+	for _, q := range queries {
+		a, err := svc.Run(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Kind, err)
+		}
+		b, err := svc.Run(q)
+		if err != nil {
+			t.Fatalf("%s (repeat): %v", q.Kind, err)
+		}
+		a.ElapsedMS, b.ElapsedMS = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: replies differ across identical queries:\n  first:  %+v\n  second: %+v", q.Kind, a, b)
+		}
+	}
+}
+
+// TestServiceConcurrentQueries: many goroutines hammer the one shared
+// snapshot with mixed branch kinds. Every branch must succeed, stay
+// leak-free, and agree with every other branch that asked the same
+// question. CI runs this under -race.
+func TestServiceConcurrentQueries(t *testing.T) {
+	svc := newTestService(t)
+	queries := []Query{
+		{Kind: "baseline"},
+		{Kind: "add-pods", Pods: 300, PodSeed: 11},
+		{Kind: "switch-policy", Policy: "kubernetes"},
+		{Kind: "kill-nodes", KillCount: 1},
+	}
+	const rounds = 30 // 120 queries total
+	replies := make([]*Reply, rounds*len(queries))
+	errs := make([]error, rounds*len(queries))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for qi := range queries {
+			wg.Add(1)
+			go func(slot, qi int) {
+				defer wg.Done()
+				replies[slot], errs[slot] = svc.Run(queries[qi])
+			}(r*len(queries)+qi, qi)
+		}
+	}
+	wg.Wait()
+	for slot, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", slot, err)
+		}
+		if len(replies[slot].Leaks) > 0 {
+			t.Fatalf("query %d leaks: %v", slot, replies[slot].Leaks)
+		}
+	}
+	// Same question, same answer — across all rounds.
+	for qi := range queries {
+		first := replies[qi]
+		for r := 1; r < rounds; r++ {
+			got := replies[r*len(queries)+qi]
+			if got.Digest != first.Digest {
+				t.Errorf("kind %s: round %d digest %s != round 0 %s", queries[qi].Kind, r, got.Digest, first.Digest)
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.Queries != uint64(rounds*len(queries)) {
+		t.Errorf("stats count %d queries, want %d", st.Queries, rounds*len(queries))
+	}
+	if st.WarmHits+st.WarmMisses == 0 {
+		t.Error("no packing-cache probes across any Hostlo branch — warm cache never consulted")
+	}
+	if st.WarmHitRate < 0 || st.WarmHitRate > 1 {
+		t.Errorf("warm hit rate %v out of [0,1]", st.WarmHitRate)
+	}
+	t.Logf("warm cache: %d hits / %d misses (rate %.2f), snapshot %d bytes",
+		st.WarmHits, st.WarmMisses, st.WarmHitRate, st.SnapshotB)
+}
+
+// TestServiceHTTP drives the JSON face end to end.
+func TestServiceHTTP(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	post := func(body string) (*http.Response, map[string]interface{}) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/whatif", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatalf("POST /whatif: %v", err)
+		}
+		defer resp.Body.Close()
+		var m map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("decode reply: %v", err)
+		}
+		return resp, m
+	}
+
+	resp, m := post(`{"kind":"baseline"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline: status %d (%v)", resp.StatusCode, m)
+	}
+	if want := fmt.Sprintf("%016x", svc.BaseDigest()); m["digest"] != want {
+		t.Errorf("baseline digest %v != %s", m["digest"], want)
+	}
+
+	resp, m = post(`{"kind":"defragment-the-moon"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", resp.StatusCode)
+	}
+	if m["error"] == "" {
+		t.Error("unknown kind: no error message")
+	}
+
+	for _, path := range []string{"/stats", "/base"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var m map[string]interface{}
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+	}
+	st := svc.Stats()
+	if st.Queries != 1 || st.Errors != 1 {
+		t.Errorf("stats: %d queries / %d errors, want 1 / 1", st.Queries, st.Errors)
+	}
+}
+
+// TestServiceScale100K is the acceptance-scale run: a ~100k-pod base
+// world serving 100+ concurrent forked queries. Heavy, so gated behind
+// SNAP_100K=1 (CI smoke-runs it like the BENCH_1M lifecycle gate).
+func TestServiceScale100K(t *testing.T) {
+	if os.Getenv("SNAP_100K") == "" {
+		t.Skip("set SNAP_100K=1 to run the 100k-pod service scale test")
+	}
+	start := time.Now()
+	svc, err := NewService(BaseConfig{
+		Seed:      1,
+		Users:     19000,
+		Policy:    cluster.Hostlo,
+		Horizon:   2 * time.Hour,
+		SnapAt:    time.Hour,
+		BootDelay: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	st := svc.Stats()
+	if st.BasePods < 100_000 {
+		t.Fatalf("base world has %d pods, want >= 100k", st.BasePods)
+	}
+	t.Logf("base ready in %v: %d pods, snapshot %d bytes", time.Since(start).Round(time.Millisecond), st.BasePods, st.SnapshotB)
+
+	queries := []Query{
+		{Kind: "baseline"},
+		{Kind: "add-pods", Pods: 10_000, PodSeed: 42},
+		{Kind: "switch-policy", Policy: "kubernetes"},
+		{Kind: "kill-nodes", KillCount: 50},
+	}
+	const total = 104
+	replies := make([]*Reply, total)
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = svc.Run(queries[i%len(queries)])
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if len(replies[i].Leaks) > 0 {
+			t.Fatalf("query %d leaks: %v", i, replies[i].Leaks)
+		}
+	}
+	for i := len(queries); i < total; i++ {
+		if replies[i].Digest != replies[i%len(queries)].Digest {
+			t.Errorf("query %d digest %s != first-of-kind %s", i, replies[i].Digest, replies[i%len(queries)].Digest)
+		}
+	}
+	st = svc.Stats()
+	t.Logf("%d branch queries in %v — warm cache %d hits / %d misses (rate %.2f)",
+		total, time.Since(start).Round(time.Millisecond), st.WarmHits, st.WarmMisses, st.WarmHitRate)
+}

@@ -117,6 +117,26 @@ func (r *Recorder) BindEngine(eng *sim.Engine) {
 	eng.Probe = r
 }
 
+// Rebind swaps the engine a recorder follows WITHOUT resetting the
+// timeline cursors: offset, sample tick, generation and max timestamp
+// all stay put. It exists for world snapshot/restore — the restored
+// engine resumes at the captured virtual instant, so re-running
+// BindEngine's offset jump would double every timestamp. A recorder
+// that was never bound (no engine, nothing recorded) falls through to
+// BindEngine, so a restored world with a brand-new recorder still gets
+// a sane timeline.
+func (r *Recorder) Rebind(eng *sim.Engine) {
+	if r == nil || eng == nil {
+		return
+	}
+	if r.eng == nil && r.maxTS == 0 && r.offset == 0 {
+		r.BindEngine(eng)
+		return
+	}
+	r.eng = eng
+	eng.Probe = r
+}
+
 // SetNow drives the manual clock for recorders not bound to an engine.
 // It is ignored while an engine is bound.
 func (r *Recorder) SetNow(t sim.Time) {
