@@ -18,6 +18,18 @@
 //	costsim -lifecycle -horizon 8h -gap 2m -life 45m
 //	costsim -lifecycle -faults 'node/*:crash:p=0.01'
 //
+// The machine subsystem (internal/cloud) generalizes the hard-coded
+// m5 table: -cloud selects a registered catalog (optionally with
+// zone=/spot= keys), -zones spreads the lifecycle fleet across
+// availability-zone failure domains, -spot-frac runs part of it on
+// discounted spot capacity (revocation is a seeded fault;
+// spot/*:crash:p=0.02 is merged in unless -faults already covers
+// spot/), and -autoscaler=imperative pins the pre-cloud demand loop:
+//
+//	costsim -cloud gcp:n2                  # static cross-cloud comparison
+//	costsim -lifecycle -cloud gcp:n2 -zones 3 -spot-frac 0.5
+//	costsim -lifecycle -cloud 'gcp:n2:zone=3:spot=0.5'
+//
 // The -replay flag feeds a recorded cluster trace file (CSV or JSONL,
 // optionally gzipped — see internal/ctrace) through the sharded
 // multi-cluster replay (internal/shard) instead of generating a
@@ -39,9 +51,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"nestless/internal/cli"
+	"nestless/internal/cloud"
 	"nestless/internal/cloudsim"
 	"nestless/internal/cluster"
 	"nestless/internal/ctrace"
@@ -85,6 +99,14 @@ func main() {
 		"replay: transfer pods pending longer than this to another world at each barrier (0 = off)")
 	lenient := flag.Bool("lenient", false,
 		"replay: skip malformed trace rows instead of failing")
+	cloudSpec := flag.String("cloud", cloud.DefaultName,
+		"machine catalog selector: provider:family[:zone=N][:spot=F] (registered: "+strings.Join(cloud.Names(), ", ")+")")
+	spotFrac := flag.Float64("spot-frac", 0,
+		"lifecycle: target fraction of the fleet on spot capacity, in [0,1] (needs a spot-capable catalog)")
+	zones := flag.Int("zones", 1,
+		"lifecycle: availability zones the fleet spreads across (bounded by the catalog's zone list)")
+	autoscaler := flag.String("autoscaler", "reconciler",
+		"lifecycle: fleet manager, reconciler or imperative (the pre-cloud demand loop; rejects spot/zones)")
 	workers := cli.ParallelFlag()
 	faultSpec := cli.FaultsFlag()
 	tf := cli.TelemetryFlags()
@@ -103,6 +125,38 @@ func main() {
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	cl, err := cloud.Resolve(cloud.Options{
+		Spec:     *cloudSpec,
+		SpotFrac: *spotFrac, SpotFracSet: explicit["spot-frac"],
+		Zones: *zones, ZonesSet: explicit["zones"],
+		Autoscaler: *autoscaler,
+	})
+	if err != nil {
+		cli.BadFlag("costsim: %v", err)
+	}
+	if !*lifecycle && *replay == "" {
+		// The static snapshot has no fleet to manage: only the catalog
+		// choice applies.
+		for _, name := range []string{"spot-frac", "zones", "autoscaler"} {
+			if explicit[name] {
+				cli.BadFlag("costsim: -%s only applies to the cluster simulation (add -lifecycle or -replay)", name)
+			}
+		}
+		if cl.SpotFrac > 0 || cl.Zones > 1 {
+			cli.BadFlag("costsim: zone=/spot= in -cloud only apply to the cluster simulation (add -lifecycle or -replay)")
+		}
+	}
+	// Spot capacity without a revocation rule would be free money:
+	// unless the user's -faults spec already says something about
+	// spot/ points, merge the default revocation schedule in after
+	// their rules.
+	if cl.SpotFrac > 0 && !sched.HasPointPrefix("spot/") {
+		def, derr := faults.ParseSpec(cloud.DefaultRevocationSpec)
+		if derr != nil {
+			cli.Fatal("costsim", derr)
+		}
+		sched = faults.Merge(sched, def)
+	}
 	if *replay != "" {
 		// The trace IS the workload: generator knobs are ambiguous next
 		// to it.
@@ -157,7 +211,7 @@ func main() {
 			migrateAfter: *migrateAfter, lenient: *lenient, sched: sched,
 			reference: *reference, fullRepack: *fullRepack,
 			repackWorkers: *repackWorkers, repackCache: *repackCache,
-			rec: tf.Recorder(), emit: emit,
+			cloud: cl, rec: tf.Recorder(), emit: emit,
 		})
 		tf.EmitOrDie("costsim")
 		return
@@ -169,7 +223,7 @@ func main() {
 			life: *life, boot: *boot, workers: *workers, sched: sched,
 			reference: *reference, fullRepack: *fullRepack,
 			repackWorkers: *repackWorkers, repackCache: *repackCache,
-			rec: tf.Recorder(), emit: emit,
+			cloud: cl, rec: tf.Recorder(), emit: emit,
 		})
 		tf.EmitOrDie("costsim")
 		return
@@ -184,8 +238,28 @@ func main() {
 	cfg := trace.DefaultConfig(*seed)
 	cfg.Users = *users
 	pop := trace.Generate(cfg)
-	res := cloudsim.SimulateParallel(pop, cloudsim.Catalog(), simWorkers)
+	res := cloudsim.SimulateParallel(pop, cl.Catalog.Types, simWorkers)
 	record(tf.Recorder(), res)
+
+	if explicit["cloud"] {
+		// An explicit catalog choice turns the run into a cross-cloud
+		// comparison: the same workload priced on the default AWS m5
+		// table and on the selected catalog. (Fig. 9 itself is pinned
+		// to the paper's m5 pricing, so it is skipped here.)
+		crossCloud(cl.Catalog, res, pop, simWorkers, emit)
+		if *top > 0 {
+			fmt.Println()
+			tt := report.New(fmt.Sprintf("Top %d savers (%s)", *top, cl.Catalog.Name()),
+				"user", "kube_cost", "hostlo_cost", "savings_rel", "kube_vms", "hostlo_vms")
+			for _, u := range res.TopSavers(*top) {
+				tt.AddRow(u.UserID, u.KubeCostPerH, u.HostloCostPerH,
+					report.Percent(u.SavingsRel()), u.KubeVMs, u.HostloVMs)
+			}
+			emit(tt)
+		}
+		tf.EmitOrDie("costsim")
+		return
+	}
 
 	hist, stats := figures.Fig9(figures.Opts{Seed: *seed, Quick: *users != 492, Workers: *workers})
 	if *users == 492 {
@@ -219,6 +293,34 @@ func main() {
 	tf.EmitOrDie("costsim")
 }
 
+// crossCloud prices the same static workload on the default AWS m5
+// catalog and on the selected one, then prints the comparison rows the
+// arbitrage scenarios read (per-catalog kube/hostlo fleet cost and the
+// Hostlo savings each catalog yields).
+func crossCloud(sel *cloud.Catalog, selRes cloudsim.PopulationResult,
+	pop []trace.User, workers int, emit func(*report.Table)) {
+	base, err := cloud.Lookup(cloud.DefaultName)
+	if err != nil {
+		cli.Fatal("costsim", err)
+	}
+	baseRes := selRes
+	if sel.Name() != base.Name() {
+		baseRes = cloudsim.SimulateParallel(pop, base.Types, workers)
+	}
+	baseKube, baseHostlo := baseRes.TotalCosts()
+	selKube, selHostlo := selRes.TotalCosts()
+	t := report.New(fmt.Sprintf("Cross-cloud comparison over %d users", len(pop)),
+		"metric", base.Name(), sel.Name())
+	t.AddRow("total kube fleet $/h", baseKube, selKube)
+	t.AddRow("total hostlo fleet $/h", baseHostlo, selHostlo)
+	t.AddRow("hostlo savings", report.Percent((baseKube-baseHostlo)/baseKube),
+		report.Percent((selKube-selHostlo)/selKube))
+	t.AddRow("users with savings", report.Percent(baseRes.SaversFraction()),
+		report.Percent(selRes.SaversFraction()))
+	t.AddRow("users skipped (pod > largest VM)", baseRes.Skipped, selRes.Skipped)
+	emit(t)
+}
+
 // lifecycleOpts bundles the -lifecycle run parameters.
 type lifecycleOpts struct {
 	users         int
@@ -233,8 +335,17 @@ type lifecycleOpts struct {
 	fullRepack    bool
 	repackWorkers int
 	repackCache   int
+	cloud         *cloud.Resolved
 	rec           *telemetry.Recorder
 	emit          func(*report.Table)
+}
+
+// autoscalerMode maps the resolved CLI choice onto the cluster enum.
+func autoscalerMode(cl *cloud.Resolved) cluster.AutoscalerMode {
+	if cl.Imperative {
+		return cluster.Imperative
+	}
+	return cluster.Reconciler
 }
 
 // runLifecycle simulates the population's cluster lifecycle under both
@@ -249,6 +360,7 @@ func runLifecycle(o lifecycleOpts) {
 
 	runs := cluster.SimulatePopulation(pop, cluster.Config{
 		Seed:          o.seed,
+		Catalog:       o.cloud.Catalog.Types,
 		Horizon:       o.horizon,
 		BootDelay:     o.boot,
 		Faults:        o.sched,
@@ -256,6 +368,11 @@ func runLifecycle(o lifecycleOpts) {
 		FullRepack:    o.fullRepack,
 		RepackWorkers: o.repackWorkers,
 		PackCacheSize: o.repackCache,
+		Zones:         o.cloud.Zones,
+		ZoneNames:     o.cloud.ZoneNames,
+		SpotFrac:      o.cloud.SpotFrac,
+		SpotDiscount:  o.cloud.SpotDiscount,
+		Autoscaler:    autoscalerMode(o.cloud),
 		Rec:           o.rec,
 	}, o.workers)
 
@@ -277,13 +394,25 @@ func runLifecycle(o lifecycleOpts) {
 	t.AddRow("pods failed (unschedulable)", kube.failed, hostlo.failed)
 	t.AddRow("pods pending at horizon", kube.pending, hostlo.pending)
 	t.AddRow("cost over horizon $", kube.dollars, hostlo.dollars)
+	t.AddRow("cost split spot / on-demand $", kube.costSplit(), hostlo.costSplit())
 	t.AddRow("final fleet $/h", kube.finalRate, hostlo.finalRate)
 	t.AddRow("final fleet nodes", kube.finalNodes, hostlo.finalNodes)
 	t.AddRow("peak fleet nodes", kube.peakNodes, hostlo.peakNodes)
 	t.AddRow("mean time-to-schedule", kube.ttsMean(), hostlo.ttsMean())
 	t.AddRow("scale-ups / scale-downs", fmt.Sprintf("%d / %d", kube.scaleUps, kube.scaleDowns),
 		fmt.Sprintf("%d / %d", hostlo.scaleUps, hostlo.scaleDowns))
+	t.AddRow("reconcile rounds / actions", fmt.Sprintf("%d / %d", kube.reconRounds, kube.reconActions),
+		fmt.Sprintf("%d / %d", hostlo.reconRounds, hostlo.reconActions))
 	t.AddRow("node kills (faults)", kube.kills, hostlo.kills)
+	if o.cloud.SpotFrac > 0 {
+		t.AddRow("spot provisions / revocations", fmt.Sprintf("%d / %d", kube.spotProv, kube.spotRevoked),
+			fmt.Sprintf("%d / %d", hostlo.spotProv, hostlo.spotRevoked))
+		t.AddRow("on-demand fallbacks", kube.odFallbacks, hostlo.odFallbacks)
+	}
+	if o.cloud.Zones > 1 {
+		t.AddRow("zone kills (drills)", kube.zoneKills, hostlo.zoneKills)
+		t.AddRow("final zone spread", kube.spread(o.cloud.ZoneNames), hostlo.spread(o.cloud.ZoneNames))
+	}
 	t.AddRow("pods displaced / rescheduled", fmt.Sprintf("%d / %d", kube.displaced, kube.reschedules),
 		fmt.Sprintf("%d / %d", hostlo.displaced, hostlo.reschedules))
 	t.AddRow("optimizer runs / moves", "-", fmt.Sprintf("%d / %d", hostlo.optRuns, hostlo.optMoves))
@@ -325,6 +454,7 @@ type replayOpts struct {
 	fullRepack    bool
 	repackWorkers int
 	repackCache   int
+	cloud         *cloud.Resolved
 	rec           *telemetry.Recorder
 	emit          func(*report.Table)
 }
@@ -348,6 +478,7 @@ func runReplay(o replayOpts) {
 			Cluster: cluster.Config{
 				Policy:        policy,
 				Seed:          o.seed,
+				Catalog:       o.cloud.Catalog.Types,
 				Horizon:       o.horizon,
 				BootDelay:     o.boot,
 				Faults:        o.sched,
@@ -355,6 +486,11 @@ func runReplay(o replayOpts) {
 				FullRepack:    o.fullRepack,
 				RepackWorkers: o.repackWorkers,
 				PackCacheSize: o.repackCache,
+				Zones:         o.cloud.Zones,
+				ZoneNames:     o.cloud.ZoneNames,
+				SpotFrac:      o.cloud.SpotFrac,
+				SpotDiscount:  o.cloud.SpotDiscount,
+				Autoscaler:    autoscalerMode(o.cloud),
 				Rec:           o.rec,
 			},
 		})
@@ -395,6 +531,7 @@ func runReplay(o replayOpts) {
 	t.AddRow("pods pending at horizon", kube.pending, hostlo.pending)
 	t.AddRow("pods transferred across worlds", kube.transfers, hostlo.transfers)
 	t.AddRow("cost over horizon $", kube.dollars, hostlo.dollars)
+	t.AddRow("cost split spot / on-demand $", kube.costSplit(), hostlo.costSplit())
 	t.AddRow("final fleet $/h", kube.finalRate, hostlo.finalRate)
 	t.AddRow("final fleet nodes", kube.finalNodes, hostlo.finalNodes)
 	t.AddRow("peak fleet nodes", kube.peakNodes, hostlo.peakNodes)
@@ -402,6 +539,15 @@ func runReplay(o replayOpts) {
 	t.AddRow("scale-ups / scale-downs", fmt.Sprintf("%d / %d", kube.scaleUps, kube.scaleDowns),
 		fmt.Sprintf("%d / %d", hostlo.scaleUps, hostlo.scaleDowns))
 	t.AddRow("node kills (faults)", kube.kills, hostlo.kills)
+	if o.cloud.SpotFrac > 0 {
+		t.AddRow("spot provisions / revocations", fmt.Sprintf("%d / %d", kube.spotProv, kube.spotRevoked),
+			fmt.Sprintf("%d / %d", hostlo.spotProv, hostlo.spotRevoked))
+		t.AddRow("on-demand fallbacks", kube.odFallbacks, hostlo.odFallbacks)
+	}
+	if o.cloud.Zones > 1 {
+		t.AddRow("zone kills (drills)", kube.zoneKills, hostlo.zoneKills)
+		t.AddRow("final zone spread", kube.spread(o.cloud.ZoneNames), hostlo.spread(o.cloud.ZoneNames))
+	}
 	t.AddRow("pods displaced / rescheduled", fmt.Sprintf("%d / %d", kube.displaced, kube.reschedules),
 		fmt.Sprintf("%d / %d", hostlo.displaced, hostlo.reschedules))
 	if kube.dollars > 0 {
@@ -428,7 +574,10 @@ type aggregate struct {
 	finalNodes, peakNodes, scaleUps, scaleDowns      int
 	kills, displaced, reschedules, optRuns, optMoves int
 	optFull, transfers, cacheHits, cacheMisses       int
-	dollars, finalRate                               float64
+	spotProv, spotRevoked, odFallbacks, zoneKills    int
+	reconRounds, reconActions                        int
+	zoneSpread                                       []int
+	dollars, finalRate, spotDollars, odDollars       float64
 	ttsSum                                           time.Duration
 }
 
@@ -451,9 +600,41 @@ func (a *aggregate) add(r cluster.Result) {
 	a.optMoves += r.OptimizerMoves
 	a.cacheHits += r.OptimizerCacheHits
 	a.cacheMisses += r.OptimizerCacheMisses
+	a.spotProv += r.SpotProvisions
+	a.spotRevoked += r.SpotRevocations
+	a.odFallbacks += r.OnDemandFallbacks
+	a.zoneKills += r.ZoneKills
+	a.reconRounds += r.ReconcileRounds
+	a.reconActions += r.ReconcileActions
+	for i, v := range r.ZoneSpread {
+		if i >= len(a.zoneSpread) {
+			a.zoneSpread = append(a.zoneSpread, 0)
+		}
+		a.zoneSpread[i] += v
+	}
 	a.dollars += r.CostDollars
 	a.finalRate += r.FinalCostPerH
+	a.spotDollars += r.CostSpotDollars
+	a.odDollars += r.CostOnDemandDollars
 	a.ttsSum += r.TTSSum
+}
+
+// costSplit renders the spot/on-demand halves of the cost integral.
+func (a *aggregate) costSplit() string {
+	return fmt.Sprintf("%.4g / %.4g", a.spotDollars, a.odDollars)
+}
+
+// spread renders the final per-zone live-node counts.
+func (a *aggregate) spread(names []string) string {
+	parts := make([]string, len(a.zoneSpread))
+	for i, v := range a.zoneSpread {
+		name := fmt.Sprintf("z%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		parts[i] = fmt.Sprintf("%s=%d", name, v)
+	}
+	return strings.Join(parts, " ")
 }
 
 // ttsMean is the population-level mean time-to-schedule.

@@ -11,6 +11,14 @@
 //	curl -s -X POST localhost:8080/whatif -d '{"kind":"kill-nodes","kill_count":25}'
 //	curl -s localhost:8080/stats
 //
+// The -cloud/-zones/-spot-frac flags give the base world a machine
+// configuration (see internal/cloud), which unlocks the zone-loss and
+// spot-revocation branch queries:
+//
+//	whatif -users 200 -cloud gcp:n2 -zones 3 -spot-frac 0.5 &
+//	curl -s -X POST localhost:8080/whatif -d '{"kind":"kill-zone","zone":"us-central1-b"}'
+//	curl -s -X POST localhost:8080/whatif -d '{"kind":"revoke-spot","revoke_count":10}'
+//
 // Identical queries return identical replies (wall-clock fields aside):
 // every branch is a deterministic continuation of the same frozen
 // world, and the "baseline" branch reproduces the uninterrupted base
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"nestless/internal/cli"
+	"nestless/internal/cloud"
 	"nestless/internal/cluster"
 	"nestless/internal/snapshot"
 )
@@ -42,7 +51,24 @@ func main() {
 	boot := flag.Duration("boot", 45*time.Second, "VM provisioning delay")
 	faultSpec := flag.String("faults", "", "base-world fault spec (see internal/faults)")
 	cacheSize := flag.Int("repack-cache", 0, "packing cache entries (0 = default, <0 = off)")
+	cloudSpec := flag.String("cloud", cloud.DefaultName,
+		"machine catalog selector: provider:family[:zone=N][:spot=F] (registered: "+strings.Join(cloud.Names(), ", ")+")")
+	spotFrac := flag.Float64("spot-frac", 0, "fraction of the base fleet on spot capacity, in [0,1]")
+	zones := flag.Int("zones", 1, "availability zones the base fleet spreads across")
+	autoscaler := flag.String("autoscaler", "reconciler", "fleet manager: reconciler or imperative (the pre-cloud pin)")
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	cl, err := cloud.Resolve(cloud.Options{
+		Spec:     *cloudSpec,
+		SpotFrac: *spotFrac, SpotFracSet: explicit["spot-frac"],
+		Zones: *zones, ZonesSet: explicit["zones"],
+		Autoscaler: *autoscaler,
+	})
+	if err != nil {
+		cli.BadFlag("whatif: %v", err)
+	}
 
 	var pol cluster.Policy
 	switch *policy {
@@ -68,6 +94,7 @@ func main() {
 		BootDelay:      *boot,
 		FaultSpec:      *faultSpec,
 		PackCacheSize:  *cacheSize,
+		Cloud:          cl,
 	})
 	if err != nil {
 		cli.Fatal("whatif", err)

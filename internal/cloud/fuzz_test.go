@@ -1,0 +1,34 @@
+package cloud
+
+import "testing"
+
+// FuzzParseCloudSpec holds the grammar to two properties on arbitrary
+// input: the parser never panics, and accepted specs render a
+// canonical String() that re-parses to the identical Spec (fixpoint).
+func FuzzParseCloudSpec(f *testing.F) {
+	f.Add("aws:m5")
+	f.Add("gcp:n2:zone=3")
+	f.Add("gcp:n2:zone=2:spot=0.25")
+	f.Add("gcp:n2:spot=1:zone=4")
+	f.Add("a-b_c:x0:spot=0.000001")
+	f.Add("aws:m5:zone=0")
+	f.Add("aws:m5:spot=1.5")
+	f.Add("::=")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, text, err)
+		}
+		if *back != *s {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", text, *s, canon, *back)
+		}
+		if back.String() != canon {
+			t.Fatalf("String not a fixpoint: %q vs %q", back.String(), canon)
+		}
+	})
+}

@@ -13,42 +13,62 @@ import (
 // hysteresis against churn buying the same node twice). Node kills also
 // live on the tick: the fault injector is consulted once per live node
 // per tick at point "node/<name>".
+//
+// This file holds the machine-lifecycle mechanics shared by both
+// autoscaler modes; the declarative reconciler's decision layer (zone
+// spread, spot mix, machine sets) lives in reconciler.go.
 
-// requestNode asks for one node of catalog type typ.
-func (c *Cluster) requestNode(typ int) {
+// requestNode asks for one node of catalog type typ, placed in the
+// given zone, as spot or on-demand capacity.
+func (c *Cluster) requestNode(typ, zone int, spot bool) {
 	c.inflight++
 	c.count("cluster/provision_requests")
-	c.tryProvision(typ)
+	c.tryProvision(typ, zone, spot)
+}
+
+// provArgs packs a provisioning request's (zone, spot) into the B slot
+// of an evProvRetry/evNodeReady ledger event; the pre-cloud encoding
+// (B = 0) decodes to zone 0, on-demand.
+func provArgs(zone int, spot bool) int64 {
+	b := int64(zone) << 1
+	if spot {
+		b |= 1
+	}
+	return b
 }
 
 // tryProvision runs one provisioning attempt through the fault points
 // "node/provision" (fail → retry after ProvisionRetryEvery; delay →
 // added to the boot latency).
-func (c *Cluster) tryProvision(typ int) {
+func (c *Cluster) tryProvision(typ, zone int, spot bool) {
 	if err := c.inj.OpFail("node/provision"); err != nil {
 		c.res.ProvisionRetries++
 		c.count("cluster/provision_retries")
 		if c.rec != nil {
 			c.rec.Instant("cluster/autoscaler", "provision-retry", "type", float64(typ))
 		}
-		c.schedEvent(c.eng.Now()+sim.Time(c.cfg.ProvisionRetryEvery), evProvRetry, int64(typ), 0)
+		c.schedEvent(c.eng.Now()+sim.Time(c.cfg.ProvisionRetryEvery), evProvRetry, int64(typ), provArgs(zone, spot))
 		return
 	}
 	delay := sim.Time(c.cfg.BootDelay) + sim.Time(c.inj.OpDelay("node/provision"))
 	if delay <= 0 {
-		c.nodeReady(typ)
+		c.nodeReady(typ, zone, spot)
 		return
 	}
-	c.schedEvent(c.eng.Now()+delay, evNodeReady, int64(typ), 0)
+	c.schedEvent(c.eng.Now()+delay, evNodeReady, int64(typ), provArgs(zone, spot))
 }
 
 // nodeReady turns a provisioning request into a live node and re-kicks
 // the scheduler, which was blocked waiting for this capacity.
-func (c *Cluster) nodeReady(typ int) {
+func (c *Cluster) nodeReady(typ, zone int, spot bool) {
 	c.inflight--
-	n := c.createNode(typ, c.eng.Now())
+	n := c.createNode(typ, zone, spot, c.eng.Now())
 	c.res.ScaleUps++
 	c.count("cluster/scale_ups")
+	if spot {
+		c.res.SpotProvisions++
+		c.count("cluster/spot_provisions")
+	}
 	if c.rec != nil {
 		c.rec.Instant("cluster/autoscaler", "node-ready", "type", float64(typ))
 	}
@@ -62,19 +82,29 @@ func (c *Cluster) nodeReady(typ int) {
 // fleet peak, and enters the node into the live list and the capacity
 // index. The cost clock starts here; accrue settles it at termination
 // or the horizon.
-func (c *Cluster) createNode(typ int, now sim.Time) *node {
+func (c *Cluster) createNode(typ, zone int, spot bool, now sim.Time) *node {
 	n := &node{
 		id:        len(c.nodes),
 		typ:       typ,
 		bornAt:    now,
 		idleSince: now,
 		live:      true,
+		zone:      zone,
+		spot:      spot,
 	}
 	n.name = fmt.Sprintf("n%d", n.id)
 	n.faultPoint = "node/" + n.name
+	if spot {
+		n.spotPoint = "spot/" + n.name
+	}
+	n.priceH = c.price(typ, zone, spot)
 	c.nodes = append(c.nodes, n)
 	c.liveList = append(c.liveList, n)
 	c.liveCount++
+	c.zoneLive[zone]++
+	if spot {
+		c.spotLive++
+	}
 	c.touchNode(n)
 	if c.liveCount > c.res.PeakNodes {
 		c.res.PeakNodes = c.liveCount
@@ -90,6 +120,10 @@ func (c *Cluster) terminate(n *node, now sim.Time) {
 	n.live = false
 	c.liveCount--
 	c.deadLive++
+	c.zoneLive[n.zone]--
+	if n.spot {
+		c.spotLive--
+	}
 	c.touchNode(n)
 }
 
@@ -109,8 +143,9 @@ func (c *Cluster) compactLive() {
 	c.deadLive = 0
 }
 
-// tick is the periodic control loop: node kills, displaced-pod
-// rescheduling, idle reclaim, Hostlo re-optimisation, re-arm.
+// tick is the periodic control loop: node kills (plus spot revocations
+// and zone drills in cloud-model runs), displaced-pod rescheduling,
+// idle reclaim, Hostlo re-optimisation, re-arm.
 func (c *Cluster) tick() {
 	now := c.eng.Now()
 	if c.deadLive > len(c.liveList)/2 {
@@ -124,21 +159,42 @@ func (c *Cluster) tick() {
 				c.killNode(n, now)
 			}
 		}
+		// 1b. Spot revocations, point "spot/<name>" per live spot node.
+		// Gated on a non-empty spot fleet so a pre-cloud world never
+		// consults the injector here (a bare "*" rule would otherwise
+		// fire and shift the RNG stream against the imperative pin).
+		if c.spotLive > 0 {
+			for _, n := range c.liveList {
+				if n.live && n.spot && c.inj.Crash(n.spotPoint) {
+					c.revokeNode(n, now)
+				}
+			}
+		}
+		// 1c. Whole-zone kill drills, point "zone/<name>" per configured
+		// zone — same single-zone gate as above.
+		if c.cfg.Zones > 1 {
+			for z := 0; z < c.cfg.Zones; z++ {
+				if c.inj.Crash(c.zonePoints[z]) {
+					c.killZone(z, now)
+				}
+			}
+		}
 	}
 	// 2. Displaced pods (and any queue backlog) go back through the
 	// scheduler.
 	if c.queueLen() > 0 {
 		c.kickSchedule()
 	}
-	// 3. Idle reclaim with hysteresis.
-	for _, n := range c.liveList {
-		if n.live && len(n.items) == 0 && now-n.idleSince >= sim.Time(c.cfg.IdleGrace) {
-			c.terminate(n, now)
-			c.res.ScaleDowns++
-			c.count("cluster/scale_downs")
-			if c.rec != nil {
-				c.rec.Instant("cluster/autoscaler", "reclaim-idle", "node", float64(n.id))
-			}
+	// 3. Idle reclaim with hysteresis. In reconciler mode the reclaim is
+	// one resync round of observed-vs-desired capacity; the mechanics
+	// (and therefore the fleet trajectory) are identical either way.
+	reclaimed := c.reclaimIdle(now)
+	if c.cfg.Autoscaler == Reconciler {
+		c.res.ReconcileRounds++
+		c.count("cluster/reconcile_rounds")
+		if reclaimed > 0 {
+			c.res.ReconcileActions += reclaimed
+			c.countN("cluster/reconcile_actions", reclaimed)
 		}
 	}
 	// 4. Hostlo: re-pack what churn fragmented, but never under a
@@ -152,6 +208,26 @@ func (c *Cluster) tick() {
 	}
 }
 
+// reclaimIdle terminates every live node that has sat empty past the
+// IdleGrace hysteresis, in creation order, and reports how many. Both
+// autoscaler modes share it verbatim — the scale-down trajectory (and
+// its float cost accumulation order) must not depend on the mode.
+func (c *Cluster) reclaimIdle(now sim.Time) int {
+	reclaimed := 0
+	for _, n := range c.liveList {
+		if n.live && len(n.items) == 0 && now-n.idleSince >= sim.Time(c.cfg.IdleGrace) {
+			c.terminate(n, now)
+			c.res.ScaleDowns++
+			c.count("cluster/scale_downs")
+			if c.rec != nil {
+				c.rec.Instant("cluster/autoscaler", "reclaim-idle", "node", float64(n.id))
+			}
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
+
 // killNode fails a node mid-run: the bill is settled, every pod with a
 // container on it is displaced back into the pending queue with its
 // remaining lifetime, and split pods lose their placements on other
@@ -162,6 +238,13 @@ func (c *Cluster) killNode(n *node, now sim.Time) {
 	if c.rec != nil {
 		c.rec.Instant("cluster/faults", "node-kill", "node", float64(n.id))
 	}
+	c.drainNode(n, now)
+}
+
+// drainNode is the shared teardown of killNode and revokeNode: every
+// pod with a container on the node is displaced back into the pending
+// queue, the node's bill is settled and it leaves the fleet.
+func (c *Cluster) drainNode(n *node, now sim.Time) {
 	// Victim pods in item order, deduplicated.
 	seen := map[string]bool{}
 	var victims []int

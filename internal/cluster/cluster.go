@@ -70,6 +70,31 @@ func (p Policy) String() string {
 	return "kubernetes"
 }
 
+// AutoscalerMode selects the fleet-management regime.
+type AutoscalerMode int
+
+const (
+	// Reconciler is the declarative default: every scale decision is one
+	// idempotent reconcile of desired vs. observed machine sets — demand
+	// adds a machine in the emptiest zone (spot or on-demand per the
+	// configured fraction), the tick resyncs observed capacity against
+	// the idle-grace policy. With one zone and zero spot fraction its
+	// decisions collapse to exactly the imperative loop's (the
+	// equivalence suite pins this, modulo the Reconcile* counters).
+	Reconciler AutoscalerMode = iota
+	// Imperative is the pre-cloud demand loop, kept as the byte-identity
+	// pin. It only manages single-zone on-demand fleets.
+	Imperative
+)
+
+// String returns the autoscaler mode name.
+func (m AutoscalerMode) String() string {
+	if m == Imperative {
+		return "imperative"
+	}
+	return "reconciler"
+}
+
 // Config parameterises one cluster lifecycle run.
 type Config struct {
 	// Seed drives the fault injector's RNG fork (the cluster logic
@@ -137,6 +162,33 @@ type Config struct {
 	// are byte-identical with the cache on or off — only the
 	// OptimizerCacheHits/Misses counters (and their telemetry) differ.
 	PackCacheSize int
+
+	// Cloud-model knobs (internal/cloud resolves CLI flags into these).
+	//
+	// Zones is the number of availability-zone failure domains the fleet
+	// spreads across (default 1 — the pre-cloud world). The reconciler
+	// places each new machine in the emptiest zone; each zone is a fault
+	// point "zone/<name>" whose crash kills every node in it.
+	Zones int
+	// ZoneNames labels the zones (default "z0".."zN-1"). Length must be
+	// ≥ Zones; only the first Zones entries are used.
+	ZoneNames []string
+	// SpotFrac is the target fraction of the live fleet on spot
+	// (preemptible) capacity, in [0,1]. Spot nodes cost
+	// PricePerH × SpotDiscount[zone] and each is a fault point
+	// "spot/<name>" whose crash is a revocation: the node drains like a
+	// kill and the next replacement machine falls back to on-demand.
+	// Requires the Reconciler autoscaler.
+	SpotFrac float64
+	// SpotDiscount is the per-zone spot price fraction (extended to
+	// Zones entries with 0.35 by withDefaults, so pricing is total even
+	// for hostile snapshots).
+	SpotDiscount []float64
+	// Autoscaler selects the fleet manager (default Reconciler;
+	// Imperative is the pre-cloud pin and rejects Zones > 1 or
+	// SpotFrac > 0 — New panics on the combination since CLI validation
+	// already exits 2 on it).
+	Autoscaler AutoscalerMode
 }
 
 // defaultPackCacheSize bounds the packing cache when Config leaves it 0.
@@ -170,6 +222,19 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PackCacheSize == 0 {
 		c.PackCacheSize = defaultPackCacheSize
+	}
+	if c.Zones < 1 {
+		c.Zones = 1
+	}
+	for len(c.ZoneNames) < c.Zones {
+		c.ZoneNames = append(c.ZoneNames, fmt.Sprintf("z%d", len(c.ZoneNames)))
+	}
+	// defaultSpotDiscount keeps price() total on every zone index a
+	// (possibly hostile) snapshot can name, whether or not the run uses
+	// spot capacity.
+	const defaultSpotDiscount = 0.35
+	for len(c.SpotDiscount) < c.Zones {
+		c.SpotDiscount = append(c.SpotDiscount, defaultSpotDiscount)
 	}
 	return c
 }
@@ -246,9 +311,30 @@ type Result struct {
 	// equivalence checks against the static packer.
 	FleetTypes []int
 
+	// Cloud-model accounting (all zero in a single-zone on-demand run,
+	// except the Reconcile* counters, which tally the declarative
+	// autoscaler's work and are factored out of equivalence diffs the
+	// way the optimizer cache counters are).
+	ReconcileRounds   int // reconcile evaluations (demand + tick resync)
+	ReconcileActions  int // machines added/reclaimed by those rounds
+	SpotProvisions    int // nodes provisioned as spot capacity
+	SpotRevocations   int // spot nodes revoked by the fault injector
+	OnDemandFallbacks int // replacements forced on-demand by a revocation
+	ZoneKills         int // whole-zone kill drills that fired
+	// ZoneSpread is the live fleet's per-zone node count at the horizon
+	// (nil in single-zone runs, so pre-cloud Results are unchanged).
+	ZoneSpread []int
+
 	// Cost accounting.
 	CostDollars   float64 // integral of fleet price over the horizon
 	FinalCostPerH float64 // fleet cost rate at the horizon
+	// The spot/on-demand split of CostDollars. Each node's bill lands in
+	// exactly one bucket, so the two sum to CostDollars up to float
+	// association (they are separate accumulators, not a partition of
+	// one); an all-on-demand run books everything in the second and its
+	// value equals CostDollars bitwise.
+	CostSpotDollars     float64
+	CostOnDemandDollars float64
 
 	// Time-to-schedule (arrival → first placement) stats. TTSSum and
 	// Scheduled allow exact population-level means.
@@ -314,6 +400,12 @@ type node struct {
 	indexed    bool    // currently present in the capacity index
 	idxScore   float64 // the stored index key (exact delete needs it)
 	dirty      bool    // touched since the last Hostlo optimize pass
+
+	// Cloud-model identity, fixed at creation.
+	zone      int     // failure-domain index, < Config.Zones
+	spot      bool    // preemptible capacity
+	spotPoint string  // "spot/<name>" when spot, else ""
+	priceH    float64 // effective $/h (on-demand price × spot discount)
 }
 
 // recompute rebuilds the used sums from the item list in order —
@@ -350,6 +442,12 @@ type Cluster struct {
 	idx       *capIndex
 	liveCount int
 	inflight  int // provisioning requests not yet live
+
+	// Cloud-model state.
+	zoneLive   []int    // live nodes per zone (len Config.Zones)
+	spotLive   int      // live spot nodes
+	odFallback int      // pending on-demand fallback credits (revocations)
+	zonePoints []string // "zone/<name>" per zone, precomputed
 
 	// Blocked-head memo (indexed mode): the pod index that last
 	// returned blocked from tryPlace and the capacity-index version it
@@ -418,6 +516,11 @@ type sigChain struct{ head, tail int32 }
 // New builds a cluster world; call Run to simulate it.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	if cfg.Autoscaler == Imperative && (cfg.Zones > 1 || cfg.SpotFrac > 0) {
+		// CLI validation exits 2 long before this; reaching it is a
+		// programming error, not a user error.
+		panic("cluster: the imperative autoscaler cannot manage zones or spot capacity")
+	}
 	eng := sim.New(cfg.Seed)
 	eng.MaxSteps = cfg.MaxSteps
 	cfg.Rec.BindEngine(eng)
@@ -433,6 +536,7 @@ func New(cfg Config) *Cluster {
 		pack:       cloudsim.NewPackCache(cfg.PackCacheSize),
 		ledger:     make(map[uint64]ledgerEvent),
 	}
+	c.initZones()
 	c.res.Policy = cfg.Policy
 	c.pods = make([]podRun, len(cfg.Pods))
 	c.podIndex = make(map[string]int, len(cfg.Pods))
@@ -615,11 +719,34 @@ func (c *Cluster) fleetRates() (costPerH, usedCPU, capCPU float64) {
 		if !n.live {
 			continue
 		}
-		costPerH += c.cat[n.typ].PricePerH
+		costPerH += n.priceH
 		usedCPU += n.usedCPU
 		capCPU += c.cat[n.typ].RelCPU
 	}
 	return
+}
+
+// initZones sets up the per-zone live counts and fault points from the
+// (defaulted) config. New and Restore both call it.
+func (c *Cluster) initZones() {
+	c.zoneLive = make([]int, c.cfg.Zones)
+	c.zonePoints = make([]string, c.cfg.Zones)
+	for z := 0; z < c.cfg.Zones; z++ {
+		c.zonePoints[z] = "zone/" + c.cfg.ZoneNames[z]
+	}
+}
+
+// price is a node's effective hourly rate: the catalog's on-demand
+// price, discounted to the zone's spot rate for preemptible capacity.
+// In a run that never uses spot this is the catalog price untouched —
+// no float operation — which is what keeps default costs bitwise
+// identical to the pre-cloud simulator.
+func (c *Cluster) price(typ, zone int, spot bool) float64 {
+	p := c.cat[typ].PricePerH
+	if spot {
+		p *= c.cfg.SpotDiscount[zone]
+	}
+	return p
 }
 
 // sample records one trajectory point and re-arms the chain.
@@ -662,6 +789,14 @@ func (c *Cluster) finalize() {
 		}
 	}
 	c.res.StillPending = c.queueLen()
+	if c.cfg.Zones > 1 {
+		c.res.ZoneSpread = make([]int, c.cfg.Zones)
+		for _, n := range c.liveList {
+			if n.live {
+				c.res.ZoneSpread[n.zone]++
+			}
+		}
+	}
 	for i := range c.pods {
 		if c.pods[i].state == stateRunning {
 			c.res.Running++
@@ -687,15 +822,29 @@ func (c *Cluster) finalize() {
 	}
 }
 
-// accrue charges a node's runtime [bornAt, until] to the cost integral.
+// accrue charges a node's runtime [bornAt, until] to the cost integral,
+// and to the spot or on-demand bucket of the split.
 func (c *Cluster) accrue(n *node, until sim.Time) {
-	c.res.CostDollars += (until - n.bornAt).Hours() * c.cat[n.typ].PricePerH
+	bill := (until - n.bornAt).Hours() * n.priceH
+	c.res.CostDollars += bill
+	if n.spot {
+		c.res.CostSpotDollars += bill
+	} else {
+		c.res.CostOnDemandDollars += bill
+	}
 }
 
 // count bumps a telemetry counter when a recorder is attached.
 func (c *Cluster) count(name string) {
 	if c.rec != nil {
 		c.rec.Metrics().Counter(name).Inc()
+	}
+}
+
+// countN bumps a telemetry counter by n when a recorder is attached.
+func (c *Cluster) countN(name string, n int) {
+	if c.rec != nil {
+		c.rec.Metrics().Counter(name).Add(float64(n))
 	}
 }
 
@@ -823,6 +972,40 @@ func (c *Cluster) Leaks() []string {
 	}
 	if !c.cfg.Reference && c.idx.size != live {
 		leakf("capacity index holds %d nodes, %d live", c.idx.size, live)
+	}
+	// Cloud-model reconciliation: the per-zone and spot tallies must
+	// match a fresh count of the live fleet, and every node's identity
+	// must be internally consistent.
+	zoneLive := make([]int, c.cfg.Zones)
+	spotLive := 0
+	for _, n := range c.nodes {
+		if n.zone < 0 || n.zone >= c.cfg.Zones {
+			leakf("node %s in zone %d of %d", n.name, n.zone, c.cfg.Zones)
+			continue
+		}
+		if n.spot != (n.spotPoint != "") {
+			leakf("node %s: spot %v but spot point %q", n.name, n.spot, n.spotPoint)
+		}
+		if want := c.price(n.typ, n.zone, n.spot); n.priceH != want {
+			leakf("node %s: price %v/h, want %v/h", n.name, n.priceH, want)
+		}
+		if n.live {
+			zoneLive[n.zone]++
+			if n.spot {
+				spotLive++
+			}
+		}
+	}
+	for z := range zoneLive {
+		if zoneLive[z] != c.zoneLive[z] {
+			leakf("zone %s: zoneLive %d != %d live nodes", c.cfg.ZoneNames[z], c.zoneLive[z], zoneLive[z])
+		}
+	}
+	if spotLive != c.spotLive {
+		leakf("spotLive %d != %d live spot nodes", c.spotLive, spotLive)
+	}
+	if c.odFallback < 0 {
+		leakf("negative on-demand fallback credit %d", c.odFallback)
 	}
 	// Per-pod placement reconciliation. Every queue entry must name a
 	// pending pod: departures, failures and transfers remove their

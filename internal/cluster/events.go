@@ -29,8 +29,8 @@ const (
 	evEnd                         // a = pod index, b = 1 for a trace kill
 	evTick                        // autoscaler tick chain
 	evSample                      // trajectory sample chain
-	evProvRetry                   // a = catalog type (failed provision retry)
-	evNodeReady                   // a = catalog type (boot completes)
+	evProvRetry                   // a = catalog type, b = zone<<1|spot (failed provision retry)
+	evNodeReady                   // a = catalog type, b = zone<<1|spot (boot completes)
 	evAdopt                       // a = pod index (what-if fork adoption)
 	evKindMax
 )
@@ -70,9 +70,9 @@ func (c *Cluster) fireEvent(kind evKind, a, b int64) {
 	case evSample:
 		c.sample()
 	case evProvRetry:
-		c.tryProvision(int(a))
+		c.tryProvision(int(a), int(b>>1), b&1 != 0)
 	case evNodeReady:
-		c.nodeReady(int(a))
+		c.nodeReady(int(a), int(b>>1), b&1 != 0)
 	case evAdopt:
 		c.arriveAdopted(int(a))
 	}

@@ -387,7 +387,11 @@ func (c *Cluster) reconcile(cand []*node, improved []cloudsim.PlacedVM) {
 			relink(n)
 			continue
 		}
-		n := c.createNode(pv.Type, now)
+		// Repack replacements follow the zone spread constraint but are
+		// always on-demand: the optimizer consolidates committed
+		// capacity, and billing it at spot rates would let a repack
+		// manufacture savings the reconciler's spot fraction governs.
+		n := c.createNode(pv.Type, c.pickZone(), false, now)
 		n.items = append(n.items, pv.Items...)
 		n.recompute()
 		c.touchNode(n)

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkReconcilerScale measures machine-set convergence cost at
+// fleet scale: one reconcile round = observe the fleet as MachineSets
+// (live scan + pending-ledger decode) and take both placement decisions
+// (emptiest zone, spot-vs-on-demand) against it. The fleets (1k / 10k
+// nodes, three zones, half spot) are built directly through createNode
+// so the benchmark isolates the reconciler's per-round cost from
+// workload simulation.
+func BenchmarkReconcilerScale(b *testing.B) {
+	sizes := []struct {
+		name string
+		n    int
+	}{{"1k", 1_000}, {"10k", 10_000}}
+	for _, sz := range sizes {
+		b.Run(sz.name, func(b *testing.B) {
+			c := New(Config{
+				Seed:         1,
+				Horizon:      8 * time.Hour,
+				Zones:        3,
+				SpotFrac:     0.5,
+				SpotDiscount: []float64{0.30, 0.32, 0.28},
+			})
+			for i := 0; i < sz.n; i++ {
+				c.createNode(i%len(c.cat), c.pickZone(), i%2 == 0, 0)
+			}
+			rounds := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sets := c.MachineSets()
+				if len(sets) == 0 {
+					b.Fatal("no machine sets over a populated fleet")
+				}
+				zone := c.pickZone()
+				if zone < 0 || zone >= 3 {
+					b.Fatalf("pickZone returned %d", zone)
+				}
+				c.pickSpot()
+				rounds++
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(rounds)/secs, "rounds/s")
+			}
+		})
+	}
+}

@@ -124,11 +124,9 @@ func (c *Cluster) tryPlace(i int) (placed, blocked bool) {
 		c.placeItems(n, i, p.pod)
 		return true, false
 	}
-	// No live node fits: ask for the cheapest type that holds the whole
-	// pod, one request in flight at a time.
-	if c.inflight == 0 {
-		c.requestNode(fits)
-	}
+	// No live node fits: ask the autoscaler for the cheapest type that
+	// holds the whole pod, one request in flight at a time.
+	c.scaleUp(fits)
 	return false, true
 }
 
@@ -239,9 +237,7 @@ func (c *Cluster) tryPlaceSplit(i int) (placed, blocked bool) {
 		n := c.bestWholeFit(ct.CPU, ct.Mem)
 		if n == nil {
 			revert()
-			if c.inflight == 0 {
-				c.requestNode(fits)
-			}
+			c.scaleUp(fits)
 			return false, true
 		}
 		done = append(done, placement{n: n, prev: len(n.items)})

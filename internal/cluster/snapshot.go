@@ -66,6 +66,8 @@ type PodSnap struct {
 // Snapshot.DirtyList, which also preserves their discovery order.
 type NodeSnap struct {
 	Typ       int32
+	Zone      int32
+	Spot      bool
 	Live      bool
 	BornAt    sim.Time
 	IdleSince sim.Time
@@ -107,6 +109,7 @@ type Snapshot struct {
 	BlockedVer uint64
 	IdxVer     uint64
 	Inflight   int
+	OdFallback int
 	Dirty      bool
 	Started    bool
 	Finalized  bool
@@ -149,6 +152,7 @@ func (c *Cluster) Capture() (*Snapshot, error) {
 		BlockedPod: c.blockedPod,
 		BlockedVer: c.blockedVer,
 		Inflight:   c.inflight,
+		OdFallback: c.odFallback,
 		Dirty:      c.dirty,
 		Started:    c.started,
 		Finalized:  c.finalized,
@@ -195,6 +199,8 @@ func (c *Cluster) Capture() (*Snapshot, error) {
 	for i, n := range c.nodes {
 		s.Nodes[i] = NodeSnap{
 			Typ:       int32(n.typ),
+			Zone:      int32(n.zone),
+			Spot:      n.spot,
 			Live:      n.live,
 			BornAt:    n.bornAt,
 			IdleSince: n.idleSince,
@@ -276,6 +282,12 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 		if t := int(s.Nodes[i].Typ); t < 0 || t >= nTypes {
 			return nil, fmt.Errorf("cluster: node %d type %d out of catalog range %d", i, t, nTypes)
 		}
+		if z := int(s.Nodes[i].Zone); z < 0 || z >= cfg.Zones {
+			return nil, fmt.Errorf("cluster: node %d zone %d out of range %d", i, z, cfg.Zones)
+		}
+	}
+	if s.OdFallback < 0 {
+		return nil, fmt.Errorf("cluster: negative on-demand fallback credit %d", s.OdFallback)
 	}
 	for i := range s.Pods {
 		ps := &s.Pods[i]
@@ -350,6 +362,9 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 			if ev.A < 0 || ev.A >= int64(nTypes) {
 				return nil, fmt.Errorf("cluster: pending %d event names type %d of %d", ev.Kind, ev.A, nTypes)
 			}
+			if ev.B < 0 || ev.B>>1 >= int64(cfg.Zones) {
+				return nil, fmt.Errorf("cluster: pending %d event names zone %d of %d", ev.Kind, ev.B>>1, cfg.Zones)
+			}
 			provPending++
 		}
 	}
@@ -400,6 +415,7 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 		blockedPod: s.BlockedPod,
 		blockedVer: s.BlockedVer,
 		inflight:   s.Inflight,
+		odFallback: s.OdFallback,
 		dirty:      s.Dirty,
 		started:    s.Started,
 		finalized:  s.Finalized,
@@ -449,6 +465,7 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 	// recompute, index keys from the recomputed sums (treap shape is
 	// history-independent, so insertion in id order reproduces the
 	// query structure; the version counter restores explicitly).
+	c.initZones()
 	c.nodes = make([]*node, nNodes)
 	for i := range s.Nodes {
 		ns := &s.Nodes[i]
@@ -456,15 +473,25 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 			id:        i,
 			name:      fmt.Sprintf("n%d", i),
 			typ:       int(ns.Typ),
+			zone:      int(ns.Zone),
+			spot:      ns.Spot,
 			bornAt:    ns.BornAt,
 			idleSince: ns.IdleSince,
 			live:      ns.Live,
 			items:     append([]cloudsim.PlacedItem(nil), ns.Items...),
 		}
 		n.faultPoint = "node/" + n.name
+		if n.spot {
+			n.spotPoint = "spot/" + n.name
+		}
+		n.priceH = c.price(n.typ, n.zone, n.spot)
 		n.recompute()
 		c.nodes[i] = n
 		if n.live {
+			c.zoneLive[n.zone]++
+			if n.spot {
+				c.spotLive++
+			}
 			c.touchNode(n)
 		}
 	}

@@ -404,3 +404,69 @@ var errTest = errTestType{}
 type errTestType struct{}
 
 func (errTestType) Error() string { return "transient test error" }
+
+func TestMerge(t *testing.T) {
+	a, err := ParseSpec("qmp/device_add:fail:p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("spot/*:crash:p=0.02;frame/*:drop:p=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Merge(nil, nil) != nil {
+		t.Fatal("Merge(nil, nil) != nil")
+	}
+	if got := Merge(a, nil).String(); got != a.String() {
+		t.Fatalf("Merge(a, nil) = %q, want %q", got, a.String())
+	}
+	if got := Merge(nil, b).String(); got != b.String() {
+		t.Fatalf("Merge(nil, b) = %q, want %q", got, b.String())
+	}
+	m := Merge(a, b)
+	want := a.String() + ";" + b.String()
+	if got := m.String(); got != want {
+		t.Fatalf("Merge(a, b) = %q, want %q", got, want)
+	}
+	// The merge is a copy: mutating it must not alias the inputs.
+	m.Rules[0].Point = "mutated"
+	if a.Rules[0].Point == "mutated" {
+		t.Fatal("Merge aliased input rule slice")
+	}
+	// Single-sided merges copy too.
+	m2 := Merge(a, nil)
+	m2.Rules[0].Point = "mutated"
+	if a.Rules[0].Point == "mutated" {
+		t.Fatal("Merge(a, nil) aliased input rule slice")
+	}
+}
+
+func TestHasPointPrefix(t *testing.T) {
+	var nilSched *Schedule
+	if nilSched.HasPointPrefix("spot/") {
+		t.Fatal("nil schedule claims a prefix")
+	}
+	cases := []struct {
+		spec   string
+		prefix string
+		want   bool
+	}{
+		{"spot/node-3:crash", "spot/", true},
+		{"spot/*:crash:p=0.02", "spot/", true},
+		{"sp*:crash", "spot/", true},     // wildcard shorter than prefix
+		{"*:fail:p=0.1", "spot/", true},  // bare star covers everything
+		{"zone/*:crash", "spot/", false},
+		{"qmp/device_add:fail", "spot/", false},
+		{"spotless:fail", "spot", true}, // prefix match is textual
+		{"zone/us-east-1a:crash:n=1", "zone/", true},
+	}
+	for _, tc := range cases {
+		s, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		if got := s.HasPointPrefix(tc.prefix); got != tc.want {
+			t.Errorf("HasPointPrefix(%q, %q) = %v, want %v", tc.spec, tc.prefix, got, tc.want)
+		}
+	}
+}

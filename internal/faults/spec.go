@@ -250,6 +250,46 @@ func parseRule(raw string) (Rule, error) {
 	return r, nil
 }
 
+// Merge combines two schedules into a new one, a's rules first. Either
+// side may be nil; the result is nil only when both are. Rule order is
+// load-bearing for replay (the injector consults rules in order), so
+// callers that merge a default schedule under a user spec should pass
+// the user spec as a.
+func Merge(a, b *Schedule) *Schedule {
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case a == nil:
+		return &Schedule{Rules: append([]Rule(nil), b.Rules...)}
+	case b == nil:
+		return &Schedule{Rules: append([]Rule(nil), a.Rules...)}
+	}
+	rules := make([]Rule, 0, len(a.Rules)+len(b.Rules))
+	rules = append(rules, a.Rules...)
+	rules = append(rules, b.Rules...)
+	return &Schedule{Rules: rules}
+}
+
+// HasPointPrefix reports whether any rule could match a point under the
+// given prefix: an exact or wildcard point starting with prefix, or a
+// bare "*". Nil-safe. Used to decide whether a caller-supplied spec
+// already covers a point family before merging in a default rule.
+func (s *Schedule) HasPointPrefix(prefix string) bool {
+	if s == nil {
+		return false
+	}
+	for _, r := range s.Rules {
+		if r.Point == "*" {
+			return true
+		}
+		body := strings.TrimSuffix(r.Point, "*")
+		if strings.HasPrefix(body, prefix) || strings.HasPrefix(prefix, body) && strings.HasSuffix(r.Point, "*") {
+			return true
+		}
+	}
+	return false
+}
+
 // matches reports whether a rule pattern covers a concrete fault point.
 func matches(pattern, point string) bool {
 	if pattern == "*" {

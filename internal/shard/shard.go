@@ -322,8 +322,22 @@ func merge(worlds []cluster.Result) cluster.Result {
 		m.OptimizerMoves += r.OptimizerMoves
 		m.PeakNodes += r.PeakNodes
 		m.FinalNodes += r.FinalNodes
+		m.ReconcileRounds += r.ReconcileRounds
+		m.ReconcileActions += r.ReconcileActions
+		m.SpotProvisions += r.SpotProvisions
+		m.SpotRevocations += r.SpotRevocations
+		m.OnDemandFallbacks += r.OnDemandFallbacks
+		m.ZoneKills += r.ZoneKills
+		for i, v := range r.ZoneSpread {
+			if i >= len(m.ZoneSpread) {
+				m.ZoneSpread = append(m.ZoneSpread, 0)
+			}
+			m.ZoneSpread[i] += v
+		}
 		m.CostDollars += r.CostDollars
 		m.FinalCostPerH += r.FinalCostPerH
+		m.CostSpotDollars += r.CostSpotDollars
+		m.CostOnDemandDollars += r.CostOnDemandDollars
 		m.TTSSum += r.TTSSum
 		if r.TTSMax > m.TTSMax {
 			m.TTSMax = r.TTSMax

@@ -31,7 +31,10 @@ const magic = "NLW1"
 // version is the current format version. Decode rejects anything else:
 // the format carries simulation state whose meaning is tied to this
 // exact code, so there is no cross-version compatibility to pretend to.
-const version = 1
+// v2 added the cloud model: zone/spot node identity, the machine
+// subsystem's Config knobs, the fallback credit, and the Result's
+// reconcile/revocation counters and cost split.
+const version = 2
 
 // maxRandDraws bounds the RNG stream positions the codec will accept.
 // Restoring a stream position replays that many draws, so an unbounded
@@ -73,6 +76,17 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 	e.f64(s.Cfg.RepackDirtyFrac)
 	e.varint(int64(s.Cfg.RepackWorkers))
 	e.varint(int64(s.Cfg.PackCacheSize))
+	e.varint(int64(s.Cfg.Zones))
+	e.uvarint(uint64(len(s.Cfg.ZoneNames)))
+	for _, z := range s.Cfg.ZoneNames {
+		e.str(z)
+	}
+	e.f64(s.Cfg.SpotFrac)
+	e.uvarint(uint64(len(s.Cfg.SpotDiscount)))
+	for _, f := range s.Cfg.SpotDiscount {
+		e.f64(f)
+	}
+	e.uvarint(uint64(s.Cfg.Autoscaler))
 	e.uvarint(uint64(len(s.Cfg.Catalog)))
 	for _, t := range s.Cfg.Catalog {
 		e.str(t.Name)
@@ -123,6 +137,8 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
 		e.varint(int64(n.Typ))
+		e.varint(int64(n.Zone))
+		e.bool(n.Spot)
 		e.bool(n.Live)
 		e.varint(int64(n.BornAt))
 		e.varint(int64(n.IdleSince))
@@ -147,6 +163,7 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 	e.uvarint(s.BlockedVer)
 	e.uvarint(s.IdxVer)
 	e.varint(int64(s.Inflight))
+	e.varint(int64(s.OdFallback))
 	e.bool(s.Dirty)
 	e.bool(s.Started)
 	e.bool(s.Finalized)
@@ -172,6 +189,8 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 		r.OptimizerRuns, r.OptimizerFull, r.OptimizerMoves, r.OptimizerGroups,
 		r.OptimizerCacheHits, r.OptimizerCacheMisses,
 		r.PeakNodes, r.FinalNodes,
+		r.ReconcileRounds, r.ReconcileActions, r.SpotProvisions,
+		r.SpotRevocations, r.OnDemandFallbacks, r.ZoneKills,
 	} {
 		e.varint(int64(v))
 	}
@@ -179,8 +198,14 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 	for _, t := range r.FleetTypes {
 		e.varint(int64(t))
 	}
+	e.uvarint(uint64(len(r.ZoneSpread)))
+	for _, z := range r.ZoneSpread {
+		e.varint(int64(z))
+	}
 	e.f64(r.CostDollars)
 	e.f64(r.FinalCostPerH)
+	e.f64(r.CostSpotDollars)
+	e.f64(r.CostOnDemandDollars)
 	e.dur(r.TTSSum)
 	e.dur(r.TTSMean)
 	e.dur(r.TTSP95)
@@ -277,6 +302,18 @@ func Decode(b []byte) (*cluster.Snapshot, error) {
 	s.Cfg.RepackDirtyFrac = d.f64()
 	s.Cfg.RepackWorkers = int(d.varint())
 	s.Cfg.PackCacheSize = int(d.varint())
+	s.Cfg.Zones = int(d.varint())
+	for i, n := 0, d.count(1); i < n; i++ {
+		s.Cfg.ZoneNames = append(s.Cfg.ZoneNames, d.str())
+	}
+	s.Cfg.SpotFrac = d.f64()
+	for i, n := 0, d.count(8); i < n; i++ {
+		s.Cfg.SpotDiscount = append(s.Cfg.SpotDiscount, d.f64())
+	}
+	s.Cfg.Autoscaler = cluster.AutoscalerMode(d.uvarint())
+	if d.err == nil && s.Cfg.Autoscaler != cluster.Reconciler && s.Cfg.Autoscaler != cluster.Imperative {
+		return nil, fmt.Errorf("snapshot: unknown autoscaler mode %d", s.Cfg.Autoscaler)
+	}
 	for i, n := 0, d.count(1); i < n; i++ {
 		t := cloudsim.VMType{
 			Name:   d.str(),
@@ -338,6 +375,8 @@ func Decode(b []byte) (*cluster.Snapshot, error) {
 	for i, n := 0, d.count(4); i < n; i++ {
 		ns := cluster.NodeSnap{
 			Typ:       int32(d.varint()),
+			Zone:      int32(d.varint()),
+			Spot:      d.bool(),
 			Live:      d.bool(),
 			BornAt:    sim.Time(d.varint()),
 			IdleSince: sim.Time(d.varint()),
@@ -364,6 +403,7 @@ func Decode(b []byte) (*cluster.Snapshot, error) {
 	s.BlockedVer = d.uvarint()
 	s.IdxVer = d.uvarint()
 	s.Inflight = int(d.varint())
+	s.OdFallback = int(d.varint())
 	s.Dirty = d.bool()
 	s.Started = d.bool()
 	s.Finalized = d.bool()
@@ -390,14 +430,21 @@ func Decode(b []byte) (*cluster.Snapshot, error) {
 		&r.OptimizerRuns, &r.OptimizerFull, &r.OptimizerMoves, &r.OptimizerGroups,
 		&r.OptimizerCacheHits, &r.OptimizerCacheMisses,
 		&r.PeakNodes, &r.FinalNodes,
+		&r.ReconcileRounds, &r.ReconcileActions, &r.SpotProvisions,
+		&r.SpotRevocations, &r.OnDemandFallbacks, &r.ZoneKills,
 	} {
 		*p = int(d.varint())
 	}
 	for i, n := 0, d.count(1); i < n; i++ {
 		r.FleetTypes = append(r.FleetTypes, int(d.varint()))
 	}
+	for i, n := 0, d.count(1); i < n; i++ {
+		r.ZoneSpread = append(r.ZoneSpread, int(d.varint()))
+	}
 	r.CostDollars = d.f64()
 	r.FinalCostPerH = d.f64()
+	r.CostSpotDollars = d.f64()
+	r.CostOnDemandDollars = d.f64()
 	r.TTSSum = d.dur()
 	r.TTSMean = d.dur()
 	r.TTSP95 = d.dur()

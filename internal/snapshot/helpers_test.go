@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"nestless/internal/cloud"
 	"nestless/internal/cluster"
 	"nestless/internal/faults"
 	"nestless/internal/trace"
@@ -45,8 +46,11 @@ type worldSpec struct {
 }
 
 // equivalenceSpecs builds the matrix: both policies, churn, faults
-// (provisioning failures and node kills mid-run), and the reference
-// scheduler (whose pending queue snapshots in the other representation).
+// (provisioning failures and node kills mid-run), the reference
+// scheduler (whose pending queue snapshots in the other
+// representation), and the cloud model's spot-revocation and zone-drill
+// chaos (whose zone/spot node state and od-fallback credit ride the
+// snapshot).
 func equivalenceSpecs(t testing.TB) []worldSpec {
 	const horizon = 4 * time.Hour
 	base := func(seed int64) cluster.Config {
@@ -67,11 +71,36 @@ func equivalenceSpecs(t testing.TB) []worldSpec {
 	hostloFaults.Faults = mustSpec(t, "node/*:crash:p=0.03;node/provision:delay:p=0.2:d=30s")
 	kubeRef := base(15)
 	kubeRef.Reference = true
+	gcp, err := cloud.Resolve(cloud.Options{
+		Spec:     "gcp:n2",
+		Zones:    3,
+		ZonesSet: true,
+		SpotFrac: 0.6, SpotFracSet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyCloud := func(cfg *cluster.Config, spotFrac float64) {
+		cfg.Catalog = gcp.Catalog.Types
+		cfg.Zones = gcp.Zones
+		cfg.ZoneNames = gcp.ZoneNames
+		cfg.SpotFrac = spotFrac
+		cfg.SpotDiscount = gcp.SpotDiscount
+	}
+	spotChaos := base(16)
+	spotChaos.Policy = cluster.Hostlo
+	spotChaos.Faults = mustSpec(t, "spot/*:crash:p=0.05;node/provision:fail:p=0.1")
+	applyCloud(&spotChaos, 0.6)
+	zoneDrill := base(17)
+	zoneDrill.Faults = mustSpec(t, "zone/us-central1-b:crash:p=0.3;node/*:crash:p=0.01")
+	applyCloud(&zoneDrill, 0)
 	return []worldSpec{
 		{"kube", kube},
 		{"hostlo", hostlo},
 		{"kube-faults", kubeFaults},
 		{"hostlo-faults", hostloFaults},
 		{"kube-reference", kubeRef},
+		{"hostlo-spot-chaos", spotChaos},
+		{"kube-zone-drill", zoneDrill},
 	}
 }

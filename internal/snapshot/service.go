@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"nestless/internal/cloud"
 	"nestless/internal/cluster"
 	"nestless/internal/faults"
 	"nestless/internal/sim"
@@ -42,10 +43,16 @@ type BaseConfig struct {
 	SnapAt  time.Duration
 	// BootDelay is the VM provisioning latency (default 45s).
 	BootDelay time.Duration
-	// FaultSpec arms the base world's fault injector ("" = off).
+	// FaultSpec arms the base world's fault injector ("" = off). When
+	// the cloud configuration runs spot capacity and the spec says
+	// nothing about spot/ points, cloud.DefaultRevocationSpec is merged
+	// in after it.
 	FaultSpec string
 	// PackCacheSize bounds the shared packing cache (0 = default).
 	PackCacheSize int
+	// Cloud is the resolved machine-subsystem configuration (nil = the
+	// default: on-demand aws:m5 in one zone, reconciler autoscaler).
+	Cloud *cloud.Resolved
 }
 
 func (bc BaseConfig) withDefaults() BaseConfig {
@@ -67,6 +74,15 @@ func (bc BaseConfig) withDefaults() BaseConfig {
 	if bc.BootDelay < 0 {
 		bc.BootDelay = 45 * time.Second
 	}
+	if bc.Cloud == nil {
+		cl, err := cloud.Resolve(cloud.Options{})
+		if err != nil {
+			// The default spec always resolves; a failure means the
+			// registry itself is broken.
+			panic(err)
+		}
+		bc.Cloud = cl
+	}
 	return bc
 }
 
@@ -76,7 +92,9 @@ type Query struct {
 	//   "baseline"      — continue the snapshot unchanged;
 	//   "add-pods"      — adopt Pods extra pods at the snapshot instant;
 	//   "switch-policy" — continue under Policy;
-	//   "kill-nodes"    — kill Nodes (or the first KillCount live nodes).
+	//   "kill-nodes"    — kill Nodes (or the first KillCount live nodes);
+	//   "kill-zone"     — zone-loss drill: kill every live node in Zone;
+	//   "revoke-spot"   — revoke the first RevokeCount live spot nodes.
 	Kind string `json:"kind"`
 
 	// add-pods: how many, and the seed their sizes/lifetimes derive
@@ -91,6 +109,13 @@ type Query struct {
 	// nodes (creation order) when Nodes is empty.
 	Nodes     []string `json:"nodes,omitempty"`
 	KillCount int      `json:"kill_count,omitempty"`
+
+	// kill-zone: the configured zone name to drill (e.g. "us-east-1a").
+	Zone string `json:"zone,omitempty"`
+
+	// revoke-spot: how many live spot nodes to revoke (creation order;
+	// requires a base world running spot capacity).
+	RevokeCount int `json:"revoke_count,omitempty"`
 }
 
 // Reply is a branch outcome. Identical queries produce identical
@@ -116,6 +141,15 @@ type Reply struct {
 	PeakNodes    int     `json:"peak_nodes"`
 	FinalNodes   int     `json:"final_nodes"`
 	CostDollars  float64 `json:"cost_dollars"`
+
+	// Cloud-model outcomes: the spot/on-demand halves of CostDollars's
+	// accrual, revocation and drill counts, and the per-zone live-node
+	// spread at the horizon (omitted for single-zone worlds).
+	CostSpotDollars     float64 `json:"cost_spot_dollars,omitempty"`
+	CostOnDemandDollars float64 `json:"cost_on_demand_dollars,omitempty"`
+	SpotRevocations     int     `json:"spot_revocations,omitempty"`
+	ZoneKills           int     `json:"zone_kills,omitempty"`
+	ZoneSpread          []int   `json:"zone_spread,omitempty"`
 
 	// WarmCacheHits counts packing-cache hits scored inside this branch
 	// — the copy-on-write payoff of sharing the base run's warm cache.
@@ -180,6 +214,13 @@ func NewService(bc BaseConfig) (*Service, error) {
 			return nil, fmt.Errorf("whatif: fault spec: %w", err)
 		}
 	}
+	if bc.Cloud.SpotFrac > 0 && !sched.HasPointPrefix("spot/") {
+		def, err := faults.ParseSpec(cloud.DefaultRevocationSpec)
+		if err != nil {
+			return nil, fmt.Errorf("whatif: default revocation spec: %w", err)
+		}
+		sched = faults.Merge(sched, def)
+	}
 	users := trace.Generate(trace.GenConfig{
 		Seed:              bc.Seed,
 		Users:             bc.Users,
@@ -192,14 +233,24 @@ func NewService(bc BaseConfig) (*Service, error) {
 	for _, u := range users {
 		pods = append(pods, u.Pods...)
 	}
+	mode := cluster.Reconciler
+	if bc.Cloud.Imperative {
+		mode = cluster.Imperative
+	}
 	c := cluster.New(cluster.Config{
 		Seed:          bc.Seed,
 		Pods:          pods,
+		Catalog:       bc.Cloud.Catalog.Types,
 		Policy:        bc.Policy,
 		Horizon:       bc.Horizon,
 		BootDelay:     bc.BootDelay,
 		Faults:        sched,
 		PackCacheSize: bc.PackCacheSize,
+		Zones:         bc.Cloud.Zones,
+		ZoneNames:     bc.Cloud.ZoneNames,
+		SpotFrac:      bc.Cloud.SpotFrac,
+		SpotDiscount:  bc.Cloud.SpotDiscount,
+		Autoscaler:    mode,
 	})
 	c.Arm()
 	c.Advance(sim.Time(bc.SnapAt))
@@ -244,7 +295,7 @@ func (s *Service) Run(q Query) (*Reply, error) {
 	start := time.Now()
 	opts := cluster.RestoreOpts{}
 	switch q.Kind {
-	case "baseline", "add-pods", "kill-nodes":
+	case "baseline", "add-pods", "kill-nodes", "kill-zone", "revoke-spot":
 	case "switch-policy":
 		var p cluster.Policy
 		switch q.Policy {
@@ -283,30 +334,50 @@ func (s *Service) Run(q Query) (*Reply, error) {
 		if err := c.KillNodesNow(names); err != nil {
 			return nil, err
 		}
+	case "kill-zone":
+		if q.Zone == "" {
+			return nil, fmt.Errorf("whatif: kill-zone wants a zone name")
+		}
+		if _, err := c.KillZoneNow(q.Zone); err != nil {
+			return nil, err
+		}
+	case "revoke-spot":
+		n, err := c.RevokeSpotNow(q.RevokeCount)
+		if err != nil {
+			return nil, err
+		}
+		if n < q.RevokeCount {
+			return nil, fmt.Errorf("whatif: revoke-spot wanted %d spot nodes, only %d live (is the base world running -spot-frac?)", q.RevokeCount, n)
+		}
 	}
 	c.Advance(sim.Time(s.cfg.Horizon))
 	res := c.Finish()
 	leaks := c.Leaks()
 	rep := &Reply{
-		Kind:            q.Kind,
-		SnapAt:          s.cfg.SnapAt,
-		Horizon:         s.cfg.Horizon,
-		Digest:          fmt.Sprintf("%016x", c.Digest()),
-		Arrived:         res.Arrived,
-		Adopted:         res.Adopted,
-		Departed:        res.Departed,
-		Running:         res.Running,
-		StillPending:    res.StillPending,
-		Failed:          res.Failed,
-		Kills:           res.Kills,
-		Displaced:       res.Displaced,
-		PeakNodes:       res.PeakNodes,
-		FinalNodes:      res.FinalNodes,
-		CostDollars:     res.CostDollars,
-		WarmCacheHits:   res.OptimizerCacheHits - s.snap.Res.OptimizerCacheHits,
-		WarmCacheMisses: res.OptimizerCacheMisses - s.snap.Res.OptimizerCacheMisses,
-		Leaks:           leaks,
-		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1e3,
+		Kind:                q.Kind,
+		SnapAt:              s.cfg.SnapAt,
+		Horizon:             s.cfg.Horizon,
+		Digest:              fmt.Sprintf("%016x", c.Digest()),
+		Arrived:             res.Arrived,
+		Adopted:             res.Adopted,
+		Departed:            res.Departed,
+		Running:             res.Running,
+		StillPending:        res.StillPending,
+		Failed:              res.Failed,
+		Kills:               res.Kills,
+		Displaced:           res.Displaced,
+		PeakNodes:           res.PeakNodes,
+		FinalNodes:          res.FinalNodes,
+		CostDollars:         res.CostDollars,
+		CostSpotDollars:     res.CostSpotDollars,
+		CostOnDemandDollars: res.CostOnDemandDollars,
+		SpotRevocations:     res.SpotRevocations,
+		ZoneKills:           res.ZoneKills,
+		ZoneSpread:          res.ZoneSpread,
+		WarmCacheHits:       res.OptimizerCacheHits - s.snap.Res.OptimizerCacheHits,
+		WarmCacheMisses:     res.OptimizerCacheMisses - s.snap.Res.OptimizerCacheMisses,
+		Leaks:               leaks,
+		ElapsedMS:           float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	s.mu.Lock()
 	s.queries++
@@ -422,5 +493,5 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 // KindNames lists the query kinds the service answers, for usage text.
 func KindNames() []string {
-	return []string{"add-pods", "baseline", "kill-nodes", "switch-policy"}
+	return []string{"add-pods", "baseline", "kill-nodes", "kill-zone", "revoke-spot", "switch-policy"}
 }

@@ -9,16 +9,18 @@
 # per policy), the trace-scale lifecycle family
 # (BenchmarkLifecycleScale, 1k/10k/100k pods per policy and scheduler
 # mode), the sharded trace replay (BenchmarkTraceReplay, pods/s at
-# 1/4/8 shards over a ~100k-pod stream), and the world snapshot/fork
+# 1/4/8 shards over a ~100k-pod stream), the world snapshot/fork
 # engine (BenchmarkSnapshotFork, forks/s for capture, codec round-trip
-# and restore-and-continue on a 200-user Hostlo world). CI gates on the
-# committed copy: benchjson -baseline fails the build when a
-# LifecycleScale/1k or TraceReplay/1shard pods/s figure drops more than
-# 20% below this file, or LifecycleScale/100k/hostlo or any
-# SnapshotFork forks/s leg by more than 30% (the wider margin absorbs
-# shared-runner noise); CI also smoke-runs the BENCH_1M=1-gated 1M-pod
-# Hostlo lifecycle and uploads the 100k CPU profile as an artifact
-# (see .github/workflows/ci.yml).
+# and restore-and-continue on a 200-user Hostlo world), and the cloud
+# reconciler (BenchmarkReconcilerScale, machine-set convergence
+# rounds/s over 1k/10k-node fleets). CI gates on the committed copy:
+# benchjson -baseline fails the build when a LifecycleScale/1k or
+# TraceReplay/1shard pods/s figure drops more than 20% below this
+# file, or LifecycleScale/100k/hostlo, any SnapshotFork forks/s leg,
+# or a ReconcilerScale rounds/s leg by more than 30% (the wider margin
+# absorbs shared-runner noise); CI also smoke-runs the BENCH_1M=1-gated
+# 1M-pod Hostlo lifecycle and uploads the 100k CPU profile as an
+# artifact (see .github/workflows/ci.yml).
 #
 # Usage, from the repository root:
 #
