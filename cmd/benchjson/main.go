@@ -53,9 +53,11 @@ func main() {
 	baseline := flag.String("baseline", "",
 		"compare against this previously written JSON document instead of emitting JSON; exit 1 on regression")
 	metric := flag.String("metric", "pods/s",
-		"the metric the -baseline comparison gates on (higher is better)")
+		"the metric the -baseline comparison gates on (higher is better unless -lower)")
 	maxdrop := flag.Float64("maxdrop", 0.20,
-		"maximum tolerated fractional drop of -metric vs -baseline before failing")
+		"maximum tolerated fractional regression of -metric vs -baseline before failing")
+	lower := flag.Bool("lower", false,
+		"the gated metric is lower-is-better (B/op, allocs/op, ns/op): fail on a rise instead of a drop")
 	flag.Parse()
 	if *maxdrop < 0 || *maxdrop >= 1 {
 		cli.BadFlag("-maxdrop must be in [0, 1), got %v", *maxdrop)
@@ -73,7 +75,7 @@ func main() {
 		if err := json.Unmarshal(data, &base); err != nil {
 			cli.Fatal("benchjson", fmt.Errorf("%s: %w", *baseline, err))
 		}
-		lines, failed, err := compare(out, base, *metric, *maxdrop)
+		lines, failed, err := compare(out, base, *metric, *maxdrop, *lower)
 		if err != nil {
 			cli.Fatal("benchjson", err)
 		}
@@ -93,12 +95,13 @@ func main() {
 }
 
 // compare gates the current run against a baseline document: every
-// benchmark present in both with the gated metric must not have dropped
-// by more than maxdrop. Benchmarks on one side only are skipped — the
-// gate checks trajectories, not coverage — but comparing zero
-// benchmarks is an error, so a renamed benchmark cannot silently turn
-// the gate vacuous.
-func compare(cur, base Doc, metric string, maxdrop float64) (lines []string, failed bool, err error) {
+// benchmark present in both with the gated metric must not have
+// regressed by more than maxdrop — a drop for higher-is-better metrics
+// (throughput), a rise for lower-is-better ones (allocations, time).
+// Benchmarks on one side only are skipped — the gate checks
+// trajectories, not coverage — but comparing zero benchmarks is an
+// error, so a renamed benchmark cannot silently turn the gate vacuous.
+func compare(cur, base Doc, metric string, maxdrop float64, lower bool) (lines []string, failed bool, err error) {
 	baseBy := make(map[string]Record, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseBy[r.Package+" "+r.Name] = r
@@ -115,20 +118,28 @@ func compare(cur, base Doc, metric string, maxdrop float64) (lines []string, fai
 			continue
 		}
 		compared++
-		drop := (bv - cv) / bv
+		regress := (bv - cv) / bv // fraction the metric dropped
+		if lower {
+			regress = (cv - bv) / bv // fraction the metric rose
+		}
 		status := "ok"
-		if drop > maxdrop {
+		if regress > maxdrop {
 			status = "REGRESSION"
 			failed = true
 		}
+		delta := (cv - bv) / bv * 100
 		lines = append(lines, fmt.Sprintf("%-60s %s %12.1f -> %12.1f (%+.1f%%) %s",
-			r.Name, metric, bv, cv, -drop*100, status))
+			r.Name, metric, bv, cv, delta, status))
 	}
 	if compared == 0 {
 		return nil, false, fmt.Errorf("no benchmark shared metric %q with the baseline — nothing was gated", metric)
 	}
-	lines = append(lines, fmt.Sprintf("gated %d benchmark(s) on %s, max tolerated drop %.0f%%",
-		compared, metric, maxdrop*100))
+	sense := "drop"
+	if lower {
+		sense = "rise"
+	}
+	lines = append(lines, fmt.Sprintf("gated %d benchmark(s) on %s, max tolerated %s %.0f%%",
+		compared, metric, sense, maxdrop*100))
 	return lines, failed, nil
 }
 

@@ -89,7 +89,7 @@ func TestCompareGate(t *testing.T) {
 		rec("p", "BenchmarkLifecycleScale/1k/kubernetes/indexed", map[string]float64{"pods/s": 900}),
 		rec("p", "BenchmarkLifecycleScale/1k/hostlo/indexed", map[string]float64{"pods/s": 700}),
 	}}
-	lines, failed, err := compare(cur, base, "pods/s", 0.20)
+	lines, failed, err := compare(cur, base, "pods/s", 0.20, false)
 	if err != nil || failed {
 		t.Fatalf("within tolerance: failed=%v err=%v\n%s", failed, err, strings.Join(lines, "\n"))
 	}
@@ -99,7 +99,7 @@ func TestCompareGate(t *testing.T) {
 
 	// A >20% drop must fail.
 	cur.Benchmarks[1].Metrics["pods/s"] = 399
-	_, failed, err = compare(cur, base, "pods/s", 0.20)
+	_, failed, err = compare(cur, base, "pods/s", 0.20, false)
 	if err != nil || !failed {
 		t.Fatalf("regression not flagged: failed=%v err=%v", failed, err)
 	}
@@ -108,7 +108,7 @@ func TestCompareGate(t *testing.T) {
 	// all is an error, not a vacuous pass.
 	_, failed, err = compare(Doc{Benchmarks: []Record{
 		rec("p", "BenchmarkRenamed", map[string]float64{"pods/s": 1}),
-	}}, base, "pods/s", 0.20)
+	}}, base, "pods/s", 0.20, false)
 	if err == nil || failed {
 		t.Fatalf("empty comparison: failed=%v err=%v, want err", failed, err)
 	}
@@ -116,8 +116,45 @@ func TestCompareGate(t *testing.T) {
 	// Records without the gated metric are skipped too.
 	_, _, err = compare(Doc{Benchmarks: []Record{
 		rec("p", "BenchmarkLifecycleScale/1k/kubernetes/indexed", map[string]float64{"ns/op": 5}),
-	}}, base, "pods/s", 0.20)
+	}}, base, "pods/s", 0.20, false)
 	if err == nil {
 		t.Fatal("metric-less comparison should error")
+	}
+}
+
+// TestCompareGateLower covers -lower: for allocation and time metrics a
+// RISE is the regression, and a drop — however large — is always fine.
+func TestCompareGateLower(t *testing.T) {
+	base := Doc{Benchmarks: []Record{
+		rec("p", "BenchmarkTraceReplay/1shard", map[string]float64{"allocs/op": 1000}),
+		rec("p", "BenchmarkTraceReplay/8shard", map[string]float64{"allocs/op": 1100}),
+	}}
+
+	// Mild rise on one, big improvement on the other: within a 20% gate.
+	cur := Doc{Benchmarks: []Record{
+		rec("p", "BenchmarkTraceReplay/1shard", map[string]float64{"allocs/op": 1100}),
+		rec("p", "BenchmarkTraceReplay/8shard", map[string]float64{"allocs/op": 500}),
+	}}
+	lines, failed, err := compare(cur, base, "allocs/op", 0.20, true)
+	if err != nil || failed {
+		t.Fatalf("within tolerance: failed=%v err=%v\n%s", failed, err, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[len(lines)-1], "rise") {
+		t.Fatalf("summary should name the rise sense: %q", lines[len(lines)-1])
+	}
+
+	// A >20% rise must fail.
+	cur.Benchmarks[0].Metrics["allocs/op"] = 1201
+	_, failed, err = compare(cur, base, "allocs/op", 0.20, true)
+	if err != nil || !failed {
+		t.Fatalf("alloc rise not flagged: failed=%v err=%v", failed, err)
+	}
+
+	// The same risen record gated WITHOUT -lower reads as an
+	// improvement and passes — the flag is what flips the sense.
+	risen := Doc{Benchmarks: cur.Benchmarks[:1]}
+	_, failed, err = compare(risen, base, "allocs/op", 0.20, false)
+	if err != nil || failed {
+		t.Fatalf("higher-is-better reading should pass: failed=%v err=%v", failed, err)
 	}
 }

@@ -40,7 +40,13 @@
 //
 //	ctracegen -users 200 -out t.csv.gz
 //	costsim -replay t.csv.gz -shards 4
-//	costsim -replay t.csv.gz -worlds 8 -migrate-after 20m
+//	costsim -replay t.csv.gz -worlds 8 -migrate-after 20m -migrate-policy locality
+//	costsim -replay big3d.csv.gz -shards 8 -horizon 72h   # multi-day, bounded memory
+//
+// The feed is pipelined by default (epoch N+1 prefetches while epoch N
+// advances; -pipeline=false pins the serial reference loop — both are
+// byte-identical) and each world's stored trajectory is bounded by
+// -sample-cap (default 512 samples, window-folded on the fly).
 //
 // Add -trace out.json for a per-user trace of the placement run and
 // -metrics for the telemetry tables. (-trace names the telemetry
@@ -99,6 +105,12 @@ func main() {
 		"replay: transfer pods pending longer than this to another world at each barrier (0 = off)")
 	lenient := flag.Bool("lenient", false,
 		"replay: skip malformed trace rows instead of failing")
+	migratePolicy := flag.String("migrate-policy", "least-loaded",
+		"replay: destination policy for -migrate-after transfers: least-loaded or locality")
+	pipeline := flag.Bool("pipeline", true,
+		"replay: overlap feeding epoch N+1 with advancing epoch N (false pins the serial reference loop; both orders are byte-identical)")
+	sampleCap := flag.Int("sample-cap", 0,
+		"replay: bound each world's stored trajectory to this many samples, window-folding on the fly (0 = default 512, negative = unlimited)")
 	cloudSpec := flag.String("cloud", cloud.DefaultName,
 		"machine catalog selector: provider:family[:zone=N][:spot=F] (registered: "+strings.Join(cloud.Names(), ", ")+")")
 	spotFrac := flag.Float64("spot-frac", 0,
@@ -168,8 +180,13 @@ func main() {
 		if _, err := os.Stat(*replay); err != nil {
 			cli.BadFlag("costsim: -replay: %v", err)
 		}
+		switch *migratePolicy {
+		case "least-loaded", "locality":
+		default:
+			cli.BadFlag("costsim: -migrate-policy must be least-loaded or locality, got %q", *migratePolicy)
+		}
 	} else {
-		for _, name := range []string{"shards", "worlds", "barrier", "migrate-after", "lenient"} {
+		for _, name := range []string{"shards", "worlds", "barrier", "migrate-after", "lenient", "migrate-policy", "pipeline", "sample-cap"} {
 			if explicit[name] {
 				cli.BadFlag("costsim: -%s only applies to a trace replay (add -replay FILE)", name)
 			}
@@ -208,7 +225,9 @@ func main() {
 		runReplay(replayOpts{
 			path: *replay, seed: *seed, horizon: *horizon, boot: *boot,
 			shards: *shards, worlds: *worlds, barrier: *barrier,
-			migrateAfter: *migrateAfter, lenient: *lenient, sched: sched,
+			migrateAfter: *migrateAfter, migratePolicy: *migratePolicy,
+			pipeline: *pipeline, sampleCap: *sampleCap,
+			lenient: *lenient, sched: sched,
 			reference: *reference, fullRepack: *fullRepack,
 			repackWorkers: *repackWorkers, repackCache: *repackCache,
 			cloud: cl, rec: tf.Recorder(), emit: emit,
@@ -448,6 +467,9 @@ type replayOpts struct {
 	worlds        int
 	barrier       time.Duration
 	migrateAfter  time.Duration
+	migratePolicy string
+	pipeline      bool
+	sampleCap     int
 	lenient       bool
 	sched         *faults.Schedule
 	reference     bool
@@ -471,16 +493,19 @@ func runReplay(o replayOpts) {
 		}
 		defer r.Close()
 		res, err := shard.Replay(r, shard.Config{
-			Worlds:       o.worlds,
-			Shards:       o.shards,
-			BarrierEvery: o.barrier,
-			MigrateAfter: o.migrateAfter,
+			Worlds:        o.worlds,
+			Shards:        o.shards,
+			BarrierEvery:  o.barrier,
+			MigrateAfter:  o.migrateAfter,
+			MigratePolicy: o.migratePolicy,
+			SerialFeed:    !o.pipeline,
 			Cluster: cluster.Config{
 				Policy:        policy,
 				Seed:          o.seed,
 				Catalog:       o.cloud.Catalog.Types,
 				Horizon:       o.horizon,
 				BootDelay:     o.boot,
+				SampleCap:     o.sampleCap,
 				Faults:        o.sched,
 				Reference:     o.reference,
 				FullRepack:    o.fullRepack,

@@ -44,16 +44,28 @@ type ledgerEvent struct {
 }
 
 // schedEvent schedules a typed event and records it in the ledger. The
-// closure deletes its entry before dispatching, so the ledger only ever
-// names events that have not fired.
+// ledger entry is keyed by the sequence number AtSeq is about to assign
+// (Seq()+1 — At and AtSeq increment the counter exactly once), and the
+// cached fireFn callback looks the event's description back up by that
+// seq when it fires, deleting the entry first so the ledger only ever
+// names events that have not fired. The ledger doubles as the event's
+// payload store, so the scheduled callback captures nothing: replaying
+// a trace costs zero allocations per typed event where a per-event
+// closure (plus its escaping seq cell) cost two.
 func (c *Cluster) schedEvent(at sim.Time, kind evKind, a, b int64) {
-	var seq uint64
-	c.eng.At(at, func() {
-		delete(c.ledger, seq)
-		c.fireEvent(kind, a, b)
-	})
-	seq = c.eng.Seq() // the seq At just assigned
+	seq := c.eng.Seq() + 1
 	c.ledger[seq] = ledgerEvent{At: at, Seq: seq, Kind: kind, A: a, B: b}
+	c.eng.AtSeq(at, c.fireFn)
+}
+
+// fireBySeq is the AtSeq dispatch target: it recovers the typed event
+// from the ledger by the engine-assigned seq. It is bound once into
+// c.fireFn at construction — evaluating the method value per call would
+// reintroduce the per-event allocation schedEvent exists to avoid.
+func (c *Cluster) fireBySeq(seq uint64) {
+	le := c.ledger[seq]
+	delete(c.ledger, seq)
+	c.fireEvent(le.Kind, le.A, le.B)
 }
 
 // fireEvent dispatches a typed event.

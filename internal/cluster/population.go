@@ -65,9 +65,12 @@ func SimulatePopulation(users []trace.User, cfg Config, workers int) []UserLifec
 }
 
 // MergeTrajectories sums per-user trajectories pointwise into one
-// population trajectory. All inputs share sample timestamps (same
-// SampleEvery and Horizon), so the merge is positional; it panics on a
-// timestamp mismatch rather than silently misaligning curves.
+// population trajectory. All inputs share sample timestamps and window
+// widths (same SampleEvery, Horizon and SampleCap), so the merge is
+// positional; it panics on a timestamp or window mismatch rather than
+// silently misaligning curves. Window sums add like the instant fields
+// — each merged point's aggregates stay exact — while Points is the
+// shared window width, not a sum.
 func MergeTrajectories(runs []Result) []Sample {
 	if len(runs) == 0 {
 		return nil
@@ -81,11 +84,19 @@ func MergeTrajectories(runs []Result) []Sample {
 			if s.T != merged[i].T {
 				panic(fmt.Sprintf("cluster: sample %d at %v vs %v", i, s.T, merged[i].T))
 			}
+			if s.Points != merged[i].Points {
+				panic(fmt.Sprintf("cluster: sample %d window %d vs %d points", i, s.Points, merged[i].Points))
+			}
 			merged[i].CostPerH += s.CostPerH
 			merged[i].Pending += s.Pending
 			merged[i].Nodes += s.Nodes
 			merged[i].UsedCPU += s.UsedCPU
 			merged[i].CapCPU += s.CapCPU
+			merged[i].SumCostPerH += s.SumCostPerH
+			merged[i].SumPending += s.SumPending
+			merged[i].SumNodes += s.SumNodes
+			merged[i].SumUsedCPU += s.SumUsedCPU
+			merged[i].SumCapCPU += s.SumCapCPU
 		}
 	}
 	return merged

@@ -117,7 +117,11 @@ type Snapshot struct {
 	Events []EventSnap // pending typed events, ascending Seq
 
 	Res Result
-	TTS sim.SeriesState
+	// TrajWin is the trajectory downsampler's open partial window
+	// (Points == 0 when empty); the window width itself is derived from
+	// Cfg at restore.
+	TrajWin Sample
+	TTS     sim.SeriesState
 
 	Inj  *faults.InjectorState
 	Pack *cloudsim.PackCacheState
@@ -157,6 +161,7 @@ func (c *Cluster) Capture() (*Snapshot, error) {
 		Started:    c.started,
 		Finalized:  c.finalized,
 		Res:        c.res,
+		TrajWin:    c.trajWin,
 		TTS:        c.tts.State(),
 		Inj:        c.inj.State(),
 		Pack:       c.pack.State(),
@@ -288,6 +293,9 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 	}
 	if s.OdFallback < 0 {
 		return nil, fmt.Errorf("cluster: negative on-demand fallback credit %d", s.OdFallback)
+	}
+	if s.TrajWin.Points < 0 || s.TrajWin.Points >= trajStride(cfg) {
+		return nil, fmt.Errorf("cluster: trajectory window holds %d points of a %d-wide stride", s.TrajWin.Points, trajStride(cfg))
 	}
 	for i := range s.Pods {
 		ps := &s.Pods[i]
@@ -422,7 +430,10 @@ func Restore(s *Snapshot, o RestoreOpts) (*Cluster, error) {
 		deadLive:   s.DeadLive,
 		pack:       pack,
 		ledger:     make(map[uint64]ledgerEvent, len(s.Events)),
+		trajStride: trajStride(cfg),
+		trajWin:    s.TrajWin,
 	}
+	c.fireFn = c.fireBySeq
 	c.res = s.Res
 	c.res.Policy = cfg.Policy
 	c.res.Samples = append([]Sample(nil), s.Res.Samples...)

@@ -198,13 +198,26 @@ type Transfer struct {
 // barrier (engine parked); the shard runner is the only caller.
 func (c *Cluster) TransferOut(olderThan time.Duration) []Transfer {
 	now := c.eng.Now()
-	var idxs []int
-	for _, i := range c.queuedIndices() {
+	// The candidate scan reuses a scratch buffer and walks the queue
+	// representation directly: the common every-barrier outcome (nothing
+	// old enough) must not allocate.
+	idxs := c.transferIdxs[:0]
+	consider := func(i int) {
 		p := &c.pods[i]
 		if p.state == statePending && now-p.waitSince >= sim.Time(olderThan) {
 			idxs = append(idxs, i)
 		}
 	}
+	if c.cfg.Reference {
+		for _, i := range c.queue {
+			consider(i)
+		}
+	} else {
+		for _, e := range c.pq {
+			consider(e.idx)
+		}
+	}
+	c.transferIdxs = idxs
 	if len(idxs) == 0 {
 		return nil
 	}

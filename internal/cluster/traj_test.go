@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nestless/internal/sim"
+	"nestless/internal/trace"
+)
+
+// trajWorkload is one churny user's pods for the downsampling tests.
+func trajWorkload(t *testing.T, seed int64) []trace.Pod {
+	t.Helper()
+	gcfg := trace.DefaultConfig(seed)
+	gcfg.Users = 1
+	gcfg.MeanArrivalGap = 90 * time.Second
+	gcfg.MeanLifetime = 40 * time.Minute
+	users := trace.Generate(gcfg)
+	if len(users) != 1 || len(users[0].Pods) == 0 {
+		t.Fatalf("degenerate workload: %d users", len(users))
+	}
+	return users[0].Pods
+}
+
+// resample folds a full-resolution trajectory into stride-wide windows
+// exactly the way recordSample does — the independent recomputation the
+// downsampling property test compares against.
+func resample(full []Sample, stride int) []Sample {
+	var out []Sample
+	var w Sample
+	for _, s := range full {
+		if w.Points == 0 {
+			w = s
+		} else {
+			w.T = s.T
+			w.CostPerH = s.CostPerH
+			w.Pending = s.Pending
+			w.Nodes = s.Nodes
+			w.UsedCPU = s.UsedCPU
+			w.CapCPU = s.CapCPU
+			w.Points++
+			w.SumCostPerH += s.SumCostPerH
+			w.SumPending += s.SumPending
+			w.SumNodes += s.SumNodes
+			w.SumUsedCPU += s.SumUsedCPU
+			w.SumCapCPU += s.SumCapCPU
+		}
+		if w.Points >= stride {
+			out = append(out, w)
+			w = Sample{}
+		}
+	}
+	if w.Points > 0 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// TestTrajectoryDownsampleExact is the downsampling property test: for
+// any cap, the capped run's samples equal the full-resolution run's
+// samples refolded into stride-wide windows — same instants, same
+// left-fold float sums, bit for bit — and nothing outside the
+// trajectory changes.
+func TestTrajectoryDownsampleExact(t *testing.T) {
+	pods := trajWorkload(t, 21)
+	base := Config{
+		Seed:        9,
+		Pods:        pods,
+		Policy:      Hostlo,
+		Horizon:     8 * time.Hour,
+		SampleEvery: time.Minute,
+	}
+	fullCfg := base
+	fullCfg.SampleCap = -1
+	full := Simulate(fullCfg)
+	if len(full.Samples) < 100 {
+		t.Fatalf("full-resolution run kept only %d samples", len(full.Samples))
+	}
+	for _, s := range full.Samples {
+		if s.Points != 1 || s.SumCostPerH != s.CostPerH || s.SumPending != s.Pending {
+			t.Fatalf("full-resolution sample is not a width-1 window: %+v", s)
+		}
+	}
+	for _, cap := range []int{7, 60, 481, 100000} {
+		cfg := base
+		cfg.SampleCap = cap
+		got := Simulate(cfg)
+		if len(got.Samples) > cap {
+			t.Fatalf("cap %d: %d samples stored", cap, len(got.Samples))
+		}
+		stride := trajStride(cfg.withDefaults())
+		want := resample(full.Samples, stride)
+		if !reflect.DeepEqual(got.Samples, want) {
+			t.Fatalf("cap %d (stride %d): downsampled trajectory diverged from the refolded full-resolution run\n got %d samples\nwant %d samples",
+				cap, stride, len(got.Samples), len(want))
+		}
+		gotRest, fullRest := got, full
+		gotRest.Samples, fullRest.Samples = nil, nil
+		if !reflect.DeepEqual(gotRest, fullRest) {
+			t.Fatalf("cap %d changed something outside the trajectory", cap)
+		}
+	}
+}
+
+// TestTrajectoryDefaultCapFullResolution pins the short-horizon
+// byte-identity promise: under the default cap a run whose horizon fits
+// entirely under it stores every instant, identical to an explicit
+// unlimited run.
+func TestTrajectoryDefaultCapFullResolution(t *testing.T) {
+	pods := trajWorkload(t, 33)
+	base := Config{
+		Seed:    4,
+		Pods:    pods,
+		Policy:  Kubernetes,
+		Horizon: 8 * time.Hour,
+	}
+	def := Simulate(base) // SampleCap 0 → default; 13 samples fit easily
+	unlimited := base
+	unlimited.SampleCap = -1
+	if want := Simulate(unlimited); !reflect.DeepEqual(def, want) {
+		t.Fatal("default cap perturbed a short-horizon run")
+	}
+}
+
+// TestTrajectoryStride pins the window-width arithmetic.
+func TestTrajectoryStride(t *testing.T) {
+	cases := []struct {
+		horizon, every time.Duration
+		cap            int
+		want           int
+	}{
+		{8 * time.Hour, 40 * time.Minute, -1, 1},
+		{8 * time.Hour, 40 * time.Minute, 512, 1},  // 13 points fit
+		{8 * time.Hour, time.Minute, 481, 1},       // exactly at the cap
+		{8 * time.Hour, time.Minute, 480, 2},       // one over
+		{72 * time.Hour, time.Minute, 512, 9},      // 4321 points
+		{72 * time.Hour, 15 * time.Minute, 512, 1}, // 289 points
+	}
+	for _, tc := range cases {
+		cfg := Config{Horizon: tc.horizon, SampleEvery: tc.every, SampleCap: tc.cap}.withDefaults()
+		if got := trajStride(cfg); got != tc.want {
+			t.Errorf("trajStride(h=%v every=%v cap=%d) = %d, want %d",
+				tc.horizon, tc.every, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestTrajectoryWindowSnapshot pins that the open partial window
+// survives Capture/Restore: a branch restored mid-window finishes with
+// the identical trajectory the uninterrupted world produces.
+func TestTrajectoryWindowSnapshot(t *testing.T) {
+	pods := trajWorkload(t, 8)
+	cfg := Config{
+		Seed:        2,
+		Pods:        pods,
+		Policy:      Kubernetes,
+		Horizon:     8 * time.Hour,
+		SampleEvery: time.Minute,
+		SampleCap:   30, // stride 17: most instants sit in an open window
+	}
+	run := New(cfg)
+	run.Arm()
+	// Park mid-horizon at a non-multiple of the stride window so the
+	// capture carries a half-full window.
+	run.Advance(sim.Time(3*time.Hour + 30*time.Second))
+	snap, err := run.Capture()
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if snap.TrajWin.Points == 0 {
+		t.Fatal("capture instant has no open trajectory window; test lost its teeth")
+	}
+	branch, err := Restore(snap, RestoreOpts{})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for _, c := range []*Cluster{run, branch} {
+		c.Advance(sim.Time(cfg.Horizon))
+	}
+	a, b := run.Finish(), branch.Finish()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("restored branch trajectory diverged from the uninterrupted run")
+	}
+}

@@ -1,0 +1,49 @@
+package ctrace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"nestless/internal/trace"
+)
+
+// TestCSVReaderAllocBudget pins the pooled hot path: draining a CSV
+// trace must average around one allocation per row — the data that
+// escapes into events (job id string, containers slice) plus amortized
+// growth, and nothing per-line or per-field. The pre-pooling reader
+// sat near three; the budget of two catches a regression of that size
+// while tolerating map-rehash noise.
+func TestCSVReaderAllocBudget(t *testing.T) {
+	gcfg := trace.DefaultConfig(19)
+	gcfg.Users = 200
+	gcfg.MeanArrivalGap = 2 * time.Minute
+	gcfg.MeanLifetime = 45 * time.Minute
+	var buf bytes.Buffer
+	if err := Write(&buf, NewSynth(trace.Generate(gcfg)), CSV); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	var rows int
+	allocs := testing.AllocsPerRun(5, func() {
+		r, err := NewReader(bytes.NewReader(data), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows = r.Stats().Rows
+	})
+	if rows < 1000 {
+		t.Fatalf("degenerate trace: %d rows", rows)
+	}
+	if perRow := allocs / float64(rows); perRow > 2 {
+		t.Fatalf("reader allocates %.2f/row over %d rows (budget 2)", perRow, rows)
+	}
+}

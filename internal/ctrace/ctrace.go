@@ -122,12 +122,21 @@ const (
 // mapping depends only on the event and n, never on shard count or
 // scheduling.
 func Partition(e Event, n int) int {
+	return PartitionKey(e.Key(), n)
+}
+
+// PartitionKey maps a raw partition key (a user, or a pod ID for
+// userless pods) to one of n shard worlds — the same FNV-1a mapping
+// Partition applies to an event's key. Exported so migration policies
+// can recover a transferred pod's home world from the key it was
+// partitioned by.
+func PartitionKey(key string, n int) int {
 	if n <= 1 {
 		return 0
 	}
 	h := uint64(fnvOffset)
-	for i := 0; i < len(e.Key()); i++ {
-		h ^= uint64(e.Key()[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= fnvPrime
 	}
 	return int(h % uint64(n))

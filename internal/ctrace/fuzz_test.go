@@ -36,6 +36,13 @@ func FuzzParseTraceLine(f *testing.F) {
 		`{"t_us":-1,"ev":"kill","pod":"p"}`, // negative time
 		`{"bogus":true}`,                   // unknown field soup
 		"\x00\xff,",                        // binary garbage
+		// 2019 instance_events shapes (whole-reader pass sniffs these
+		// into the adapter via the collection_id field).
+		`{"time":"1000","type":"0","collection_id":"389","instance_index":"0","user":"a","resource_request":{"cpus":"0.25","memory":0.5}}`,
+		`{"time":"9000","type":"7","collection_id":"389","instance_index":"0"}`,
+		`{"time":"1000","type":"11","collection_id":"1","instance_index":"0"}`,  // unknown type
+		`{"time":"1000","type":"0","collection_id":"0","instance_index":"0"}`,   // missing collection
+		`{"time":"xx","type":"0","collection_id":"1","instance_index":"0"}`,     // bad INT64 string
 	}
 	for _, s := range seeds {
 		f.Add(s)

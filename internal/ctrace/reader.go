@@ -2,6 +2,7 @@ package ctrace
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 
 	"nestless/internal/trace"
 )
@@ -31,28 +33,60 @@ const header = "time_us,event,job,task,user,cpu,mem"
 // containers); beyond it the file is malformed.
 const maxLine = 4 << 20
 
+// Input mode, sniffed from content. A '{' first byte means JSON lines;
+// whether those are the native pod-level rows or a 2019 v3
+// instance_events export is decided from the first data line (see
+// instance_events.go).
+const (
+	modeCSV = iota
+	modeJSONSniff
+	modeJSONL
+	modeInstance
+)
+
+// jobState is one open-pod table entry: a job accumulating SUBMIT rows
+// at the current instant (building) or live awaiting its end (open task
+// count). Entries are pooled across jobs — ending a job recycles its
+// state, but never its containers slice, which escapes into the Submit
+// event the consumer keeps.
+type jobState struct {
+	id       string
+	user     string
+	ctrs     []trace.Container
+	open     int
+	building bool
+}
+
 // Reader streams normalized events out of a trace file. Memory is
 // bounded by the number of concurrently live pods (the open-pod table
-// and the current-timestamp submit groups), never by file size.
+// and the current-timestamp submit groups), never by file size. The
+// row loop is allocation-free outside the data that escapes into
+// events: parsing works on the scanner's byte buffer in place, job
+// states are pooled, user names are interned once per tenant, and the
+// emission queue's backing array is reused across flushes.
 type Reader struct {
 	opts    Options
 	sc      *bufio.Scanner
-	json    bool
+	mode    int
 	line    int
 	lastUS  int64 // last accepted row timestamp (order validation)
 	started bool
 
 	// CSV submit coalescing: jobs whose SUBMIT rows are accumulating at
-	// curUS, flushed in first-seen order when time advances.
-	curUS    int64
-	order    []string
-	building map[string][]trace.Container
-	user     map[string]string
-	// open maps a job to its live task count; a pod's end event fires
-	// when the count hits zero.
-	open map[string]int
+	// curUS, flushed in first-seen order when time advances. jobs holds
+	// every building or live job; free recycles ended entries.
+	curUS int64
+	order []*jobState
+	jobs  map[string]*jobState
+	free  []*jobState
+	users map[string]string // interned tenant names
 
-	ready   []Event // emission queue (flushes can release several at once)
+	// ready is the emission queue (flushes can release several events at
+	// once), drained head-first and reset in place when it empties.
+	ready     []Event
+	readyHead int
+
+	scratch []byte // per-row key formatting (instance_events)
 	stats   Stats
 	err     error // sticky terminal error
 	closers []io.Closer
@@ -85,14 +119,14 @@ func NewReader(src io.Reader, opts Options) (*Reader, error) {
 		br = bufio.NewReader(gz)
 	}
 	r := &Reader{
-		opts:     opts,
-		building: map[string][]trace.Container{},
-		user:     map[string]string{},
-		open:     map[string]int{},
+		opts:  opts,
+		mode:  modeCSV,
+		jobs:  map[string]*jobState{},
+		users: map[string]string{},
 	}
 	// Format sniff: the first non-space byte of a JSONL trace is '{'.
 	if first, err := br.Peek(1); err == nil && (first[0] == '{' || first[0] == '[') {
-		r.json = true
+		r.mode = modeJSONSniff
 	}
 	r.sc = bufio.NewScanner(br)
 	r.sc.Buffer(make([]byte, 0, 64<<10), maxLine)
@@ -119,9 +153,14 @@ func (r *Reader) Stats() Stats { return r.stats }
 // end, or the first validation error in strict mode.
 func (r *Reader) Next() (Event, error) {
 	for {
-		if len(r.ready) > 0 {
-			ev := r.ready[0]
-			r.ready = r.ready[1:]
+		if r.readyHead < len(r.ready) {
+			ev := r.ready[r.readyHead]
+			r.ready[r.readyHead] = Event{} // release escaped references
+			r.readyHead++
+			if r.readyHead == len(r.ready) {
+				r.ready = r.ready[:0]
+				r.readyHead = 0
+			}
 			return ev, nil
 		}
 		if r.err != nil {
@@ -137,8 +176,8 @@ func (r *Reader) Next() (Event, error) {
 			continue
 		}
 		r.line++
-		line := strings.TrimSpace(r.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") || (!r.json && line == header) {
+		line := bytes.TrimSpace(r.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' || (r.mode == modeCSV && string(line) == header) {
 			continue
 		}
 		r.stats.Rows++
@@ -152,9 +191,38 @@ func (r *Reader) Next() (Event, error) {
 	}
 }
 
+// consume parses and applies one physical line. line aliases the
+// scanner's buffer and is only valid for this call.
+func (r *Reader) consume(line []byte) error {
+	if r.mode == modeJSONSniff {
+		if bytes.Contains(line, instanceSniff) {
+			r.mode = modeInstance
+		} else {
+			r.mode = modeJSONL
+		}
+	}
+	switch r.mode {
+	case modeJSONL:
+		return r.consumeJSON(line)
+	case modeInstance:
+		return r.consumeInstance(line)
+	}
+	return r.consumeCSV(line)
+}
+
 // badf builds a row-level validation error.
 func badf(format string, args ...interface{}) error {
 	return fmt.Errorf(format, args...)
+}
+
+// bstr views b as a string without copying. Only for callees that do
+// not retain their argument — the strconv parsers qualify (they clone
+// the input into any error they build).
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 // checkRequest validates one resource request (relative to the largest
@@ -192,15 +260,41 @@ func (r *Reader) accept(us int64) {
 	r.lastUS = us
 }
 
-// consume parses and applies one physical line.
-func (r *Reader) consume(line string) error {
-	if r.json {
-		return r.consumeJSON(line)
+// intern returns the canonical copy of a tenant name so every event of
+// one user shares a single string.
+func (r *Reader) intern(user []byte) string {
+	if len(user) == 0 {
+		return ""
 	}
-	return r.consumeCSV(line)
+	if u, ok := r.users[string(user)]; ok { // no-alloc map probe
+		return u
+	}
+	u := string(user)
+	r.users[u] = u
+	return u
 }
 
-// csvRow is one parsed CSV line.
+// takeJob pops a pooled entry (zeroed by emitEnd when recycled).
+func (r *Reader) takeJob() *jobState {
+	if n := len(r.free); n > 0 {
+		js := r.free[n-1]
+		r.free = r.free[:n-1]
+		return js
+	}
+	return &jobState{}
+}
+
+// newJob materializes an entry for a job starting to build.
+func (r *Reader) newJob(job, user []byte) *jobState {
+	js := r.takeJob()
+	js.id = string(job)
+	js.user = r.intern(user)
+	js.building = true
+	return js
+}
+
+// csvRow is one parsed CSV line with its strings materialized — the
+// fuzz surface's view (the hot path uses rawRow and never copies).
 type csvRow struct {
 	us       int64
 	code     int
@@ -210,61 +304,107 @@ type csvRow struct {
 	cpu, mem float64
 }
 
+// rawRow is the zero-copy parse of one task-level row. job and user
+// alias the scanner's buffer: copy or intern them before the next line.
+type rawRow struct {
+	us       int64
+	code     int
+	job      []byte
+	task     int
+	user     []byte
+	cpu, mem float64
+}
+
+// Symbolic CSV event names (folded case, no per-row conversion).
+var (
+	evSubmit = []byte("submit")
+	evFinish = []byte("finish")
+	evKill   = []byte("kill")
+)
+
 // parseCSVLine parses (without applying) one CSV row. It is the CSV
 // half of the fuzz surface.
 func parseCSVLine(line string) (csvRow, error) {
-	var row csvRow
-	f := strings.Split(line, ",")
-	if len(f) != 7 {
-		return row, badf("want 7 fields time_us,event,job,task,user,cpu,mem; got %d", len(f))
+	raw, err := parseCSVRow([]byte(line))
+	if err != nil {
+		return csvRow{}, err
 	}
-	us, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+	return csvRow{
+		us: raw.us, code: raw.code, job: string(raw.job),
+		task: raw.task, user: string(raw.user), cpu: raw.cpu, mem: raw.mem,
+	}, nil
+}
+
+// parseCSVRow parses one CSV row in place over the scanner's buffer.
+func parseCSVRow(line []byte) (rawRow, error) {
+	var row rawRow
+	var f [7][]byte
+	rest := line
+	for i := 0; i < 6; i++ {
+		j := bytes.IndexByte(rest, ',')
+		if j < 0 {
+			return row, badf("want 7 fields time_us,event,job,task,user,cpu,mem; got %d", i+1)
+		}
+		f[i] = bytes.TrimSpace(rest[:j])
+		rest = rest[j+1:]
+	}
+	if bytes.IndexByte(rest, ',') >= 0 {
+		return row, badf("want 7 fields time_us,event,job,task,user,cpu,mem; got %d", 8+bytes.Count(rest, []byte{','}))
+	}
+	f[6] = bytes.TrimSpace(rest)
+
+	us, err := strconv.ParseInt(bstr(f[0]), 10, 64)
 	if err != nil {
 		return row, badf("time_us: %v", err)
 	}
 	row.us = us
-	ev := strings.ToLower(strings.TrimSpace(f[1]))
-	switch ev {
-	case "submit":
+	switch {
+	case bytes.EqualFold(f[1], evSubmit):
 		row.code = 0
-	case "finish":
+	case bytes.EqualFold(f[1], evFinish):
 		row.code = 4
-	case "kill":
+	case bytes.EqualFold(f[1], evKill):
 		row.code = 5
 	default:
-		code, err := strconv.Atoi(ev)
+		code, err := strconv.Atoi(bstr(f[1]))
 		if err != nil || code < 0 || code > 8 {
 			return row, badf("event %q is neither a Google code 0-8 nor submit/finish/kill", f[1])
 		}
 		row.code = code
 	}
-	row.job = strings.TrimSpace(f[2])
-	if row.job == "" {
+	row.job = f[2]
+	if len(row.job) == 0 {
 		return row, badf("empty job id")
 	}
-	task, err := strconv.Atoi(strings.TrimSpace(f[3]))
+	task, err := strconv.Atoi(bstr(f[3]))
 	if err != nil || task < 0 {
 		return row, badf("task index %q is not a non-negative integer", f[3])
 	}
 	row.task = task
-	row.user = strings.TrimSpace(f[4])
-	if row.cpu, err = strconv.ParseFloat(strings.TrimSpace(f[5]), 64); err != nil {
+	row.user = f[4]
+	if row.cpu, err = strconv.ParseFloat(bstr(f[5]), 64); err != nil {
 		return row, badf("cpu: %v", err)
 	}
-	if row.mem, err = strconv.ParseFloat(strings.TrimSpace(f[6]), 64); err != nil {
+	if row.mem, err = strconv.ParseFloat(bstr(f[6]), 64); err != nil {
 		return row, badf("mem: %v", err)
 	}
 	return row, nil
 }
 
-// consumeCSV applies one task-level row: submits coalesce into pod
-// submit groups, task ends decrement the job's live count and emit the
-// pod end when it empties.
-func (r *Reader) consumeCSV(line string) error {
-	row, err := parseCSVLine(line)
+// consumeCSV applies one task-level row.
+func (r *Reader) consumeCSV(line []byte) error {
+	row, err := parseCSVRow(line)
 	if err != nil {
 		return err
 	}
+	return r.apply(row)
+}
+
+// apply is the task-level lifecycle state machine shared by the CSV
+// format and the instance_events adapter: submits coalesce into pod
+// submit groups, task ends decrement the job's live count and emit the
+// pod end when it empties.
+func (r *Reader) apply(row rawRow) error {
 	if err := r.checkTime(row.us); err != nil {
 		return err
 	}
@@ -280,41 +420,46 @@ func (r *Reader) consumeCSV(line string) error {
 		if err := checkRequest("mem", row.mem); err != nil {
 			return err
 		}
-		if _, already := r.open[row.job]; already {
+		js := r.jobs[string(row.job)] // no-alloc map probe
+		if js != nil && !js.building {
 			return badf("job %s submitted while already live", row.job)
 		}
 		r.accept(row.us)
-		if _, ok := r.building[row.job]; !ok {
-			r.order = append(r.order, row.job)
-			r.user[row.job] = row.user
+		if js != nil && !js.building {
+			// accept flushed the job's earlier-instant group: this row is
+			// a duplicate submit of a now-live job.
+			return badf("job %s submitted while already live", row.job)
 		}
-		r.building[row.job] = append(r.building[row.job], trace.Container{CPU: row.cpu, Mem: row.mem})
+		if js == nil {
+			js = r.newJob(row.job, row.user)
+			r.jobs[js.id] = js
+			r.order = append(r.order, js)
+		}
+		js.ctrs = append(js.ctrs, trace.Container{CPU: row.cpu, Mem: row.mem})
 		return nil
 	case 2, 3, 4, 5, 6: // EVICT / FAIL / FINISH / KILL / LOST: task ends
 		// accept flushes groups from earlier instants; an end at the
 		// submit instant itself closes the same-instant groups explicitly
 		// so the submit event precedes its own end.
 		r.accept(row.us)
-		if _, building := r.building[row.job]; building {
-			r.flushSubmits()
-		}
-		n, ok := r.open[row.job]
-		if !ok {
+		js := r.jobs[string(row.job)]
+		if js == nil {
 			return badf("end event for unknown job %s", row.job)
 		}
-		if n--; n > 0 {
-			r.open[row.job] = n
+		if js.building {
+			r.flushSubmits()
+		}
+		if js.open--; js.open > 0 {
 			return nil
 		}
-		delete(r.open, row.job)
 		kind := Kill
 		if row.code == 4 {
 			kind = Finish
 		}
-		r.emitEnd(row.us, kind, row.job, r.user[row.job])
+		r.emitEnd(row.us, kind, js)
 		return nil
 	}
-	// code 0-8 was validated above; anything else is unreachable.
+	// code 0-8 was validated by the parsers; anything else is unreachable.
 	return badf("unhandled event code %d", row.code)
 }
 
@@ -333,8 +478,13 @@ type jsonRow struct {
 // parseJSONLine parses (without applying) one JSONL row — the JSON half
 // of the fuzz surface.
 func parseJSONLine(line string) (jsonRow, EventKind, error) {
+	return parseJSONRow([]byte(line))
+}
+
+// parseJSONRow parses one native pod-level JSON row.
+func parseJSONRow(line []byte) (jsonRow, EventKind, error) {
 	var row jsonRow
-	dec := json.NewDecoder(strings.NewReader(line))
+	dec := json.NewDecoder(bytes.NewReader(line))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&row); err != nil {
 		return row, 0, badf("json: %v", err)
@@ -368,8 +518,8 @@ func parseJSONLine(line string) (jsonRow, EventKind, error) {
 }
 
 // consumeJSON applies one pod-level row.
-func (r *Reader) consumeJSON(line string) error {
-	row, kind, err := parseJSONLine(line)
+func (r *Reader) consumeJSON(line []byte) error {
+	row, kind, err := parseJSONRow(line)
 	if err != nil {
 		return err
 	}
@@ -378,7 +528,7 @@ func (r *Reader) consumeJSON(line string) error {
 	}
 	switch kind {
 	case Submit:
-		if _, already := r.open[row.Pod]; already {
+		if r.jobs[row.Pod] != nil {
 			return badf("pod %s submitted while already live", row.Pod)
 		}
 		r.accept(row.US)
@@ -386,49 +536,66 @@ func (r *Reader) consumeJSON(line string) error {
 		for i, c := range row.Containers {
 			ctrs[i] = trace.Container{CPU: c.CPU, Mem: c.Mem}
 		}
-		r.open[row.Pod] = 1
-		r.user[row.Pod] = row.User
+		js := r.takeJob()
+		js.id, js.user = row.Pod, r.internString(row.User)
+		js.ctrs, js.open = ctrs, 1
+		r.jobs[js.id] = js
 		r.stats.Pods++
 		r.ready = append(r.ready, Event{
 			Time: time.Duration(row.US) * time.Microsecond, Kind: Submit,
-			Pod: row.Pod, User: row.User, Containers: ctrs,
+			Pod: js.id, User: js.user, Containers: ctrs,
 		})
 	default:
-		if _, ok := r.open[row.Pod]; !ok {
+		js := r.jobs[row.Pod]
+		if js == nil {
 			return badf("end event for unknown pod %s", row.Pod)
 		}
 		r.accept(row.US)
-		delete(r.open, row.Pod)
 		// The submit's recorded user wins: an end row with a missing or
 		// different user must still partition to the submit's world.
-		r.emitEnd(row.US, kind, row.Pod, r.user[row.Pod])
+		r.emitEnd(row.US, kind, js)
 	}
 	return nil
 }
 
+// internString is intern for names the decoder already materialized.
+func (r *Reader) internString(user string) string {
+	if user == "" {
+		return ""
+	}
+	if u, ok := r.users[user]; ok {
+		return u
+	}
+	r.users[user] = user
+	return user
+}
+
 // flushSubmits releases the submit groups built at the current
 // timestamp, in first-seen job order, and registers their live task
-// counts. The per-job user survives until the job ends, so end events
+// counts. The per-job state survives until the job ends, so end events
 // partition to the same world as their submit.
 func (r *Reader) flushSubmits() {
-	for _, job := range r.order {
-		ctrs := r.building[job]
-		r.open[job] = len(ctrs)
+	for _, js := range r.order {
+		js.open = len(js.ctrs)
+		js.building = false
 		r.stats.Pods++
 		r.ready = append(r.ready, Event{
 			Time: time.Duration(r.curUS) * time.Microsecond, Kind: Submit,
-			Pod: job, User: r.user[job], Containers: ctrs,
+			Pod: js.id, User: js.user, Containers: js.ctrs,
 		})
-		delete(r.building, job)
 	}
 	r.order = r.order[:0]
 }
 
-// emitEnd queues a pod end event and drops the job's retained user.
-func (r *Reader) emitEnd(us int64, kind EventKind, pod, user string) {
+// emitEnd queues a pod end event and recycles the job's state. The
+// containers slice escaped into the Submit event, so it never returns
+// to the pool.
+func (r *Reader) emitEnd(us int64, kind EventKind, js *jobState) {
 	r.stats.Ends++
 	r.ready = append(r.ready, Event{
-		Time: time.Duration(us) * time.Microsecond, Kind: kind, Pod: pod, User: user,
+		Time: time.Duration(us) * time.Microsecond, Kind: kind, Pod: js.id, User: js.user,
 	})
-	delete(r.user, pod)
+	delete(r.jobs, js.id)
+	*js = jobState{}
+	r.free = append(r.free, js)
 }

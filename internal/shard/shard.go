@@ -17,11 +17,23 @@
 // -shards 8 is a wall-clock optimisation, never a different
 // experiment. The equivalence suite pins this bit for bit, fault
 // schedules included.
+//
+// By default the feed of epoch N+1 is pipelined with the advance of
+// epoch N: events are prefetched into per-world mailboxes (double-
+// buffered, reused across epochs) on the main goroutine while the
+// worlds execute the previous epoch in parallel. Each mailbox entry
+// carries the trace read sequence, and a barrier's migration decisions
+// re-route the already-prefetched mailboxes by a seq-ordered merge, so
+// every world ingests exactly the serial feed order restricted to it —
+// the pipelining is a wall-clock optimisation under the same
+// byte-identity contract as Shards (Config.SerialFeed pins the
+// reference path).
 package shard
 
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"nestless/internal/cluster"
@@ -51,9 +63,22 @@ type Config struct {
 	// drain (default 15m).
 	BarrierEvery time.Duration
 	// MigrateAfter enables cross-world migration: at each barrier,
-	// pods pending longer than this are transferred to the
-	// least-loaded other world. Zero disables migration.
+	// pods pending longer than this are transferred to another world
+	// (see MigratePolicy). Zero disables migration.
 	MigrateAfter time.Duration
+	// MigratePolicy picks the destination world for each transferred
+	// pod: "least-loaded" (the default; lowest pending-queue depth,
+	// ties to the lowest index) or "locality" (the pod's original
+	// user-partition world when that is not where it is stuck, else
+	// least-loaded). Applied serially in index order at the barrier, so
+	// any policy keeps the byte-identity contract across shard counts.
+	MigratePolicy string
+	// SerialFeed disables the pipelined feed: epochs run strictly
+	// feed-then-advance like the pre-pipelining runner. The zero value
+	// (pipelining on) is byte-identical to it — SerialFeed exists as
+	// the equivalence pin and for debugging. A telemetry recorder
+	// forces it (single shared timeline).
+	SerialFeed bool
 	// Cluster is the per-world template. Pods must be empty (the trace
 	// is the workload); world w runs with Seed + w*worldSeedStride.
 	Cluster cluster.Config
@@ -84,6 +109,85 @@ type Result struct {
 	BeyondHorizon int
 }
 
+// destPolicy picks the destination world for one transferred pod.
+// Policies run serially at the barrier in (world, mailbox) order and
+// may read any world's state through its barrier-safe accessors.
+type destPolicy func(worlds []*cluster.Cluster, src int, tr cluster.Transfer) int
+
+// leastLoaded is the default migration policy: the other world with the
+// shallowest pending queue, ties to the lowest index.
+func leastLoaded(worlds []*cluster.Cluster, src int, _ cluster.Transfer) int {
+	dest := -1
+	for d := range worlds {
+		if d == src {
+			continue
+		}
+		if dest < 0 || worlds[d].QueueLen() < worlds[dest].QueueLen() {
+			dest = d
+		}
+	}
+	return dest
+}
+
+// locality prefers the pod's original user-partition world — a pod
+// bounced around by earlier migrations goes home, where its tenant's
+// other pods (and the fleet shaped by them) live. When the pod is
+// stuck in its home world, falls back to least-loaded.
+func locality(worlds []*cluster.Cluster, src int, tr cluster.Transfer) int {
+	key := tr.User
+	if key == "" {
+		key = tr.Pod.ID
+	}
+	if home := ctrace.PartitionKey(key, len(worlds)); home != src {
+		return home
+	}
+	return leastLoaded(worlds, src, tr)
+}
+
+// pickPolicy resolves the MigratePolicy knob.
+func pickPolicy(name string) (destPolicy, error) {
+	switch name {
+	case "", "least-loaded":
+		return leastLoaded, nil
+	case "locality":
+		return locality, nil
+	}
+	return nil, fmt.Errorf("shard: unknown migrate policy %q (want least-loaded or locality)", name)
+}
+
+// mailEvent is one prefetched trace event in a per-world mailbox. seq
+// is the global trace read sequence: re-routing a mailbox after a
+// migration barrier merges by seq, so each world's ingest order is
+// exactly the serial feed order restricted to that world.
+type mailEvent struct {
+	ev  ctrace.Event
+	seq uint64
+}
+
+// replayer is one sharded replay in flight.
+type replayer struct {
+	cfg     Config
+	pick    destPolicy
+	worlds  []*cluster.Cluster
+	horizon sim.Time
+	epoch   sim.Time
+	res     Result
+
+	// moved routes a migrated pod's later end events to the world that
+	// now owns it, overriding the hash partition. delta is the single
+	// barrier's slice of it, used to re-route prefetched mailboxes
+	// (nil in serial-feed mode).
+	moved map[string]int
+	delta map[string]int
+
+	// Trace cursor.
+	src     ctrace.Source
+	held    ctrace.Event
+	hasHeld bool
+	eof     bool
+	readSeq uint64
+}
+
 // Replay drains src through cfg.Worlds cluster worlds to the horizon
 // and merges the results. src must yield time-ordered events (every
 // ctrace source does).
@@ -100,177 +204,378 @@ func Replay(src ctrace.Source, cfg Config) (Result, error) {
 	if len(cfg.Cluster.Pods) != 0 {
 		return Result{}, fmt.Errorf("shard: Cluster.Pods must be empty (the trace is the workload)")
 	}
-	serial := cfg.Cluster.Rec != nil
-	if serial {
+	pick, err := pickPolicy(cfg.MigratePolicy)
+	if err != nil {
+		return Result{}, err
+	}
+	serialRec := cfg.Cluster.Rec != nil
+	if serialRec {
 		cfg.Shards = 1
+		cfg.SerialFeed = true
 	}
 
-	worlds := make([]*cluster.Cluster, cfg.Worlds)
-	for w := range worlds {
+	r := &replayer{cfg: cfg, pick: pick, src: src, moved: map[string]int{}}
+	r.worlds = make([]*cluster.Cluster, cfg.Worlds)
+	for w := range r.worlds {
 		wcfg := cfg.Cluster
 		wcfg.Seed = cfg.Cluster.Seed + int64(w)*worldSeedStride
-		worlds[w] = cluster.New(wcfg)
-		worlds[w].Start()
+		r.worlds[w] = cluster.New(wcfg)
+		r.worlds[w].Start()
 	}
-	horizon := worlds[0].Horizon()
-	epoch := sim.Time(cfg.BarrierEvery)
+	r.horizon = r.worlds[0].Horizon()
+	r.epoch = sim.Time(cfg.BarrierEvery)
 
-	var res Result
-	// moved routes a migrated pod's later end events to the world that
-	// now owns it, overriding the hash partition.
-	moved := map[string]int{}
-	route := func(ev ctrace.Event) int {
-		if ev.Kind != ctrace.Submit {
-			if w, ok := moved[ev.Pod]; ok {
-				return w
-			}
-		}
-		return ctrace.Partition(ev, cfg.Worlds)
+	if cfg.SerialFeed {
+		err = r.runSerial(serialRec)
+	} else {
+		err = r.runPipelined()
 	}
-	feed := func(ev ctrace.Event) error {
-		res.Events++
-		if ev.Kind == ctrace.Submit {
-			res.Submits++
-		} else {
-			res.Ends++
-		}
-		if ev.Time > time.Duration(horizon) && ev.Kind == ctrace.Submit {
-			res.BeyondHorizon++
-			worlds[route(ev)].NoteBeyondHorizon()
-			return nil
-		}
-		return worlds[route(ev)].FeedEvent(ev)
+	if err != nil {
+		return Result{}, err
 	}
-
-	var held *ctrace.Event
-	eof := false
-	for t := sim.Time(0); t < horizon; {
-		end := t + epoch
-		if end > horizon {
-			end = horizon
-		}
-		// Feed phase: route every event up to the barrier. Engines are
-		// parked at t, so scheduling is cheap appends to their heaps.
-		for !eof {
-			var ev ctrace.Event
-			if held != nil {
-				ev, held = *held, nil
-			} else {
-				var err error
-				ev, err = src.Next()
-				if err == io.EOF {
-					eof = true
-					break
-				}
-				if err != nil {
-					return Result{}, err
-				}
-			}
-			if sim.Time(ev.Time) > end {
-				held = &ev
-				break
-			}
-			if err := feed(ev); err != nil {
-				return Result{}, err
-			}
-		}
-		// Advance phase: every world runs independently to the barrier.
-		if serial {
-			for w := range worlds {
-				worlds[w].Activate(fmt.Sprintf("world-%d", w))
-				worlds[w].Advance(end)
-			}
-		} else {
-			parallel.Run(cfg.Worlds, cfg.Shards, func(w int) {
-				worlds[w].Advance(end)
-			})
-		}
-		res.Epochs++
-		// Digest phase: fold world fingerprints in index order.
-		for w := range worlds {
-			res.Digest = fold(res.Digest, worlds[w].Digest())
-		}
-		// Transfer phase: drain mailboxes, serially, in index order.
-		// Skipped at the final barrier — a pod injected at the horizon
-		// would never see a schedule pass.
-		if cfg.MigrateAfter > 0 && cfg.Worlds > 1 && end < horizon {
-			if err := drainTransfers(worlds, moved, cfg.MigrateAfter, &res); err != nil {
-				return Result{}, err
-			}
-		}
-		t = end
-	}
-	// Tail drain: whatever the trace holds past the horizon is counted
-	// but never fed.
-	if held != nil {
-		if err := pastHorizon(*held, worlds, route, &res); err != nil {
-			return Result{}, err
-		}
-	}
-	for !eof {
-		ev, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return Result{}, err
-		}
-		if err := pastHorizon(ev, worlds, route, &res); err != nil {
-			return Result{}, err
-		}
+	if err := r.drainTail(); err != nil {
+		return Result{}, err
 	}
 	// Finish phase: close every world's books in index order.
-	res.Worlds = make([]cluster.Result, cfg.Worlds)
-	for w := range worlds {
-		res.Worlds[w] = worlds[w].Finish()
+	r.res.Worlds = make([]cluster.Result, cfg.Worlds)
+	for w := range r.worlds {
+		r.res.Worlds[w] = r.worlds[w].Finish()
 		if cfg.Audit {
-			if leaks := worlds[w].Leaks(); len(leaks) > 0 {
+			if leaks := r.worlds[w].Leaks(); len(leaks) > 0 {
 				return Result{}, fmt.Errorf("shard: world %d leaks: %v", w, leaks)
 			}
 		}
 	}
-	res.Merged = merge(res.Worlds)
-	return res, nil
+	r.res.Merged = merge(r.res.Worlds)
+	return r.res, nil
 }
 
-// pastHorizon books one unfed tail event.
-func pastHorizon(ev ctrace.Event, worlds []*cluster.Cluster, route func(ctrace.Event) int, res *Result) error {
-	res.Events++
+// route maps one event to its world: the hash partition, overridden by
+// the moved map for end events of migrated pods.
+func (r *replayer) route(ev ctrace.Event) int {
+	if ev.Kind != ctrace.Submit {
+		if w, ok := r.moved[ev.Pod]; ok {
+			return w
+		}
+	}
+	return ctrace.Partition(ev, r.cfg.Worlds)
+}
+
+// next pulls the trace cursor: the held event if one is parked, else
+// the source. ok is false at EOF.
+func (r *replayer) next() (ctrace.Event, bool, error) {
+	if r.hasHeld {
+		r.hasHeld = false
+		return r.held, true, nil
+	}
+	ev, err := r.src.Next()
+	if err == io.EOF {
+		r.eof = true
+		return ctrace.Event{}, false, nil
+	}
+	if err != nil {
+		return ctrace.Event{}, false, err
+	}
+	return ev, true, nil
+}
+
+// book counts one consumed in-horizon event.
+func (r *replayer) book(ev ctrace.Event) {
+	r.res.Events++
 	if ev.Kind == ctrace.Submit {
-		res.Submits++
-		res.BeyondHorizon++
-		worlds[route(ev)].NoteBeyondHorizon()
+		r.res.Submits++
 	} else {
-		res.Ends++
+		r.res.Ends++
+	}
+}
+
+// runSerial is the reference epoch loop: feed everything up to the
+// barrier, then advance every world — strictly in that order. The
+// telemetry path (one shared timeline) requires it; SerialFeed pins it
+// for equivalence tests.
+func (r *replayer) runSerial(serialRec bool) error {
+	for t := sim.Time(0); t < r.horizon; {
+		end := t + r.epoch
+		if end > r.horizon {
+			end = r.horizon
+		}
+		// Feed phase: route every event up to the barrier. Engines are
+		// parked at t, so scheduling is cheap appends to their heaps.
+		for !r.eof {
+			ev, ok, err := r.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if sim.Time(ev.Time) > end {
+				r.held, r.hasHeld = ev, true
+				break
+			}
+			r.book(ev)
+			if err := r.worlds[r.route(ev)].FeedEvent(ev); err != nil {
+				return err
+			}
+		}
+		// Advance phase: every world runs independently to the barrier.
+		if serialRec {
+			for w := range r.worlds {
+				r.worlds[w].Activate(fmt.Sprintf("world-%d", w))
+				r.worlds[w].Advance(end)
+			}
+		} else {
+			parallel.Run(r.cfg.Worlds, r.cfg.Shards, func(w int) {
+				r.worlds[w].Advance(end)
+			})
+		}
+		if err := r.barrier(end); err != nil {
+			return err
+		}
+		t = end
+	}
+	return nil
+}
+
+// runPipelined overlaps the serial feed of epoch N+1 with the parallel
+// advance of epoch N. Per-world mailboxes are double-buffered: the
+// worlds ingest and execute the current buffer on worker goroutines
+// while the main goroutine prefetches the next epoch from the trace.
+// After the barrier's migration drain, mailboxes already prefetched for
+// moved pods are re-routed by a seq-ordered merge, so every world still
+// ingests the serial feed order restricted to it.
+func (r *replayer) runPipelined() error {
+	cur := make([][]mailEvent, r.cfg.Worlds)
+	next := make([][]mailEvent, r.cfg.Worlds)
+	errs := make([]error, r.cfg.Worlds)
+	r.delta = map[string]int{}
+
+	// The first epoch has no previous epoch to overlap with, so
+	// mailboxing it would buy nothing but the buffer copies — and on
+	// front-loaded traces (replays starting at t=0) epoch zero is the
+	// largest. Feed it directly, exactly as the serial loop would; the
+	// worlds are parked at 0 and no migration has happened yet, so the
+	// per-world event order is identical either way.
+	firstEnd := r.epoch
+	if firstEnd > r.horizon {
+		firstEnd = r.horizon
+	}
+	if err := r.feedDirect(firstEnd); err != nil {
+		return err
+	}
+	for t := sim.Time(0); t < r.horizon; {
+		end := t + r.epoch
+		if end > r.horizon {
+			end = r.horizon
+		}
+		// Advance phase on workers: each world ingests its mailbox (the
+		// engine is parked at t, exactly where the serial feed would
+		// deliver these events) and runs to the barrier.
+		done := make(chan struct{})
+		go func() {
+			parallel.Run(r.cfg.Worlds, r.cfg.Shards, func(w int) {
+				for _, me := range cur[w] {
+					if err := r.worlds[w].FeedEvent(me.ev); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				r.worlds[w].Advance(end)
+			})
+			close(done)
+		}()
+		// Overlapped feed phase: prefetch the next epoch while the
+		// worlds run. Routing uses the moved map as of the last barrier;
+		// this barrier's migrations re-route the buffer below.
+		var preErr error
+		if end < r.horizon {
+			nextEnd := end + r.epoch
+			if nextEnd > r.horizon {
+				nextEnd = r.horizon
+			}
+			preErr = r.prefetch(next, nextEnd)
+		}
+		<-done
+		for w := range errs {
+			if errs[w] != nil {
+				return errs[w]
+			}
+		}
+		if preErr != nil {
+			return preErr
+		}
+		if err := r.barrier(end); err != nil {
+			return err
+		}
+		reroute(next, r.delta)
+		cur, next = next, cur
+		for w := range next {
+			next[w] = next[w][:0]
+		}
+		t = end
+	}
+	return nil
+}
+
+// feedDirect feeds every event up to end straight into its world,
+// bypassing the mailboxes. Only valid while the worlds are parked with
+// no concurrent advance in flight (the first epoch).
+func (r *replayer) feedDirect(end sim.Time) error {
+	for !r.eof {
+		ev, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if sim.Time(ev.Time) > end {
+			r.held, r.hasHeld = ev, true
+			break
+		}
+		r.book(ev)
+		if err := r.worlds[r.route(ev)].FeedEvent(ev); err != nil {
+			return err
+		}
+		r.readSeq++
+	}
+	return nil
+}
+
+// prefetch fills one mailbox buffer with every event up to end (the
+// consumed-event counters are booked here, on the main goroutine).
+// Events past end park in the held slot for the next epoch.
+func (r *replayer) prefetch(buf [][]mailEvent, end sim.Time) error {
+	for !r.eof {
+		ev, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if sim.Time(ev.Time) > end {
+			r.held, r.hasHeld = ev, true
+			break
+		}
+		r.book(ev)
+		w := r.route(ev)
+		buf[w] = append(buf[w], mailEvent{ev: ev, seq: r.readSeq})
+		r.readSeq++
+	}
+	return nil
+}
+
+// reroute applies one barrier's migration delta to an already-
+// prefetched mailbox buffer: end events of pods that just moved leave
+// their old world's mailbox and merge into the new owner's by trace
+// seq, reproducing the order a serial feed would have delivered.
+func reroute(buf [][]mailEvent, delta map[string]int) {
+	if len(delta) == 0 {
+		return
+	}
+	var movedOut []mailEvent
+	var dests []int
+	for w := range buf {
+		kept := buf[w][:0]
+		for _, me := range buf[w] {
+			if me.ev.Kind != ctrace.Submit {
+				if d, ok := delta[me.ev.Pod]; ok && d != w {
+					movedOut = append(movedOut, me)
+					dests = append(dests, d)
+					continue
+				}
+			}
+			kept = append(kept, me)
+		}
+		buf[w] = kept
+	}
+	if len(movedOut) == 0 {
+		return
+	}
+	touched := map[int]bool{}
+	for i, me := range movedOut {
+		buf[dests[i]] = append(buf[dests[i]], me)
+		touched[dests[i]] = true
+	}
+	for d := range touched {
+		b := buf[d]
+		sort.Slice(b, func(i, j int) bool { return b[i].seq < b[j].seq })
+	}
+}
+
+// barrier runs the serial, index-ordered epoch close: the digest fold
+// and (between interior barriers) the migration drain.
+func (r *replayer) barrier(end sim.Time) error {
+	r.res.Epochs++
+	for w := range r.worlds {
+		r.res.Digest = fold(r.res.Digest, r.worlds[w].Digest())
+	}
+	// Transfer phase: skipped at the final barrier — a pod injected at
+	// the horizon would never see a schedule pass.
+	if r.delta != nil {
+		clear(r.delta)
+	}
+	if r.cfg.MigrateAfter > 0 && r.cfg.Worlds > 1 && end < r.horizon {
+		if err := r.drainTransfers(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // drainTransfers is the barrier's migration phase: every world's
-// transfer-out mailbox empties into the least-loaded other world
-// (pending-queue depth, ties to the lowest index), and the moved map
-// re-routes the pods' future end events. Serial and index-ordered, so
-// the outcome is independent of how worlds were executed.
-func drainTransfers(worlds []*cluster.Cluster, moved map[string]int, olderThan time.Duration, res *Result) error {
-	for w := range worlds {
-		for _, tr := range worlds[w].TransferOut(olderThan) {
-			dest := -1
-			for d := range worlds {
-				if d == w {
-					continue
-				}
-				if dest < 0 || worlds[d].QueueLen() < worlds[dest].QueueLen() {
-					dest = d
-				}
-			}
-			if err := worlds[dest].InjectTransfer(tr); err != nil {
+// transfer-out mailbox empties into the world the configured policy
+// picks, and the moved map re-routes the pods' future end events.
+// Serial and index-ordered, so the outcome is independent of how
+// worlds were executed.
+func (r *replayer) drainTransfers() error {
+	for w := range r.worlds {
+		for _, tr := range r.worlds[w].TransferOut(r.cfg.MigrateAfter) {
+			dest := r.pick(r.worlds, w, tr)
+			if err := r.worlds[dest].InjectTransfer(tr); err != nil {
 				return err
 			}
-			moved[tr.Pod.ID] = dest
-			res.Migrations++
+			r.moved[tr.Pod.ID] = dest
+			if r.delta != nil {
+				r.delta[tr.Pod.ID] = dest
+			}
+			r.res.Migrations++
 		}
 	}
 	return nil
+}
+
+// drainTail books whatever the trace holds past the horizon: counted,
+// never fed.
+func (r *replayer) drainTail() error {
+	if r.hasHeld {
+		r.hasHeld = false
+		r.pastHorizon(r.held)
+	}
+	for !r.eof {
+		ev, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		r.pastHorizon(ev)
+	}
+	return nil
+}
+
+// pastHorizon books one unfed tail event.
+func (r *replayer) pastHorizon(ev ctrace.Event) {
+	r.res.Events++
+	if ev.Kind == ctrace.Submit {
+		r.res.Submits++
+		r.res.BeyondHorizon++
+		r.worlds[r.route(ev)].NoteBeyondHorizon()
+	} else {
+		r.res.Ends++
+	}
 }
 
 // fold mixes one world digest into the running replay digest (FNV-1a

@@ -36,6 +36,10 @@ type event struct {
 	seq uint64 // FIFO tie-break for simultaneous events
 	fn  func()
 	st  *Station // non-nil: station job completion, fn is the done callback
+	// tfn (non-nil) is the seq-keyed dispatch path (AtSeq): the event
+	// carries no closure at all — the caller keys its own per-event
+	// state by the sequence number the engine hands back.
+	tfn func(seq uint64)
 }
 
 // eventHeap is a value-typed 4-ary min-heap ordered by (at, seq). A 4-ary
@@ -221,6 +225,25 @@ func (e *Engine) At(t Time, fn func()) {
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
+// AtSeq schedules fn like At, but passes fn the sequence number the
+// engine assigned to the event. A caller that keeps its own per-event
+// state keyed by seq (precomputed as Seq()+1 before the call — At and
+// AtSeq increment the counter exactly once) can reuse a single cached
+// callback for every event it schedules, paying zero allocations per
+// event where a capturing closure would pay two (the closure plus the
+// boxed seq cell).
+func (e *Engine) AtSeq(t Time, fn func(seq uint64)) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	if t == e.now {
+		e.runQ = append(e.runQ, event{at: t, seq: e.seq, tfn: fn})
+		return
+	}
+	e.events.push(event{at: t, seq: e.seq, tfn: fn})
+}
+
 // After schedules fn to run d from now. Negative d is treated as zero.
 func (e *Engine) After(d time.Duration, fn func()) {
 	if d < 0 {
@@ -355,9 +378,12 @@ func (e *Engine) step() bool {
 	if e.MaxSteps != 0 && e.Steps > e.MaxSteps {
 		panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", e.MaxSteps, e.now))
 	}
-	if ev.st != nil {
+	switch {
+	case ev.st != nil:
 		ev.st.complete(ev.fn)
-	} else {
+	case ev.tfn != nil:
+		ev.tfn(ev.seq)
+	default:
 		ev.fn()
 	}
 	return true

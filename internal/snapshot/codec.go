@@ -34,7 +34,10 @@ const magic = "NLW1"
 // v2 added the cloud model: zone/spot node identity, the machine
 // subsystem's Config knobs, the fallback credit, and the Result's
 // reconcile/revocation counters and cost split.
-const version = 2
+// v3 added the trajectory downsampler: Config.SampleCap, the per-Sample
+// window aggregates (Points and the Sum* fields), and the open partial
+// window (Snapshot.TrajWin).
+const version = 3
 
 // maxRandDraws bounds the RNG stream positions the codec will accept.
 // Restoring a stream position replays that many draws, so an unbounded
@@ -76,6 +79,7 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 	e.f64(s.Cfg.RepackDirtyFrac)
 	e.varint(int64(s.Cfg.RepackWorkers))
 	e.varint(int64(s.Cfg.PackCacheSize))
+	e.varint(int64(s.Cfg.SampleCap))
 	e.varint(int64(s.Cfg.Zones))
 	e.uvarint(uint64(len(s.Cfg.ZoneNames)))
 	for _, z := range s.Cfg.ZoneNames {
@@ -212,13 +216,9 @@ func Encode(s *cluster.Snapshot) ([]byte, error) {
 	e.dur(r.TTSMax)
 	e.uvarint(uint64(len(r.Samples)))
 	for _, sm := range r.Samples {
-		e.varint(int64(sm.T))
-		e.f64(sm.CostPerH)
-		e.varint(int64(sm.Pending))
-		e.varint(int64(sm.Nodes))
-		e.f64(sm.UsedCPU)
-		e.f64(sm.CapCPU)
+		e.sample(sm)
 	}
+	e.sample(s.TrajWin)
 
 	// Time-to-schedule series.
 	e.uvarint(uint64(len(s.TTS.Samples)))
@@ -302,6 +302,7 @@ func Decode(b []byte) (*cluster.Snapshot, error) {
 	s.Cfg.RepackDirtyFrac = d.f64()
 	s.Cfg.RepackWorkers = int(d.varint())
 	s.Cfg.PackCacheSize = int(d.varint())
+	s.Cfg.SampleCap = int(d.varint())
 	s.Cfg.Zones = int(d.varint())
 	for i, n := 0, d.count(1); i < n; i++ {
 		s.Cfg.ZoneNames = append(s.Cfg.ZoneNames, d.str())
@@ -449,16 +450,10 @@ func Decode(b []byte) (*cluster.Snapshot, error) {
 	r.TTSMean = d.dur()
 	r.TTSP95 = d.dur()
 	r.TTSMax = d.dur()
-	for i, n := 0, d.count(6); i < n; i++ {
-		r.Samples = append(r.Samples, cluster.Sample{
-			T:        sim.Time(d.varint()),
-			CostPerH: d.f64(),
-			Pending:  int(d.varint()),
-			Nodes:    int(d.varint()),
-			UsedCPU:  d.f64(),
-			CapCPU:   d.f64(),
-		})
+	for i, n := 0, d.count(12); i < n; i++ {
+		r.Samples = append(r.Samples, d.sample())
 	}
+	s.TrajWin = d.sample()
 
 	// Time-to-schedule series.
 	for i, n := 0, d.count(8); i < n; i++ {
@@ -560,6 +555,20 @@ func (e *enc) placedVMs(vms []cloudsim.PlacedVM) {
 		e.varint(int64(vm.Type))
 		e.placedItems(vm.Items)
 	}
+}
+func (e *enc) sample(s cluster.Sample) {
+	e.varint(int64(s.T))
+	e.f64(s.CostPerH)
+	e.varint(int64(s.Pending))
+	e.varint(int64(s.Nodes))
+	e.f64(s.UsedCPU)
+	e.f64(s.CapCPU)
+	e.varint(int64(s.Points))
+	e.f64(s.SumCostPerH)
+	e.varint(int64(s.SumPending))
+	e.varint(int64(s.SumNodes))
+	e.f64(s.SumUsedCPU)
+	e.f64(s.SumCapCPU)
 }
 
 // dec is the bounds-checked decoder: the first malformed read latches
@@ -685,6 +694,23 @@ func (d *dec) placedItems() []cloudsim.PlacedItem {
 		out = append(out, cloudsim.PlacedItem{Pod: d.str(), CPU: d.f64(), Mem: d.f64()})
 	}
 	return out
+}
+
+func (d *dec) sample() cluster.Sample {
+	return cluster.Sample{
+		T:           sim.Time(d.varint()),
+		CostPerH:    d.f64(),
+		Pending:     int(d.varint()),
+		Nodes:       int(d.varint()),
+		UsedCPU:     d.f64(),
+		CapCPU:      d.f64(),
+		Points:      int(d.varint()),
+		SumCostPerH: d.f64(),
+		SumPending:  int(d.varint()),
+		SumNodes:    int(d.varint()),
+		SumUsedCPU:  d.f64(),
+		SumCapCPU:   d.f64(),
+	}
 }
 
 func (d *dec) placedVMs() []cloudsim.PlacedVM {

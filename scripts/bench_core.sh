@@ -16,11 +16,15 @@
 # rounds/s over 1k/10k-node fleets). CI gates on the committed copy:
 # benchjson -baseline fails the build when a LifecycleScale/1k or
 # TraceReplay/1shard pods/s figure drops more than 20% below this
-# file, or LifecycleScale/100k/hostlo, any SnapshotFork forks/s leg,
-# or a ReconcilerScale rounds/s leg by more than 30% (the wider margin
-# absorbs shared-runner noise); CI also smoke-runs the BENCH_1M=1-gated
-# 1M-pod Hostlo lifecycle and uploads the 100k CPU profile as an
-# artifact (see .github/workflows/ci.yml).
+# file, when TraceReplay/1shard allocs/op RISES more than 20% above it
+# (benchjson -lower — the pooled replay datapath is an allocation
+# budget, not just a throughput number), or LifecycleScale/100k/hostlo,
+# any SnapshotFork forks/s leg, or a ReconcilerScale rounds/s leg by
+# more than 30% (the wider margin absorbs shared-runner noise); CI also
+# smoke-runs the BENCH_1M=1-gated 1M-pod Hostlo lifecycle, the
+# REPLAY_3D=1-gated 3-day multi-day replay equivalence test, and
+# uploads the 100k CPU profile as an artifact (see
+# .github/workflows/ci.yml).
 #
 # Usage, from the repository root:
 #
